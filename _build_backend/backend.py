@@ -1,0 +1,144 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+The reproduction environment is fully offline and its setuptools cannot
+produce editable wheels (no ``wheel`` package).  This backend has **zero**
+build requirements, so ``pip install -e .`` works hermetically: it emits a
+``.pth``-based editable wheel pointing at ``src/``, and a regular wheel that
+simply zips the package tree.
+
+Only what pip needs is implemented: ``build_wheel``, ``build_editable``,
+``build_sdist``, and the ``get_requires_*`` hooks (all empty).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import os
+import tarfile
+import zipfile
+
+_NAME = "repro"
+_VERSION = "1.0.0"
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_TAG = "py3-none-any"
+
+
+def _metadata() -> str:
+    return (
+        "Metadata-Version: 2.1\n"
+        f"Name: {_NAME}\n"
+        f"Version: {_VERSION}\n"
+        "Summary: Reproduction of SQuID: Example-Driven Query Intent Discovery"
+        " (VLDB 2019)\n"
+        "Requires-Python: >=3.10\n"
+        "Requires-Dist: numpy\n"
+    )
+
+
+def _wheel_metadata() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        f"Generator: {_NAME}-intree-backend\n"
+        "Root-Is-Purelib: true\n"
+        f"Tag: {_TAG}\n"
+    )
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class _WheelWriter:
+    """Writes wheel members and accumulates the RECORD manifest."""
+
+    def __init__(self, path: str) -> None:
+        self._zip = zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED)
+        self._records: list = []
+
+    def add(self, arcname: str, data: bytes) -> None:
+        self._zip.writestr(zipfile.ZipInfo(arcname, (2020, 1, 1, 0, 0, 0)), data)
+        self._records.append(f"{arcname},{_record_hash(data)},{len(data)}")
+
+    def close(self, dist_info: str) -> None:
+        record_name = f"{dist_info}/RECORD"
+        body = "\n".join(self._records + [f"{record_name},,", ""])
+        self._zip.writestr(
+            zipfile.ZipInfo(record_name, (2020, 1, 1, 0, 0, 0)), body
+        )
+        self._zip.close()
+
+
+def _entry_points() -> str:
+    return "[console_scripts]\nrepro-squid = repro.cli:main\n"
+
+
+def _write_dist_info(writer: _WheelWriter, dist_info: str) -> None:
+    writer.add(f"{dist_info}/METADATA", _metadata().encode())
+    writer.add(f"{dist_info}/WHEEL", _wheel_metadata().encode())
+    writer.add(f"{dist_info}/entry_points.txt", _entry_points().encode())
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a regular wheel by zipping ``src/repro``."""
+    dist_info = f"{_NAME}-{_VERSION}.dist-info"
+    filename = f"{_NAME}-{_VERSION}-{_TAG}.whl"
+    out_path = os.path.join(wheel_directory, filename)
+    writer = _WheelWriter(out_path)
+    src = os.path.join(_ROOT, "src")
+    for dirpath, dirnames, filenames in os.walk(os.path.join(src, _NAME)):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if name.endswith(".pyc"):
+                continue
+            full = os.path.join(dirpath, name)
+            arcname = os.path.relpath(full, src).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                writer.add(arcname, handle.read())
+    _write_dist_info(writer, dist_info)
+    writer.close(dist_info)
+    return filename
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build an editable wheel: a ``.pth`` file pointing at ``src/``."""
+    dist_info = f"{_NAME}-{_VERSION}.dist-info"
+    filename = f"{_NAME}-{_VERSION}-{_TAG}.whl"
+    out_path = os.path.join(wheel_directory, filename)
+    writer = _WheelWriter(out_path)
+    src = os.path.join(_ROOT, "src")
+    writer.add(f"__editable__.{_NAME}.pth", (src + "\n").encode())
+    _write_dist_info(writer, dist_info)
+    writer.close(dist_info)
+    return filename
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Build a source distribution (tar.gz of the project tree)."""
+    base = f"{_NAME}-{_VERSION}"
+    filename = f"{base}.tar.gz"
+    out_path = os.path.join(sdist_directory, filename)
+    with tarfile.open(out_path, "w:gz") as tar:
+        for rel in ("pyproject.toml", "README.md", "src", "_build_backend"):
+            full = os.path.join(_ROOT, rel)
+            if os.path.exists(full):
+                tar.add(full, arcname=f"{base}/{rel}")
+        meta = _metadata().encode()
+        info = tarfile.TarInfo(f"{base}/PKG-INFO")
+        info.size = len(meta)
+        tar.addfile(info, io.BytesIO(meta))
+    return filename
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []

@@ -1,0 +1,101 @@
+"""Session-scoped fixtures shared by every figure benchmark.
+
+Dataset scale is controlled by ``REPRO_BENCH_PROFILE``:
+
+* ``small``  — the test-suite scale; the whole benchmark run finishes in
+  roughly a minute (useful while iterating);
+* ``medium`` (default) — the reproduction scale used for the recorded
+  EXPERIMENTS.md numbers;
+* ``large``  — closer to the paper's relative dataset sizes; slower.
+
+Each benchmark emits its figure table through
+:func:`repro.eval.reporting.emit`, which writes ``benchmarks/results/*.txt``
+and echoes to the real stdout so the tables land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import adult_features
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import adult, dblp, imdb
+from repro.workloads import adult_queries, dblp_queries, imdb_queries
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "medium")
+
+_IMDB_SIZES = {
+    "small": imdb.ImdbSize.small(),
+    "medium": imdb.ImdbSize(persons=1000, movies=2000, companies=60, keywords=80),
+    "large": imdb.ImdbSize.base(),
+}
+_DBLP_SIZES = {
+    "small": dblp.DblpSize.small(),
+    "medium": dblp.DblpSize(authors=500, publications=1600),
+    "large": dblp.DblpSize.base(),
+}
+_ADULT_SIZES = {
+    "small": adult.AdultSize.small(),
+    "medium": adult.AdultSize(rows=5000),
+    "large": adult.AdultSize.base(),
+}
+
+
+def profile_sizes():
+    """The three dataset size configs of the active profile."""
+    return _IMDB_SIZES[PROFILE], _DBLP_SIZES[PROFILE], _ADULT_SIZES[PROFILE]
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    size, _, _ = profile_sizes()
+    return imdb.generate(size)
+
+
+@pytest.fixture(scope="session")
+def imdb_squid(imdb_db):
+    return SquidSystem.build(imdb_db, imdb.metadata(), SquidConfig())
+
+
+@pytest.fixture(scope="session")
+def imdb_registry():
+    return imdb_queries.build_registry()
+
+
+@pytest.fixture(scope="session")
+def dblp_db():
+    _, size, _ = profile_sizes()
+    return dblp.generate(size)
+
+
+@pytest.fixture(scope="session")
+def dblp_squid(dblp_db):
+    return SquidSystem.build(dblp_db, dblp.metadata(), SquidConfig())
+
+
+@pytest.fixture(scope="session")
+def dblp_registry():
+    return dblp_queries.build_registry()
+
+
+@pytest.fixture(scope="session")
+def adult_db():
+    _, _, size = profile_sizes()
+    return adult.generate(size)
+
+
+@pytest.fixture(scope="session")
+def adult_squid(adult_db):
+    return SquidSystem.build(adult_db, adult.metadata(), SquidConfig.optimistic())
+
+
+@pytest.fixture(scope="session")
+def adult_registry(adult_db):
+    return adult_queries.generate_queries(adult_db, count=20)
+
+
+@pytest.fixture(scope="session")
+def adult_table(adult_db):
+    return adult_features(adult_db)

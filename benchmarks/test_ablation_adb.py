@@ -1,0 +1,118 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+* depth-2 derived properties vs depth-1 only (the §5 discovery depth):
+  derived-heavy intents (IQ9, IQ15, IQ16) need persontocountry-style
+  relations, which only exist at depth 2;
+* tightest-bound minimal filters (Definition 3.2) vs slack-widened numeric
+  ranges: widening bounds admits false positives on numeric intents;
+* αDB precomputation pay-off: offline build cost vs per-query discovery
+  time — the data-cube discussion of Appendix F.4.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import imdb
+from repro.eval import accuracy_curve, emit, format_table
+
+from conftest import profile_sizes
+
+DERIVED_HEAVY = ["IQ9", "IQ15", "IQ16"]
+NUMERIC_HEAVY = ["IQ3", "IQ4", "IQ11"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_fact_depth(benchmark, imdb_db, imdb_registry):
+    def run():
+        rows = []
+        for depth in (1, 2):
+            squid = SquidSystem.build(
+                imdb.generate(profile_sizes()[0]),
+                imdb.metadata(),
+                SquidConfig(max_fact_depth=depth),
+            )
+            for qid in DERIVED_HEAVY:
+                workload = imdb_registry.get(qid)
+                points = accuracy_curve(
+                    squid, workload, [10], runs_per_size=4
+                )
+                for point in points:
+                    rows.append(
+                        {
+                            "qid": qid,
+                            "max_fact_depth": depth,
+                            "f_score": point.f_score,
+                        }
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_fact_depth",
+        format_table(rows, title="Ablation: derived-property depth 1 vs 2"),
+    )
+    depth1 = sum(r["f_score"] for r in rows if r["max_fact_depth"] == 1)
+    depth2 = sum(r["f_score"] for r in rows if r["max_fact_depth"] == 2)
+    assert depth2 > depth1  # depth-2 families are load-bearing
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_minimal_filters(benchmark, imdb_squid, imdb_registry):
+    def run():
+        rows = []
+        for slack, label in ((0.0, "tightest (Def 3.2)"), (0.25, "slack 25%")):
+            config = imdb_squid.config.with_overrides(numeric_slack=slack)
+            for qid in NUMERIC_HEAVY:
+                workload = imdb_registry.get(qid)
+                for point in accuracy_curve(
+                    imdb_squid, workload, [10], runs_per_size=4, config=config
+                ):
+                    rows.append(
+                        {"qid": qid, "bounds": label, "f_score": point.f_score}
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_minimal_filters",
+        format_table(rows, title="Ablation: tightest vs widened numeric bounds"),
+    )
+    tight = sum(r["f_score"] for r in rows if "tightest" in r["bounds"])
+    slack = sum(r["f_score"] for r in rows if "slack" in r["bounds"])
+    assert tight >= slack - 0.15
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_adb_payoff(benchmark, imdb_registry):
+    """Offline αDB cost amortises over online queries (Appendix F.4)."""
+
+    def run():
+        size, _, _ = profile_sizes()
+        db = imdb.generate(size)
+        start = time.perf_counter()
+        squid = SquidSystem.build(db, imdb.metadata(), SquidConfig())
+        build_seconds = time.perf_counter() - start
+
+        workload = imdb_registry.get("IQ4")
+        examples = workload.ground_truth_examples(db)[:10]
+        start = time.perf_counter()
+        for _ in range(5):
+            squid.discover(examples)
+        per_query = (time.perf_counter() - start) / 5
+        return {
+            "adb_build_seconds": build_seconds,
+            "per_query_seconds": per_query,
+            "breakeven_queries": build_seconds / max(per_query, 1e-9),
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_adb_payoff",
+        format_table([row], title="Ablation: αDB offline cost vs online latency"),
+    )
+    # online discovery must be far cheaper than the offline build
+    assert row["per_query_seconds"] < row["adb_build_seconds"]

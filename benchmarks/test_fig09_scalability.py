@@ -1,0 +1,95 @@
+"""Figure 9: abduction time vs number of examples and vs dataset size.
+
+(a) mean query-intent-discovery time over the IMDb / DBLP benchmark
+    queries as |E| grows — the paper observes linear growth in |E|;
+(b) the same curve across the four IMDb size variants
+    (sm / base / bs / bd) — larger and denser data is slower, point
+    lookups growing logarithmically with data size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import imdb
+from repro.eval import emit, format_table, scalability_curve
+
+from conftest import profile_sizes
+
+EXAMPLE_SIZES = [5, 10, 15, 20, 25, 30]
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09a_imdb_examples_scaling(benchmark, imdb_squid, imdb_registry):
+    rows = benchmark.pedantic(
+        lambda: scalability_curve(
+            imdb_squid, imdb_registry, EXAMPLE_SIZES, runs_per_size=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig09a_imdb",
+        format_table(rows, title="Fig 9(a) IMDb: abduction time vs |E|"),
+    )
+    times = [row["mean_seconds"] for row in rows]
+    assert times[-1] >= times[0] * 0.5  # no pathological degradation
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09a_dblp_examples_scaling(benchmark, dblp_squid, dblp_registry):
+    rows = benchmark.pedantic(
+        lambda: scalability_curve(
+            dblp_squid, dblp_registry, EXAMPLE_SIZES, runs_per_size=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig09a_dblp",
+        format_table(rows, title="Fig 9(a) DBLP: abduction time vs |E|"),
+    )
+    assert rows
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09b_dataset_size_scaling(benchmark, imdb_registry):
+    """Four IMDb variants: sm / base / bs (sparse 2x) / bd (dense 2x)."""
+    size, _, _ = profile_sizes()
+
+    def run():
+        base = imdb.generate(size)
+        variants = {
+            "sm-IMDb": imdb.downsized_variant(base),
+            "IMDb": base,
+            "bs-IMDb": imdb.upsized_variant(base, dense=False),
+            "bd-IMDb": imdb.upsized_variant(base, dense=True),
+        }
+        rows = []
+        for name, db in variants.items():
+            squid = SquidSystem.build(db, imdb.metadata(), SquidConfig())
+            curve = scalability_curve(
+                squid, imdb_registry, [5, 15, 30], runs_per_size=1
+            )
+            for point in curve:
+                rows.append(
+                    {
+                        "variant": name,
+                        "total_rows": db.total_rows(),
+                        "num_examples": point["num_examples"],
+                        "mean_seconds": point["mean_seconds"],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig09b_variants",
+        format_table(rows, title="Fig 9(b): abduction time across IMDb variants"),
+    )
+    by_variant = {}
+    for row in rows:
+        by_variant.setdefault(row["variant"], []).append(row["mean_seconds"])
+    # denser data must not be faster than the downsized variant
+    assert max(by_variant["bd-IMDb"]) >= min(by_variant["sm-IMDb"])

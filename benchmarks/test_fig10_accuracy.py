@@ -1,0 +1,73 @@
+"""Figure 10: precision / recall / f-score vs number of examples.
+
+One accuracy curve per benchmark query (IQ1..IQ16 on IMDb, DQ1..DQ5 on
+DBLP), averaged over several random example sets per size.  The paper's
+shape to verify: accuracy rises — often very quickly — with the number of
+examples; IQ10 stays poor (outside the search space); IQ4/IQ11 converge
+more slowly on precision (common USA property).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import accuracy_curve, emit, format_table
+
+EXAMPLE_SIZES = [3, 5, 10, 15, 20]
+RUNS = 5
+
+
+def _curve_rows(squid, registry):
+    rows = []
+    for workload in registry:
+        for point in accuracy_curve(
+            squid, workload, EXAMPLE_SIZES, runs_per_size=RUNS
+        ):
+            rows.append(
+                {
+                    "qid": point.qid,
+                    "num_examples": point.num_examples,
+                    "precision": point.precision,
+                    "recall": point.recall,
+                    "f_score": point.f_score,
+                    "runs": point.runs,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_imdb_accuracy(benchmark, imdb_squid, imdb_registry):
+    rows = benchmark.pedantic(
+        lambda: _curve_rows(imdb_squid, imdb_registry), rounds=1, iterations=1
+    )
+    emit(
+        "fig10a_imdb",
+        format_table(rows, title="Fig 10(a) IMDb: accuracy vs |E|"),
+    )
+    final = {
+        row["qid"]: row["f_score"]
+        for row in rows
+        if row["num_examples"] == max(r["num_examples"] for r in rows
+                                      if r["qid"] == row["qid"])
+    }
+    # most queries converge to high f-score with enough examples
+    good = [qid for qid, f in final.items() if f >= 0.8]
+    assert len(good) >= 11, f"only {sorted(good)} converged"
+    # IQ10 is outside SQuID's search space and must stay imperfect
+    assert final["IQ10"] < 0.95
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_dblp_accuracy(benchmark, dblp_squid, dblp_registry):
+    rows = benchmark.pedantic(
+        lambda: _curve_rows(dblp_squid, dblp_registry), rounds=1, iterations=1
+    )
+    emit(
+        "fig10b_dblp",
+        format_table(rows, title="Fig 10(b) DBLP: accuracy vs |E|"),
+    )
+    final = {}
+    for row in rows:
+        final[row["qid"]] = row["f_score"]
+    assert sum(1 for f in final.values() if f >= 0.8) >= 3

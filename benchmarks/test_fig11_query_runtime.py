@@ -1,0 +1,51 @@
+"""Figure 11: execution time of the abduced query vs the intended query.
+
+The paper reports that abduced queries are rarely slower than the
+originals — frequently faster, because they exploit the precomputed αDB
+relations.  We measure both runtimes for every IMDb and DBLP workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import emit, format_table, query_runtime_comparison
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_imdb_query_runtime(benchmark, imdb_squid, imdb_registry):
+    rows = benchmark.pedantic(
+        lambda: query_runtime_comparison(imdb_squid, imdb_registry),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig11a_imdb",
+        format_table(
+            rows, title="Fig 11(a) IMDb: actual vs abduced query runtime (s)"
+        ),
+    )
+    assert rows
+    # abduced queries are rarely slower than the original by a large factor
+    slow = [
+        row
+        for row in rows
+        if row["abduced_seconds"] > 25 * max(row["actual_seconds"], 1e-4)
+    ]
+    assert len(slow) <= max(2, len(rows) // 4), slow
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_dblp_query_runtime(benchmark, dblp_squid, dblp_registry):
+    rows = benchmark.pedantic(
+        lambda: query_runtime_comparison(dblp_squid, dblp_registry),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig11b_dblp",
+        format_table(
+            rows, title="Fig 11(b) DBLP: actual vs abduced query runtime (s)"
+        ),
+    )
+    assert rows

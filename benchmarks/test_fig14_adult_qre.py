@@ -1,0 +1,61 @@
+"""Figure 14: Adult query reverse engineering — SQuID vs TALOS.
+
+Both systems receive the entire query output (closed world) for 20
+randomized Adult queries.  The paper's findings to reproduce: both reach
+(near-)perfect f-scores; SQuID produces close-to-intended predicate
+counts while TALOS can blow up; SQuID's discovery time degrades with
+large input cardinalities (it retrieves properties per example).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TalosBaseline
+from repro.eval import accuracy, emit, format_table, squid_qre
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_adult_qre(benchmark, adult_db, adult_squid, adult_registry, adult_table):
+    talos = TalosBaseline()
+
+    def run():
+        rows = []
+        for workload in sorted(
+            adult_registry, key=lambda w: w.cardinality(adult_db)
+        ):
+            outcome = squid_qre(adult_squid, workload)
+            intended = workload.ground_truth_keys(adult_db)
+            talos_result = talos.reverse_engineer(
+                adult_db, "adult", "adult", intended, table=adult_table
+            )
+            talos_score = accuracy(talos_result.predicted_keys, intended)
+            rows.append(
+                {
+                    "qid": workload.qid,
+                    "cardinality": outcome.cardinality,
+                    "actual_preds": outcome.actual_predicates,
+                    "squid_preds": outcome.squid_predicates,
+                    "talos_preds": talos_result.num_predicates,
+                    "squid_seconds": outcome.squid_seconds,
+                    "talos_seconds": talos_result.fit_seconds,
+                    "squid_f": outcome.squid_f_score,
+                    "talos_f": talos_score.f_score,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig14_adult_qre",
+        format_table(rows, title="Fig 14 Adult QRE: SQuID vs TALOS"),
+    )
+    squid_f = [row["squid_f"] for row in rows]
+    talos_f = [row["talos_f"] for row in rows]
+    # both systems achieve (near-)perfect accuracy on Adult
+    assert sum(squid_f) / len(squid_f) > 0.95
+    assert sum(talos_f) / len(talos_f) > 0.95
+    # SQuID's queries stay far smaller than TALOS's across the board
+    assert sum(r["squid_preds"] for r in rows) < sum(
+        r["talos_preds"] for r in rows
+    )

@@ -1,0 +1,152 @@
+"""Figure 16: SQuID vs Positive-and-Unlabeled learning on Adult.
+
+(a) accuracy as the fraction of positive data used as examples grows,
+    for SQuID, PU(DT), and PU(RF) — the paper finds PU needs a large
+    fraction (> 70%) of the query result to match SQuID, favouring
+    precision while recall collapses at low fractions;
+(b) total train+predict time as the dataset is replicated — PU-learning
+    scales linearly with data size while SQuID's abduction time stays
+    largely flat (it consults precomputed αDB statistics).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import PuLearner, adult_features
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import adult
+from repro.eval import accuracy, emit, format_table
+
+FRACTIONS = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0]
+SCALE_FACTORS = [1, 2, 3, 4]
+
+
+def _positive_sample(intended, fraction, seed=0):
+    rng = np.random.default_rng(seed)
+    ordered = sorted(intended)
+    size = max(2, int(round(len(ordered) * fraction)))
+    size = min(size, len(ordered))
+    return [int(k) for k in rng.choice(ordered, size=size, replace=False)]
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16a_accuracy_vs_fraction(
+    benchmark, adult_db, adult_squid, adult_registry, adult_table
+):
+    # pick mid-sized queries so fractions are meaningful
+    workloads = [
+        w for w in adult_registry if 30 <= w.cardinality(adult_db) <= 600
+    ][:5]
+    assert workloads, "no mid-sized Adult queries sampled"
+
+    def run():
+        rows = []
+        for fraction in FRACTIONS:
+            agg = {
+                "squid": [], "pu_dt": [], "pu_rf": [],
+                "squid_r": [], "pu_dt_r": [], "pu_rf_r": [],
+            }
+            for workload in workloads:
+                intended = workload.ground_truth_keys(adult_db)
+                sample = _positive_sample(intended, fraction)
+                names = {
+                    row[0]: row[1]
+                    for row in zip(
+                        adult_db.relation("adult").column("id"),
+                        adult_db.relation("adult").column("name"),
+                    )
+                }
+                examples = [names[k] for k in sample]
+                config = SquidConfig.optimistic().with_overrides(
+                    max_example_warn=len(examples) + 1
+                )
+                result = adult_squid.discover(examples, config=config)
+                squid_score = accuracy(adult_squid.result_keys(result), intended)
+                agg["squid"].append(squid_score.f_score)
+                agg["squid_r"].append(squid_score.recall)
+                for key, estimator in (("pu_dt", "dt"), ("pu_rf", "rf")):
+                    learner = PuLearner(estimator=estimator, random_state=9)
+                    pu_result = learner.classify(adult_table, sample)
+                    score = accuracy(pu_result.predicted_keys, intended)
+                    agg[key].append(score.f_score)
+                    agg[f"{key}_r"].append(score.recall)
+            n = len(workloads)
+            rows.append(
+                {
+                    "fraction": fraction,
+                    "squid_f": sum(agg["squid"]) / n,
+                    "pu_dt_f": sum(agg["pu_dt"]) / n,
+                    "pu_rf_f": sum(agg["pu_rf"]) / n,
+                    "squid_recall": sum(agg["squid_r"]) / n,
+                    "pu_dt_recall": sum(agg["pu_dt_r"]) / n,
+                    "pu_rf_recall": sum(agg["pu_rf_r"]) / n,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig16a_pu_accuracy",
+        format_table(rows, title="Fig 16(a): accuracy vs fraction of positives"),
+    )
+    low = rows[0]
+    # SQuID is robust with few examples; PU recall collapses (§7.6)
+    assert low["squid_f"] > low["pu_dt_f"]
+    assert low["pu_dt_recall"] < 0.9
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16b_scalability(benchmark, adult_db, adult_registry):
+    """Fixed example count, growing data (the paper's Fig. 16(b) setup)."""
+    workload = adult_registry.all()[0]
+    num_examples = 25
+
+    def run():
+        rows = []
+        for factor in SCALE_FACTORS:
+            scaled = adult.replicate(adult_db, factor)
+            intended = workload.ground_truth_keys(scaled)
+            names = dict(
+                zip(
+                    scaled.relation("adult").column("id"),
+                    scaled.relation("adult").column("name"),
+                )
+            )
+            sample = _positive_sample(intended, 1.0)[:num_examples]
+            examples = [names[k] for k in sample]
+
+            # open-world abduction timing, as in Fig. 9 (no pruning pass)
+            squid = SquidSystem.build(scaled, adult.metadata(), SquidConfig())
+            start = time.perf_counter()
+            for _ in range(3):
+                squid.discover(examples)
+            squid_seconds = (time.perf_counter() - start) / 3
+
+            table = adult_features(scaled)
+            learner = PuLearner(estimator="dt", random_state=9)
+            pu_result = learner.classify(table, sample)
+            rows.append(
+                {
+                    "scale_factor": factor,
+                    "rows": len(scaled.relation("adult")),
+                    "squid_seconds": squid_seconds,
+                    "pu_seconds": pu_result.total_seconds,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig16b_pu_scalability",
+        format_table(rows, title="Fig 16(b): abduction vs PU time across scale"),
+    )
+    # SQuID consults precomputed αDB statistics: abduction stays cheap and
+    # essentially flat, while PU retrains on all rows at every scale.
+    assert all(row["squid_seconds"] < 0.25 for row in rows)
+    largest = rows[-1]
+    assert largest["pu_seconds"] > 10 * largest["squid_seconds"]
+    assert largest["pu_seconds"] >= 0.6 * rows[0]["pu_seconds"]

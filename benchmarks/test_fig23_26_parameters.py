@@ -1,0 +1,105 @@
+"""Figures 23-26 (appendix): parameter sensitivity of the abduction model.
+
+* Fig. 23 — base filter prior ρ ∈ {0.01, 0.1, 0.5} on IQ2/IQ3/IQ4/IQ11/IQ16;
+* Fig. 24 — domain-coverage penalty γ ∈ {0, 2, 5, 10} on the same queries;
+* Fig. 25 — association-strength threshold τa ∈ {0, 5} on IQ5;
+* Fig. 26 — skewness threshold τs ∈ {N/A, 0, 2, 4} on IQ1.
+
+The paper's takeaway: each parameter trades off some queries against
+others, and the Figure 21 defaults are a good middle ground.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SquidConfig
+from repro.eval import accuracy_curve, emit, format_table
+
+RHO_QUERIES = ["IQ2", "IQ3", "IQ4", "IQ11", "IQ16"]
+EXAMPLE_SIZES = [5, 10, 15]
+RUNS = 4
+
+
+def _sweep(squid, registry, qids, configs, label):
+    rows = []
+    for qid in qids:
+        workload = registry.get(qid)
+        for name, config in configs.items():
+            for point in accuracy_curve(
+                squid, workload, EXAMPLE_SIZES, runs_per_size=RUNS, config=config
+            ):
+                rows.append(
+                    {
+                        "qid": qid,
+                        label: name,
+                        "num_examples": point.num_examples,
+                        "f_score": point.f_score,
+                    }
+                )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig23-26")
+def test_fig23_rho_sensitivity(benchmark, imdb_squid, imdb_registry):
+    configs = {
+        "0.01": SquidConfig(rho=0.01),
+        "0.1": SquidConfig(rho=0.1),
+        "0.5": SquidConfig(rho=0.5),
+    }
+    rows = benchmark.pedantic(
+        lambda: _sweep(imdb_squid, imdb_registry, RHO_QUERIES, configs, "rho"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig23_rho", format_table(rows, title="Fig 23: effect of rho"))
+    assert rows
+
+
+@pytest.mark.benchmark(group="fig23-26")
+def test_fig24_gamma_sensitivity(benchmark, imdb_squid, imdb_registry):
+    configs = {
+        "0": SquidConfig(gamma=0.0),
+        "2": SquidConfig(gamma=2.0),
+        "5": SquidConfig(gamma=5.0),
+        "10": SquidConfig(gamma=10.0),
+    }
+    rows = benchmark.pedantic(
+        lambda: _sweep(imdb_squid, imdb_registry, RHO_QUERIES, configs, "gamma"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig24_gamma", format_table(rows, title="Fig 24: effect of gamma"))
+    assert rows
+
+
+@pytest.mark.benchmark(group="fig23-26")
+def test_fig25_tau_a_sensitivity(benchmark, imdb_squid, imdb_registry):
+    configs = {
+        "0": SquidConfig(tau_a=0.0),
+        "5": SquidConfig(tau_a=5.0),
+    }
+    rows = benchmark.pedantic(
+        lambda: _sweep(imdb_squid, imdb_registry, ["IQ5"], configs, "tau_a"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig25_tau_a", format_table(rows, title="Fig 25: effect of tau_a (IQ5)"))
+    assert rows
+
+
+@pytest.mark.benchmark(group="fig23-26")
+def test_fig26_tau_s_sensitivity(benchmark, imdb_squid, imdb_registry):
+    configs = {
+        "N/A": SquidConfig(tau_s=-1.0e9),  # outlier impact effectively off
+        "0": SquidConfig(tau_s=0.0),
+        "2": SquidConfig(tau_s=2.0),
+        "4": SquidConfig(tau_s=4.0),
+    }
+    rows = benchmark.pedantic(
+        lambda: _sweep(imdb_squid, imdb_registry, ["IQ1"], configs, "tau_s"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig26_tau_s", format_table(rows, title="Fig 26: effect of tau_s (IQ1)"))
+    assert rows

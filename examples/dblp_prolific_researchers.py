@@ -1,0 +1,51 @@
+"""DBLP case study (Section 7.4c): prolific database researchers.
+
+A popularity-biased list of prolific database authors — the stand-in for
+the paper's human-made list — is sampled from the synthetic DBLP data.
+SQuID receives increasing prefixes of the list and we track how precision,
+recall, and f-score evolve against the latent intent, evaluating under the
+popularity mask exactly as the paper does (footnote 14).
+
+The paper's observation reproduces: precision stays modest (public lists
+are biased; the data contains qualifying authors absent from the list)
+while recall climbs quickly — the abduced query converges to the intent.
+
+Run with::
+
+    python examples/dblp_prolific_researchers.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import case_studies, dblp
+from repro.eval import masked_accuracy
+
+
+def main() -> None:
+    print("generating synthetic DBLP and building the αDB ...")
+    db = dblp.generate(dblp.DblpSize.small())
+    squid = SquidSystem.build(db, dblp.metadata(), SquidConfig())
+
+    study = case_studies.prolific_db_researchers(db, list_size=25)
+    print(f"case study list ({len(study.examples)} names), e.g.:")
+    for name in study.examples[:5]:
+        print(f"  {name}")
+    print()
+
+    config = SquidConfig(tau_a=5.0)
+    for size in (5, 10, 15, 20, 25):
+        examples = study.examples[:size]
+        result = squid.discover(examples, config=config)
+        predicted = squid.result_keys(result)
+        score = masked_accuracy(predicted, study.intent_keys, study.mask_keys)
+        kept = ", ".join(f.notation() for f in result.abduction.selected) or "(none)"
+        print(f"|E|={size:>2}  {score}  filters: {kept}")
+
+    result = squid.discover(study.examples, config=config)
+    print("\nfinal abduced query:")
+    print(result.sql)
+
+
+if __name__ == "__main__":
+    main()

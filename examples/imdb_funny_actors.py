@@ -1,0 +1,91 @@
+"""The paper's motivating scenario (Examples 1.2/1.3): funny vs strong actors.
+
+Two example sets with identical *structure* but different *intent* are fed
+to SQuID over the synthetic IMDb database:
+
+* ET1 — physically-strong actors (Action-heavy portfolios);
+* ET2 — funny actors (Comedy-heavy portfolios).
+
+A structure-only QBE system returns the same generic query (Q3: all
+persons) for both.  SQuID's abduction instead discovers the distinguishing
+derived property — the number of Action/Comedy movies each example actor
+appeared in — and produces different Q4/Q5-style aggregate queries.
+
+Run with::
+
+    python examples/imdb_funny_actors.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import imdb
+
+
+def top_actors_by_genre(db, genre_name: str, count: int = 3):
+    """Names of the actors with the most movies of one genre."""
+    genre_rel = db.relation("genre")
+    genre_id = next(
+        genre_rel.value(rid, "id")
+        for rid in genre_rel.row_ids()
+        if genre_rel.value(rid, "name") == genre_name
+    )
+    genre_movies = {
+        mid
+        for mid, gid in zip(
+            db.relation("movietogenre").column("movie_id"),
+            db.relation("movietogenre").column("genre_id"),
+        )
+        if gid == genre_id
+    }
+    counts: Counter = Counter()
+    for pid, mid in zip(
+        db.relation("castinfo").column("person_id"),
+        db.relation("castinfo").column("movie_id"),
+    ):
+        if mid in genre_movies:
+            counts[pid] += 1
+    names = dict(
+        zip(db.relation("person").column("id"), db.relation("person").column("name"))
+    )
+    # skip duplicate display names so the example set is unambiguous here
+    chosen, seen = [], set()
+    for pid, _ in counts.most_common():
+        name = names[pid]
+        if name not in seen:
+            seen.add(name)
+            chosen.append(name)
+        if len(chosen) == count:
+            break
+    return chosen
+
+
+def main() -> None:
+    print("generating synthetic IMDb and building the αDB ...")
+    db = imdb.generate(imdb.ImdbSize.small())
+    squid = SquidSystem.build(db, imdb.metadata(), SquidConfig())
+    report = squid.adb.report
+    print(
+        f"αDB ready: {report.derived_relations} derived relations, "
+        f"{report.derived_rows} derived rows, "
+        f"{report.families} property families "
+        f"({report.total_seconds:.2f}s offline)\n"
+    )
+
+    et1 = top_actors_by_genre(db, "Action")
+    et2 = top_actors_by_genre(db, "Comedy")
+    for label, examples in (("ET1 (strong actors)", et1), ("ET2 (funny actors)", et2)):
+        print(f"=== {label}: {examples}")
+        result = squid.discover(examples)
+        print(result.explain())
+        print("abduced query:")
+        print(result.sql)
+        print("equivalent SPJA query on the original schema:")
+        print(result.original_sql)
+        print(f"result cardinality: {len(squid.result_values(result))}\n")
+
+
+if __name__ == "__main__":
+    main()

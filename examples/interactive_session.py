@@ -1,0 +1,84 @@
+"""An interactive QBE session: discovery → recommendation → refinement.
+
+Demonstrates the §9 future-direction features implemented in this
+reproduction:
+
+1. an initial discovery from two examples leaves some filter decisions
+   *borderline* (include/exclude scores close);
+2. ``recommend_examples`` suggests entities from the current result set
+   that discriminate those borderline filters;
+3. accepting a suggestion re-runs discovery with three examples and the
+   coincidental filter disappears;
+4. the underlying database then changes (a new movie is released) and
+   ``AbductionReadyDatabase.refresh`` incrementally updates only the
+   affected derived relations and statistics.
+
+Run with::
+
+    python examples/interactive_session.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SquidConfig, SquidSystem, recommend_examples
+from repro.core.recommend import borderline_decisions
+from repro.datasets import imdb
+
+
+def main() -> None:
+    print("building synthetic IMDb + αDB ...")
+    db = imdb.generate(imdb.ImdbSize.small())
+    squid = SquidSystem.build(db, imdb.metadata(), SquidConfig())
+
+    examples = ["Tom Cruise", "Nicole Kidman"]
+    print(f"\nround 1 — examples: {examples}")
+    result = squid.discover(examples)
+    print(result.explain())
+    borderline = borderline_decisions(result, factor=8.0)
+    print(f"borderline decisions: {len(borderline)}")
+
+    suggestions = recommend_examples(squid, result, k=3)
+    if suggestions:
+        print("suggested next examples:")
+        for rec in suggestions:
+            why = ", ".join(rec.discriminates) or "diversity"
+            print(f"  {rec.display}  (score {rec.score:.1f}; resolves: {why})")
+        chosen = suggestions[0].display
+        print(f"\nround 2 — accepting suggestion: {chosen!r}")
+        result = squid.discover(examples + [chosen])
+        print(result.explain())
+    else:
+        print("no informative suggestions — the abduction is already sharp")
+
+    print("\nabduced query after refinement:")
+    print(result.sql)
+
+    # --- the database changes: incremental αDB maintenance -------------
+    print("\na new co-starring movie is released; refreshing the αDB ...")
+    new_movie = 900001
+    db.insert("movie", (new_movie, "The Final Verdict", 2017, 110, 1000, 1))
+    cruise = db.hash_index("person", "name").lookup("Tom Cruise")[0]
+    kidman = db.hash_index("person", "name").lookup("Nicole Kidman")[0]
+    cruise_id = db.relation("person").value(cruise, "id")
+    kidman_id = db.relation("person").value(kidman, "id")
+    next_cast = max(db.relation("castinfo").column("id")) + 1
+    actor_role = db.hash_index("roletype", "name").lookup("Actor")[0] + 1
+    db.insert("castinfo", (next_cast, cruise_id, new_movie, actor_role))
+    db.insert("castinfo", (next_cast + 1, kidman_id, new_movie, actor_role))
+    next_mg = max(db.relation("movietogenre").column("id")) + 1
+    drama = db.relation("genre").column("name").index("Drama") + 1
+    db.insert("movietogenre", (next_mg, new_movie, drama))
+
+    report = squid.adb.refresh(["movie", "castinfo", "movietogenre"])
+    print(
+        f"refreshed {report['rematerialized_relations']} derived relations, "
+        f"{report['recomputed_families']} family statistics"
+    )
+    result = squid.discover(examples)
+    print("\nre-discovery after the update:")
+    print(result.sql)
+    print(f"result cardinality: {len(squid.result_values(result))}")
+
+
+if __name__ == "__main__":
+    main()

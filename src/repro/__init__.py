@@ -1,0 +1,67 @@
+"""repro: a reproduction of SQuID — Example-Driven Query Intent Discovery.
+
+SQuID (Fariha & Meliou, VLDB 2019) abduces the most probable SPJ query
+(with optional group-by aggregation and intersection) explaining a handful
+of user-provided example tuples, by combining precomputed semantic-property
+statistics (the abduction-ready database, αDB) with a probabilistic
+abduction model.
+
+Top-level convenience exports cover the common workflow::
+
+    from repro import SquidSystem, SquidConfig
+    from repro.datasets import imdb
+
+    db = imdb.generate(imdb.ImdbSize.small())
+    squid = SquidSystem.build(db, imdb.metadata(), SquidConfig())
+    result = squid.discover(["Eddie Murphy", "Jim Carrey", "Robin Williams"])
+    print(result.sql)
+
+Symbols are resolved lazily (PEP 562) so that light-weight subpackages can
+be imported without paying for the whole system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "AbductionReadyDatabase": ("repro.core.adb", "AbductionReadyDatabase"),
+    "AbductionResult": ("repro.core.abduction", "AbductionResult"),
+    "AdbMetadata": ("repro.core.metadata", "AdbMetadata"),
+    "Database": ("repro.relational", "Database"),
+    "DiscoveryResult": ("repro.core.squid", "DiscoveryResult"),
+    "EntitySpec": ("repro.core.metadata", "EntitySpec"),
+    "Query": ("repro.sql", "Query"),
+    "SquidConfig": ("repro.core.config", "SquidConfig"),
+    "SquidSystem": ("repro.core.squid", "SquidSystem"),
+    "format_query": ("repro.sql", "format_query"),
+    "parse_query": ("repro.sql", "parse_query"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    """Resolve top-level exports on first access."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from .core.abduction import AbductionResult
+    from .core.adb import AbductionReadyDatabase
+    from .core.config import SquidConfig
+    from .core.metadata import AdbMetadata, EntitySpec
+    from .core.squid import DiscoveryResult, SquidSystem
+    from .relational import Database
+    from .sql import Query, format_query, parse_query

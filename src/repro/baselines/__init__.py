@@ -1,0 +1,27 @@
+"""Baselines the paper compares against: TALOS-style QRE and PU-learning."""
+
+from .features import (
+    DenormalizedTable,
+    adult_features,
+    builder_for,
+    dblp_author_features,
+    dblp_publication_features,
+    imdb_movie_features,
+    imdb_person_features,
+)
+from .pulearn import PuLearner, PuResult
+from .talos import TalosBaseline, TalosResult
+
+__all__ = [
+    "DenormalizedTable",
+    "PuLearner",
+    "PuResult",
+    "TalosBaseline",
+    "TalosResult",
+    "adult_features",
+    "builder_for",
+    "dblp_author_features",
+    "dblp_publication_features",
+    "imdb_movie_features",
+    "imdb_person_features",
+]

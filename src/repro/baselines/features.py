@@ -1,0 +1,236 @@
+"""Denormalised feature tables for the learning baselines.
+
+TALOS-style QRE systems "first perform a full join among the participating
+relations and then perform classification on the denormalized table"
+(Section 7.5).  Each builder here produces such a table for one entity
+type: possibly several rows per entity (one per fact combination), plus
+the list of entity keys aligned with the rows.
+
+The builders deliberately mirror the labelling weakness the paper
+documents for IQ1: a row is labelled positive when its *entity* is in the
+example set, regardless of which associated movie/publication the row
+refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..datasets.adult import ATTRIBUTE_COLUMNS
+from ..ml.encoding import FeatureMatrix, encode_table
+from ..relational.database import Database
+from ..relational.types import ColumnType
+
+
+@dataclass
+class DenormalizedTable:
+    """Feature rows plus the entity key of each row."""
+
+    entity_keys: List[Any]
+    features: FeatureMatrix
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.entity_keys)
+
+
+def adult_features(db: Database) -> DenormalizedTable:
+    """Single-relation features: the Adult attribute columns."""
+    relation = db.relation("adult")
+    names = [name for name, _ in ATTRIBUTE_COLUMNS]
+    kinds = [
+        "numeric" if ctype is ColumnType.INT else "categorical"
+        for _, ctype in ATTRIBUTE_COLUMNS
+    ]
+    rows = []
+    keys = []
+    for rid in relation.row_ids():
+        keys.append(relation.value(rid, "id"))
+        rows.append(tuple(relation.value(rid, name) for name in names))
+    return DenormalizedTable(entity_keys=keys, features=encode_table(rows, names, kinds))
+
+
+def _dim_name_map(db: Database, table: str, label: str = "name") -> Dict[Any, str]:
+    relation = db.relation(table)
+    return dict(zip(relation.column("id"), relation.column(label)))
+
+
+def imdb_person_features(db: Database) -> DenormalizedTable:
+    """person ⋈ castinfo ⋈ movie ⋈ movietogenre ⋈ genre rows."""
+    person = db.relation("person")
+    movie = db.relation("movie")
+    countries = _dim_name_map(db, "country")
+    genres = _dim_name_map(db, "genre")
+    roles = _dim_name_map(db, "roletype")
+    movie_year = dict(zip(movie.column("id"), movie.column("year")))
+    movie_title = dict(zip(movie.column("id"), movie.column("title")))
+    movie_genres: Dict[Any, List[str]] = {}
+    mtg = db.relation("movietogenre")
+    for mid, gid in zip(mtg.column("movie_id"), mtg.column("genre_id")):
+        movie_genres.setdefault(mid, []).append(genres[gid])
+    person_attrs = {
+        person.value(rid, "id"): (
+            person.value(rid, "gender"),
+            person.value(rid, "birth_year"),
+            countries.get(person.value(rid, "country_id")),
+        )
+        for rid in person.row_ids()
+    }
+    names = ["gender", "birth_year", "person_country", "role", "movie_title",
+             "movie_year", "genre"]
+    kinds = ["categorical", "numeric", "categorical", "categorical",
+             "categorical", "numeric", "categorical"]
+    rows, keys = [], []
+    cast = db.relation("castinfo")
+    for rid in cast.row_ids():
+        pid = cast.value(rid, "person_id")
+        mid = cast.value(rid, "movie_id")
+        role = roles.get(cast.value(rid, "role_id"))
+        gender, birth, pcountry = person_attrs[pid]
+        for genre in movie_genres.get(mid, [None]):
+            keys.append(pid)
+            rows.append(
+                (gender, birth, pcountry, role, movie_title[mid],
+                 movie_year[mid], genre)
+            )
+    # persons with no cast rows still need representation
+    appearing = set(keys)
+    for pid, (gender, birth, pcountry) in person_attrs.items():
+        if pid not in appearing:
+            keys.append(pid)
+            rows.append((gender, birth, pcountry, None, None, None, None))
+    return DenormalizedTable(entity_keys=keys, features=encode_table(rows, names, kinds))
+
+
+def imdb_movie_features(db: Database) -> DenormalizedTable:
+    """movie ⋈ (genre, country, company) ⋈ castinfo ⋈ person rows."""
+    movie = db.relation("movie")
+    genres = _dim_name_map(db, "genre")
+    countries = _dim_name_map(db, "country")
+    companies = _dim_name_map(db, "company")
+    movie_genres: Dict[Any, List[str]] = {}
+    for mid, gid in zip(
+        db.relation("movietogenre").column("movie_id"),
+        db.relation("movietogenre").column("genre_id"),
+    ):
+        movie_genres.setdefault(mid, []).append(genres[gid])
+    movie_country: Dict[Any, str] = {}
+    for mid, cid in zip(
+        db.relation("movietocountry").column("movie_id"),
+        db.relation("movietocountry").column("country_id"),
+    ):
+        movie_country.setdefault(mid, countries[cid])
+    movie_company: Dict[Any, str] = {}
+    for mid, cid in zip(
+        db.relation("movietocompany").column("movie_id"),
+        db.relation("movietocompany").column("company_id"),
+    ):
+        movie_company.setdefault(mid, companies[cid])
+    person = db.relation("person")
+    person_name = dict(zip(person.column("id"), person.column("name")))
+    cast_by_movie: Dict[Any, List[Any]] = {}
+    cast = db.relation("castinfo")
+    for pid, mid in zip(cast.column("person_id"), cast.column("movie_id")):
+        cast_by_movie.setdefault(mid, []).append(pid)
+
+    names = ["year", "runtime", "genre", "country", "company", "cast_member"]
+    kinds = ["numeric", "numeric", "categorical", "categorical",
+             "categorical", "categorical"]
+    rows, keys = [], []
+    for rid in movie.row_ids():
+        mid = movie.value(rid, "id")
+        year = movie.value(rid, "year")
+        runtime = movie.value(rid, "runtime")
+        country = movie_country.get(mid)
+        company = movie_company.get(mid)
+        cast_members = cast_by_movie.get(mid, [None])
+        for genre in movie_genres.get(mid, [None]):
+            for pid in cast_members:
+                keys.append(mid)
+                rows.append(
+                    (year, runtime, genre, country, company,
+                     person_name.get(pid) if pid is not None else None)
+                )
+    return DenormalizedTable(entity_keys=keys, features=encode_table(rows, names, kinds))
+
+
+def dblp_author_features(db: Database) -> DenormalizedTable:
+    """author ⋈ authortopub ⋈ publication ⋈ venue rows."""
+    author = db.relation("author")
+    countries = _dim_name_map(db, "country")
+    venues = _dim_name_map(db, "venue")
+    pub = db.relation("publication")
+    pub_year = dict(zip(pub.column("id"), pub.column("year")))
+    pub_venue = dict(zip(pub.column("id"), pub.column("venue_id")))
+    author_country = {
+        author.value(rid, "id"): countries.get(author.value(rid, "country_id"))
+        for rid in author.row_ids()
+    }
+    names = ["author_country", "venue", "pub_year"]
+    kinds = ["categorical", "categorical", "numeric"]
+    rows, keys = [], []
+    a2p = db.relation("authortopub")
+    for aid, pid in zip(a2p.column("author_id"), a2p.column("pub_id")):
+        keys.append(aid)
+        rows.append(
+            (author_country[aid], venues.get(pub_venue[pid]), pub_year[pid])
+        )
+    appearing = set(keys)
+    for aid, country in author_country.items():
+        if aid not in appearing:
+            keys.append(aid)
+            rows.append((country, None, None))
+    return DenormalizedTable(entity_keys=keys, features=encode_table(rows, names, kinds))
+
+
+def dblp_publication_features(db: Database) -> DenormalizedTable:
+    """publication ⋈ venue ⋈ authortopub ⋈ author rows."""
+    pub = db.relation("publication")
+    venues = _dim_name_map(db, "venue")
+    countries = _dim_name_map(db, "country")
+    author = db.relation("author")
+    author_name = dict(zip(author.column("id"), author.column("name")))
+    author_country = {
+        author.value(rid, "id"): countries.get(author.value(rid, "country_id"))
+        for rid in author.row_ids()
+    }
+    authors_by_pub: Dict[Any, List[Any]] = {}
+    a2p = db.relation("authortopub")
+    for aid, pid in zip(a2p.column("author_id"), a2p.column("pub_id")):
+        authors_by_pub.setdefault(pid, []).append(aid)
+    names = ["venue", "year", "author", "author_country"]
+    kinds = ["categorical", "numeric", "categorical", "categorical"]
+    rows, keys = [], []
+    for rid in pub.row_ids():
+        pid = pub.value(rid, "id")
+        venue = venues.get(pub.value(rid, "venue_id"))
+        year = pub.value(rid, "year")
+        for aid in authors_by_pub.get(pid, [None]):
+            keys.append(pid)
+            rows.append(
+                (
+                    venue,
+                    year,
+                    author_name.get(aid) if aid is not None else None,
+                    author_country.get(aid) if aid is not None else None,
+                )
+            )
+    return DenormalizedTable(entity_keys=keys, features=encode_table(rows, names, kinds))
+
+
+def builder_for(dataset: str, entity_table: str):
+    """The denormaliser for one (dataset, entity) pair."""
+    table = {
+        ("adult", "adult"): adult_features,
+        ("imdb", "person"): imdb_person_features,
+        ("imdb", "movie"): imdb_movie_features,
+        ("dblp", "author"): dblp_author_features,
+        ("dblp", "publication"): dblp_publication_features,
+    }
+    try:
+        return table[(dataset, entity_table)]
+    except KeyError:
+        raise KeyError(
+            f"no feature builder for dataset={dataset!r}, entity={entity_table!r}"
+        ) from None

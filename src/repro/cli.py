@@ -1,0 +1,150 @@
+"""Command-line interface for the SQuID reproduction.
+
+Three subcommands cover the interactive workflow::
+
+    repro-squid discover --dataset imdb --examples "Tom Cruise;Nicole Kidman"
+    repro-squid workloads --dataset dblp
+    repro-squid stats --dataset adult
+
+(or ``python -m repro.cli ...`` without the console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .core.config import SquidConfig
+from .core.recommend import recommend_examples
+from .core.squid import SquidSystem
+from .datasets import adult, dblp, imdb
+from .eval.reporting import format_table
+from .workloads import adult_queries, dblp_queries, imdb_queries
+
+_PROFILES = ("small", "base")
+
+
+def _build_dataset(name: str, profile: str):
+    """(database, metadata, workload registry) for one dataset name."""
+    if name == "imdb":
+        size = imdb.ImdbSize.small() if profile == "small" else imdb.ImdbSize.base()
+        db = imdb.generate(size)
+        return db, imdb.metadata(), imdb_queries.build_registry()
+    if name == "dblp":
+        size = dblp.DblpSize.small() if profile == "small" else dblp.DblpSize.base()
+        db = dblp.generate(size)
+        return db, dblp.metadata(), dblp_queries.build_registry()
+    if name == "adult":
+        size = adult.AdultSize.small() if profile == "small" else adult.AdultSize.base()
+        db = adult.generate(size)
+        return db, adult.metadata(), adult_queries.generate_queries(db, count=20)
+    raise SystemExit(f"unknown dataset {name!r} (choose imdb, dblp, adult)")
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    db, metadata, _ = _build_dataset(args.dataset, args.profile)
+    examples = [part.strip() for part in args.examples.split(";") if part.strip()]
+    if not examples:
+        print("no examples given (use --examples 'A;B;C')", file=sys.stderr)
+        return 2
+    config = SquidConfig(rho=args.rho, tau_a=args.tau_a)
+    start = time.perf_counter()
+    squid = SquidSystem.build(db, metadata, config)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = squid.discover(examples)
+    discover_seconds = time.perf_counter() - start
+
+    print(f"offline αDB build: {build_seconds:.2f}s; discovery: "
+          f"{discover_seconds * 1000:.1f}ms\n")
+    print(result.explain())
+    print("\nabduced query (αDB form):")
+    print(result.sql)
+    print("\nequivalent query on the original schema:")
+    print(result.original_sql)
+    values = squid.result_values(result)
+    print(f"\nresult ({len(values)} tuples):")
+    for value in sorted(map(str, values))[: args.limit]:
+        print(f"  {value}")
+    if len(values) > args.limit:
+        print(f"  ... ({len(values) - args.limit} more)")
+    if args.recommend:
+        suggestions = recommend_examples(squid, result, k=args.recommend)
+        if suggestions:
+            print("\nsuggested additional examples (sharpen borderline filters):")
+            for rec in suggestions:
+                why = ", ".join(rec.discriminates) or "diversity"
+                print(f"  {rec.display}  [{why}]")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    db, _, registry = _build_dataset(args.dataset, args.profile)
+    rows = []
+    for workload in registry:
+        rows.append(
+            {
+                "qid": workload.qid,
+                "cardinality": workload.cardinality(db),
+                "joins": workload.num_joins,
+                "selections": workload.num_selections,
+                "description": workload.description[:60],
+            }
+        )
+    print(format_table(rows, title=f"{args.dataset} benchmark workloads"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db, metadata, _ = _build_dataset(args.dataset, args.profile)
+    squid = SquidSystem.build(db, metadata)
+    summary = squid.adb.size_summary()
+    rows = [{"metric": key, "value": value} for key, value in summary.items()]
+    print(format_table(rows, title=f"{args.dataset} αDB statistics"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-squid",
+        description="SQuID reproduction: query intent discovery by example",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    discover = sub.add_parser("discover", help="abduce a query from examples")
+    discover.add_argument("--dataset", required=True)
+    discover.add_argument("--examples", required=True,
+                          help="semicolon-separated example values")
+    discover.add_argument("--profile", choices=_PROFILES, default="small")
+    discover.add_argument("--rho", type=float, default=0.1)
+    discover.add_argument("--tau-a", dest="tau_a", type=float, default=5.0)
+    discover.add_argument("--limit", type=int, default=25)
+    discover.add_argument("--recommend", type=int, default=0,
+                          help="also suggest N further examples")
+    discover.set_defaults(func=_cmd_discover)
+
+    workloads = sub.add_parser("workloads", help="list benchmark queries")
+    workloads.add_argument("--dataset", required=True)
+    workloads.add_argument("--profile", choices=_PROFILES, default="small")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    stats = sub.add_parser("stats", help="show αDB statistics")
+    stats.add_argument("--dataset", required=True)
+    stats.add_argument("--profile", choices=_PROFILES, default="small")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Query abduction — Algorithm 1 and the query posterior (Section 4/6.2).
+
+For each minimal valid filter φi (encoding context xi) the algorithm
+compares, per Equation (5):
+
+* ``include(φi) = Pr(φi) · Pr(xi | φi)`` with ``Pr(xi | φi) = 1``;
+* ``exclude(φi) = Pr(φ̄i) · Pr(xi | φ̄i)`` with
+  ``Pr(xi | φ̄i) ≈ ψ(φi)^|E|``;
+
+and includes φi iff ``include > exclude`` (ties are dropped, following the
+paper's Occam's-razor note after Theorem 1).  Theorem 1 guarantees this
+per-filter rule maximises the query posterior; a brute-force check over
+all 2^|Φ| subsets backs this up in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import SquidConfig
+from .priors import PriorBreakdown, family_theta_map, filter_prior
+from .properties import Filter
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """The abduction verdict for one filter, with full provenance."""
+
+    filt: Filter
+    prior: PriorBreakdown
+    include_score: float
+    exclude_score: float
+
+    @property
+    def included(self) -> bool:
+        """Strict comparison: ties are excluded (Occam's razor)."""
+        return self.include_score > self.exclude_score
+
+
+@dataclass
+class AbductionResult:
+    """Outcome of Algorithm 1 on one candidate base query."""
+
+    decisions: List[FilterDecision]
+    example_count: int
+
+    @property
+    def selected(self) -> List[Filter]:
+        """The abduced filter set ϕ ⊆ Φ."""
+        return [d.filt for d in self.decisions if d.included]
+
+    @property
+    def rejected(self) -> List[Filter]:
+        """Filters deemed coincidental."""
+        return [d.filt for d in self.decisions if not d.included]
+
+    def log_posterior(self) -> float:
+        """Unnormalised log posterior of the abduced query.
+
+        Per Equation (5): Σ_i log max(include_i, exclude_i) minus
+        log ψ(Φ) (approximated under filter independence as Σ log ψ(φi)),
+        dropping the normalisation constant K.  Used only to *compare*
+        candidate base queries, where constants cancel.
+        """
+        total = 0.0
+        for decision in self.decisions:
+            best = max(decision.include_score, decision.exclude_score)
+            total += math.log(best) if best > 0.0 else -1e9
+            psi = decision.filt.selectivity
+            total -= math.log(psi) if psi > 0.0 else -1e9
+        return total
+
+
+def posterior_scores(
+    filt: Filter,
+    prior: PriorBreakdown,
+    example_count: int,
+) -> Tuple[float, float]:
+    """(include, exclude) scores of one filter event (Equation 5)."""
+    pr = prior.prior
+    include = pr * 1.0
+    exclude = (1.0 - pr) * filt.selectivity**example_count
+    return include, exclude
+
+
+def abduce(
+    filters: Sequence[Filter],
+    example_count: int,
+    config: Optional[SquidConfig] = None,
+) -> AbductionResult:
+    """Algorithm 1: independently decide inclusion for every filter.
+
+    Runs in O(|Φ|) after the per-family Θ_A distributions are grouped
+    once; each decision uses only that filter's prior and selectivity, as
+    Theorem 1 requires.
+    """
+    config = config or SquidConfig()
+    thetas = family_theta_map(filters)
+    decisions: List[FilterDecision] = []
+    for filt in filters:
+        prior = filter_prior(filt, thetas.get(filt.family.key, []), config)
+        include, exclude = posterior_scores(filt, prior, example_count)
+        decisions.append(
+            FilterDecision(
+                filt=filt,
+                prior=prior,
+                include_score=include,
+                exclude_score=exclude,
+            )
+        )
+    return AbductionResult(decisions=decisions, example_count=example_count)
+
+
+def brute_force_best_subset(
+    filters: Sequence[Filter],
+    example_count: int,
+    config: Optional[SquidConfig] = None,
+) -> Tuple[Tuple[int, ...], float]:
+    """Exhaustive 2^|Φ| search for the posterior-maximising filter subset.
+
+    Exists to validate Theorem 1 in tests; never used in the pipeline.
+    Returns the lexicographically-smallest optimal index subset and its
+    unnormalised log posterior.
+    """
+    config = config or SquidConfig()
+    thetas = family_theta_map(filters)
+    scored = []
+    for filt in filters:
+        prior = filter_prior(filt, thetas.get(filt.family.key, []), config)
+        include, exclude = posterior_scores(filt, prior, example_count)
+        scored.append((include, exclude))
+
+    def log_or_floor(x: float) -> float:
+        return math.log(x) if x > 0.0 else -1e9
+
+    best_subset: Tuple[int, ...] = ()
+    best_score = -math.inf
+    n = len(filters)
+    for mask in range(2**n):
+        subset = tuple(i for i in range(n) if mask & (1 << i))
+        score = 0.0
+        for i, (include, exclude) in enumerate(scored):
+            score += log_or_floor(include if i in subset else exclude)
+        if score > best_score + 1e-12:
+            best_score = score
+            best_subset = subset
+    return best_subset, best_score

@@ -1,0 +1,193 @@
+"""Entity disambiguation (§6.1.1): pick the most mutually-similar mapping.
+
+An example string may match several entities (the paper's "Titanic"
+scenario: four films share the title).  The key insight is that "the
+provided examples are more likely to be alike", so SQuID selects the
+assignment of examples to entities that maximises the semantic
+similarities across the example set: shared basic property values, and —
+for derived properties — higher shared association strength.
+
+With few examples the full assignment space is small, so an exhaustive
+search over combinations is feasible; beyond a configurable cap a greedy
+per-example resolution against the unambiguous core is used instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .adb import AbductionReadyDatabase
+from .config import SquidConfig
+from .lookup import EntityMatch
+from .properties import FamilyKind, PropertyFamily
+from .statistics import NumericStats
+
+
+@dataclass
+class DisambiguationResult:
+    """The chosen assignment and its similarity score."""
+
+    keys: List[Any]
+    score: float
+    considered: int
+    """How many complete assignments were scored."""
+
+
+def disambiguate(
+    adb: AbductionReadyDatabase,
+    match: EntityMatch,
+    config: Optional[SquidConfig] = None,
+) -> DisambiguationResult:
+    """Resolve each example to one entity key, maximising similarity."""
+    config = config or adb.config
+    candidates = [list(dict.fromkeys(options)) for options in match.candidates]
+    if any(not options for options in candidates):
+        raise ValueError("an example has no candidate entities")
+
+    if not config.disambiguate or all(len(c) == 1 for c in candidates):
+        keys = [options[0] for options in candidates]
+        return DisambiguationResult(keys=keys, score=0.0, considered=1)
+
+    total = 1
+    for options in candidates:
+        total *= len(options)
+    if total <= config.max_disambiguation_combinations:
+        return _exhaustive(adb, match, candidates, total)
+    return _greedy(adb, match, candidates)
+
+
+def _profiles(
+    adb: AbductionReadyDatabase, entity_table: str, key: Any
+) -> Dict[Tuple[str, str], Dict[Any, float]]:
+    """Property profile of one entity: family key -> value -> θ."""
+    out: Dict[Tuple[str, str], Dict[Any, float]] = {}
+    for family in adb.families_for(entity_table):
+        props = adb.entity_properties(family, key)
+        if props:
+            out[family.key] = props
+    return out
+
+
+def _numeric_spans(
+    adb: AbductionReadyDatabase, entity_table: str
+) -> Dict[Tuple[str, str], float]:
+    """Active-domain span of every numeric family (for proximity scores)."""
+    spans: Dict[Tuple[str, str], float] = {}
+    for family in adb.families_for(entity_table):
+        if family.kind is not FamilyKind.DIRECT_NUMERIC:
+            continue
+        stats = adb.statistics.get(family)
+        if isinstance(stats, NumericStats):
+            low, high = stats.domain_min, stats.domain_max
+            if low is not None and high is not None and high > low:
+                spans[family.key] = high - low
+    return spans
+
+
+def _similarity(
+    profiles: Sequence[Dict[Tuple[str, str], Dict[Any, float]]],
+    numeric_spans: Dict[Tuple[str, str], float],
+) -> float:
+    """Similarity of a set of entity profiles.
+
+    One point per (family, value) shared by *all* entities; shared derived
+    values additionally contribute their minimum association strength, so
+    assignments that strengthen shared associations win (the paper's
+    guidance for derived properties).  Numeric attributes contribute by
+    *proximity*: 1 − spread/domain-span, which is what pins "Titanic" to
+    the 1997 film next to 1994/1999 examples (§6.1.1).
+    """
+    if not profiles:
+        return 0.0
+    first, rest = profiles[0], profiles[1:]
+    score = 0.0
+    for fam_key, values in first.items():
+        other_maps = [p.get(fam_key) for p in rest]
+        if any(m is None for m in other_maps):
+            continue
+        span = numeric_spans.get(fam_key)
+        if span is not None:
+            observed = [next(iter(values))]
+            observed += [next(iter(m)) for m in other_maps if m]
+            spread = max(observed) - min(observed)
+            score += max(0.0, 1.0 - spread / span)
+            continue
+        for value, theta in values.items():
+            thetas = [theta]
+            shared = True
+            for m in other_maps:
+                assert m is not None
+                if value not in m:
+                    shared = False
+                    break
+                thetas.append(m[value])
+            if shared:
+                score += 1.0 + min(thetas)
+    return score
+
+
+def _exhaustive(
+    adb: AbductionReadyDatabase,
+    match: EntityMatch,
+    candidates: List[List[Any]],
+    total: int,
+) -> DisambiguationResult:
+    table = match.entity.table
+    spans = _numeric_spans(adb, table)
+    cache: Dict[Any, Dict[Tuple[str, str], Dict[Any, float]]] = {}
+
+    def profile(key: Any):
+        if key not in cache:
+            cache[key] = _profiles(adb, table, key)
+        return cache[key]
+
+    best_keys: Optional[List[Any]] = None
+    best_score = -1.0
+    for assignment in itertools.product(*candidates):
+        if len(set(assignment)) != len(assignment):
+            continue  # two examples must not collapse onto one entity
+        score = _similarity([profile(key) for key in assignment], spans)
+        if score > best_score:
+            best_score = score
+            best_keys = list(assignment)
+    if best_keys is None:  # all assignments collapsed; allow duplicates
+        assignment = next(itertools.product(*candidates))
+        best_keys = list(assignment)
+        best_score = 0.0
+    return DisambiguationResult(keys=best_keys, score=best_score, considered=total)
+
+
+def _greedy(
+    adb: AbductionReadyDatabase,
+    match: EntityMatch,
+    candidates: List[List[Any]],
+) -> DisambiguationResult:
+    """Resolve ambiguous examples one by one against the unambiguous core."""
+    table = match.entity.table
+    spans = _numeric_spans(adb, table)
+    resolved: List[Optional[Any]] = [
+        options[0] if len(options) == 1 else None for options in candidates
+    ]
+    anchor_profiles = [
+        _profiles(adb, table, key) for key in resolved if key is not None
+    ]
+    considered = 0
+    for i, options in enumerate(candidates):
+        if resolved[i] is not None:
+            continue
+        best_key, best_score = options[0], -1.0
+        for key in options:
+            considered += 1
+            score = _similarity(
+                anchor_profiles + [_profiles(adb, table, key)], spans
+            )
+            if score > best_score:
+                best_score = score
+                best_key = key
+        resolved[i] = best_key
+        anchor_profiles.append(_profiles(adb, table, best_key))
+    keys = [key for key in resolved if key is not None]
+    final = _similarity([_profiles(adb, table, key) for key in keys], spans)
+    return DisambiguationResult(keys=keys, score=final, considered=considered)

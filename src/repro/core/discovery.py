@@ -1,0 +1,561 @@
+"""Automatic discovery of property families from the schema graph (§5).
+
+Given the administrator metadata (entity tables, dimension tables, direct
+property attributes), this module walks the key--foreign-key schema graph to
+discover, for every entity E:
+
+* **direct** families — declared attributes on E's own table (categorical
+  or numeric by column type);
+* **fk-dim** families — FK attributes of E pointing at dimension tables
+  (e.g. ``person.country_id -> country``);
+* **fact-dim** families — dimensions one fact table away
+  (``movie —movietogenre→ genre``), the paper's basic properties stored in
+  separate relations;
+* **derived-entity** families — entities one fact table away with a count
+  (``person —castinfo→ movie``), split by a declared qualifier where one
+  exists (role: "movies as Actor" vs "movies as Director");
+* **derived-dim** families — depth-2 derived properties: aggregates of a
+  basic property of the associated entity (``persontogenre``: the number
+  of movies of each genre a person appeared in), discovered through paths
+  of at most ``max_fact_depth`` fact tables.
+
+Fact tables themselves are *not* declared: any table holding foreign keys
+into two or more entity/dimension tables and not itself declared as entity
+or dimension is treated as a fact table, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.schema import ForeignKey, TableSchema
+from ..relational.types import ColumnType
+from .config import SquidConfig
+from .metadata import AdbMetadata, DimensionSpec, EntitySpec, QualifierSpec
+from .properties import FamilyKind, PropertyFamily
+
+
+@dataclass(frozen=True)
+class FactLink:
+    """One fact table connecting two annotated tables."""
+
+    fact_table: str
+    left_table: str
+    left_col: str
+    right_table: str
+    right_col: str
+
+
+@dataclass(frozen=True)
+class DerivedRecipe:
+    """Instructions for materialising one derived αDB relation.
+
+    ``kind`` selects the computation:
+
+    * ``entity``      — count fact rows per (entity, other-entity) pair,
+                        optionally restricted to one qualifier value;
+    * ``mid_attr``    — count per (entity, attribute value of mid entity);
+    * ``mid_fk``      — count per (entity, FK-dimension value of mid entity);
+    * ``chain``       — count per (entity, dimension value) through a second
+                        fact table (the paper's Q6 / persontogenre).
+    """
+
+    name: str
+    kind: str
+    entity: str
+    entity_key_col: str
+    value_col: str
+    fact_table: str
+    fact_entity_col: str
+    fact_mid_col: str = ""
+    mid_table: str = ""
+    mid_key: str = ""
+    mid_attr: str = ""
+    second_fact_table: str = ""
+    second_fact_mid_col: str = ""
+    second_fact_dim_col: str = ""
+    qualifier_col: str = ""
+    qualifier_value: Any = None
+    value_ctype: ColumnType = ColumnType.INT
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything the offline build derives from schema + metadata."""
+
+    families: List[PropertyFamily]
+    recipes: List[DerivedRecipe]
+    fact_tables: List[str]
+
+
+def _fk_targets(schema: TableSchema) -> List[ForeignKey]:
+    return list(schema.foreign_keys)
+
+
+def _fact_tables(database: Database, metadata: AdbMetadata) -> List[str]:
+    """Tables referencing annotated tables, themselves unannotated.
+
+    A table qualifies with two or more FK references (it associates two
+    annotated tables), or with a single FK reference plus declared
+    property attributes of its own (a satellite table such as the paper's
+    ``research(aid, interest)``).
+    """
+    annotated = {e.table for e in metadata.entities} | {
+        d.table for d in metadata.dimensions
+    }
+    facts = []
+    for name, schema in database.schema.tables.items():
+        if name in annotated:
+            continue
+        refs = [fk for fk in schema.foreign_keys if fk.ref_table in annotated]
+        if len(refs) >= 2:
+            facts.append(name)
+        elif len(refs) == 1 and metadata.properties_of(name):
+            facts.append(name)
+    return sorted(facts)
+
+
+def _dim_label(metadata: AdbMetadata, table: str) -> Tuple[str, str]:
+    dim = metadata.dimension(table)
+    assert dim is not None
+    return dim.key, dim.label
+
+
+def discover_families(
+    database: Database,
+    metadata: AdbMetadata,
+    config: Optional[SquidConfig] = None,
+) -> DiscoveryResult:
+    """Walk the schema graph and produce all property families + recipes."""
+    config = config or SquidConfig()
+    metadata.validate(database)
+    fact_tables = _fact_tables(database, metadata)
+    families: List[PropertyFamily] = []
+    recipes: List[DerivedRecipe] = []
+
+    links = _collect_links(database, metadata, fact_tables)
+    for entity in metadata.entities:
+        families.extend(_direct_families(database, metadata, entity))
+        families.extend(_fk_dim_families(database, metadata, entity))
+        families.extend(_fact_attr_families(database, metadata, entity, fact_tables))
+        fams, recs = _association_families(
+            database, metadata, entity, links, config
+        )
+        families.extend(fams)
+        recipes.extend(recs)
+    families = _uniquify_attributes(families)
+    return DiscoveryResult(families=families, recipes=recipes, fact_tables=fact_tables)
+
+
+def _uniquify_attributes(families: List[PropertyFamily]) -> List[PropertyFamily]:
+    """Qualify duplicate attribute labels so family keys stay unique.
+
+    Collisions arise naturally: ``person.country_id`` (an FK dimension)
+    and the chain-derived "countries of a person's movies" both want the
+    label ``country``.  The derived family is renamed to
+    ``movie.country``-style path notation; remaining clashes get a
+    numeric suffix.
+    """
+    from dataclasses import replace
+
+    seen: set = set()
+    out: List[PropertyFamily] = []
+    for fam in families:
+        candidate = fam
+        if candidate.key in seen and candidate.mid_table:
+            candidate = replace(
+                candidate, attribute=f"{candidate.mid_table}.{candidate.attribute}"
+            )
+        counter = 2
+        base_attr = candidate.attribute
+        while candidate.key in seen:
+            candidate = replace(candidate, attribute=f"{base_attr}~{counter}")
+            counter += 1
+        seen.add(candidate.key)
+        out.append(candidate)
+    return out
+
+
+def _collect_links(
+    database: Database, metadata: AdbMetadata, fact_tables: Sequence[str]
+) -> List[FactLink]:
+    """All (left, right) table pairs each fact table connects."""
+    links: List[FactLink] = []
+    for fact in fact_tables:
+        schema = database.relation(fact).schema
+        refs = [
+            fk
+            for fk in schema.foreign_keys
+            if metadata.is_entity(fk.ref_table) or metadata.is_dimension(fk.ref_table)
+        ]
+        qualifier = metadata.qualifier_for(fact)
+        for i, left in enumerate(refs):
+            for right in refs[i + 1 :]:
+                if qualifier is not None and qualifier.column in (
+                    left.column,
+                    right.column,
+                ):
+                    # the qualifier FK is not an association endpoint
+                    continue
+                links.append(
+                    FactLink(fact, left.ref_table, left.column, right.ref_table, right.column)
+                )
+    return links
+
+
+def _direct_families(
+    database: Database, metadata: AdbMetadata, entity: EntitySpec
+) -> List[PropertyFamily]:
+    schema = database.relation(entity.table).schema
+    families = []
+    for attribute in metadata.properties_of(entity.table):
+        if metadata.is_excluded(entity.table, attribute):
+            continue
+        if attribute in (entity.key, entity.display):
+            continue
+        if schema.foreign_key_for(attribute) is not None:
+            continue  # FK attributes are handled as fk-dim families
+        ctype = schema.column_type(attribute)
+        kind = (
+            FamilyKind.DIRECT_NUMERIC
+            if ctype.is_numeric
+            else FamilyKind.DIRECT_CATEGORICAL
+        )
+        families.append(
+            PropertyFamily(
+                entity=entity.table,
+                kind=kind,
+                attribute=attribute,
+                column=attribute,
+            )
+        )
+    return families
+
+
+def _fk_dim_families(
+    database: Database, metadata: AdbMetadata, entity: EntitySpec
+) -> List[PropertyFamily]:
+    schema = database.relation(entity.table).schema
+    families = []
+    for fk in schema.foreign_keys:
+        if not metadata.is_dimension(fk.ref_table):
+            continue
+        if metadata.is_excluded(entity.table, fk.column):
+            continue
+        dim_key, dim_label = _dim_label(metadata, fk.ref_table)
+        families.append(
+            PropertyFamily(
+                entity=entity.table,
+                kind=FamilyKind.FK_DIM,
+                attribute=fk.ref_table,
+                dim_table=fk.ref_table,
+                dim_key=dim_key,
+                dim_label=dim_label,
+                fk_column=fk.column,
+                value_is_ref=True,
+            )
+        )
+    return families
+
+
+def _fact_attr_families(
+    database: Database,
+    metadata: AdbMetadata,
+    entity: EntitySpec,
+    fact_tables: Sequence[str],
+) -> List[PropertyFamily]:
+    """Basic properties stored as attributes on associating tables.
+
+    The paper's Example 1.1: ``research(aid, interest)`` holds a FK to
+    ``academics`` and a categorical attribute ``interest`` — the property
+    is reached with one key--foreign-key join.
+    """
+    families: List[PropertyFamily] = []
+    for fact in fact_tables:
+        schema = database.relation(fact).schema
+        entity_fks = [
+            fk for fk in schema.foreign_keys if fk.ref_table == entity.table
+        ]
+        if not entity_fks:
+            continue
+        entity_fk = entity_fks[0]
+        for attribute in metadata.properties_of(fact):
+            if metadata.is_excluded(fact, attribute):
+                continue
+            if schema.foreign_key_for(attribute) is not None:
+                continue
+            families.append(
+                PropertyFamily(
+                    entity=entity.table,
+                    kind=FamilyKind.FACT_ATTR,
+                    attribute=f"{fact}.{attribute}",
+                    column=attribute,
+                    fact_table=fact,
+                    fact_entity_col=entity_fk.column,
+                )
+            )
+    return families
+
+
+def _association_families(
+    database: Database,
+    metadata: AdbMetadata,
+    entity: EntitySpec,
+    links: Sequence[FactLink],
+    config: SquidConfig,
+) -> Tuple[List[PropertyFamily], List[DerivedRecipe]]:
+    families: List[PropertyFamily] = []
+    recipes: List[DerivedRecipe] = []
+    for link in links:
+        oriented = _orient(link, entity.table)
+        if oriented is None:
+            continue
+        fact, my_col, other_table, other_col = oriented
+        if metadata.is_dimension(other_table):
+            dim_key, dim_label = _dim_label(metadata, other_table)
+            families.append(
+                PropertyFamily(
+                    entity=entity.table,
+                    kind=FamilyKind.FACT_DIM,
+                    attribute=other_table,
+                    dim_table=other_table,
+                    dim_key=dim_key,
+                    dim_label=dim_label,
+                    fact_table=fact,
+                    fact_entity_col=my_col,
+                    fact_dim_col=other_col,
+                    value_is_ref=True,
+                )
+            )
+        elif metadata.is_entity(other_table) and entity.derive_properties:
+            fams, recs = _entity_association(
+                database, metadata, entity, fact, my_col, other_table, other_col, links, config
+            )
+            families.extend(fams)
+            recipes.extend(recs)
+    return families, recipes
+
+
+def _orient(
+    link: FactLink, entity_table: str
+) -> Optional[Tuple[str, str, str, str]]:
+    """Orient a link so the entity is on the left; None if not incident."""
+    if link.left_table == entity_table:
+        return link.fact_table, link.left_col, link.right_table, link.right_col
+    if link.right_table == entity_table:
+        return link.fact_table, link.right_col, link.left_table, link.left_col
+    return None
+
+
+def _entity_association(
+    database: Database,
+    metadata: AdbMetadata,
+    entity: EntitySpec,
+    fact: str,
+    my_col: str,
+    mid_table: str,
+    mid_col: str,
+    links: Sequence[FactLink],
+    config: SquidConfig,
+) -> Tuple[List[PropertyFamily], List[DerivedRecipe]]:
+    """Families derived through one entity-entity fact link."""
+    families: List[PropertyFamily] = []
+    recipes: List[DerivedRecipe] = []
+    mid_spec = metadata.entity(mid_table)
+    qualifier = metadata.qualifier_for(fact)
+
+    # --- derived-entity family (depth 1): person -> movie ------------
+    variants: List[Tuple[str, Any, str]] = [("", None, "")]
+    if qualifier is not None:
+        qdim = metadata.dimension(qualifier.dim_table)
+        assert qdim is not None
+        dim_rel = database.relation(qdim.table)
+        for row_id in dim_rel.row_ids():
+            qvalue = dim_rel.value(row_id, qdim.key)
+            qlabel = dim_rel.value(row_id, qdim.label)
+            variants.append((f"[{qlabel}]", qvalue, str(qlabel)))
+    for suffix, qvalue, qlabel in variants:
+        name = _relation_name(entity.table, mid_table, qlabel)
+        families.append(
+            PropertyFamily(
+                entity=entity.table,
+                kind=FamilyKind.DERIVED_ENTITY,
+                attribute=f"{mid_table}{suffix}",
+                dim_table=mid_table,
+                dim_key=mid_spec.key,
+                dim_label=mid_spec.display,
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_dim_col=mid_col,
+                derived_table=name,
+                derived_entity_col=f"{entity.table}_key",
+                derived_value_col="value",
+                value_is_ref=True,
+            )
+        )
+        recipes.append(
+            DerivedRecipe(
+                name=name,
+                kind="entity",
+                entity=entity.table,
+                entity_key_col=f"{entity.table}_key",
+                value_col="value",
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_mid_col=mid_col,
+                mid_table=mid_table,
+                mid_key=mid_spec.key,
+                qualifier_col=qualifier.column if qvalue is not None else "",
+                qualifier_value=qvalue,
+                value_ctype=database.relation(mid_table).schema.column_type(
+                    mid_spec.key
+                ),
+            )
+        )
+
+    if config.max_fact_depth < 2:
+        return families, recipes
+
+    # --- derived-dim families (depth 2) -------------------------------
+    # (a) over the mid entity's declared direct attributes
+    mid_schema = database.relation(mid_table).schema
+    for attribute in metadata.properties_of(mid_table):
+        if metadata.is_excluded(mid_table, attribute):
+            continue
+        if mid_schema.foreign_key_for(attribute) is not None:
+            continue
+        name = _relation_name(entity.table, f"{mid_table}_{attribute}")
+        families.append(
+            PropertyFamily(
+                entity=entity.table,
+                kind=FamilyKind.DERIVED_DIM,
+                attribute=f"{mid_table}.{attribute}",
+                column=attribute,
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_dim_col=mid_col,
+                derived_table=name,
+                derived_entity_col=f"{entity.table}_key",
+                derived_value_col="value",
+                value_is_ref=False,
+                mid_table=mid_table,
+            )
+        )
+        recipes.append(
+            DerivedRecipe(
+                name=name,
+                kind="mid_attr",
+                entity=entity.table,
+                entity_key_col=f"{entity.table}_key",
+                value_col="value",
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_mid_col=mid_col,
+                mid_table=mid_table,
+                mid_key=mid_spec.key,
+                mid_attr=attribute,
+                value_ctype=mid_schema.column_type(attribute),
+            )
+        )
+
+    # (b) over the mid entity's FK-dimension attributes
+    for fk in mid_schema.foreign_keys:
+        if not metadata.is_dimension(fk.ref_table):
+            continue
+        if metadata.is_excluded(mid_table, fk.column):
+            continue
+        dim_key, dim_label = _dim_label(metadata, fk.ref_table)
+        name = _relation_name(entity.table, f"{mid_table}_{fk.ref_table}")
+        families.append(
+            PropertyFamily(
+                entity=entity.table,
+                kind=FamilyKind.DERIVED_DIM,
+                attribute=f"{mid_table}.{fk.ref_table}",
+                dim_table=fk.ref_table,
+                dim_key=dim_key,
+                dim_label=dim_label,
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_dim_col=mid_col,
+                derived_table=name,
+                derived_entity_col=f"{entity.table}_key",
+                derived_value_col="value",
+                value_is_ref=True,
+                mid_table=mid_table,
+            )
+        )
+        recipes.append(
+            DerivedRecipe(
+                name=name,
+                kind="mid_fk",
+                entity=entity.table,
+                entity_key_col=f"{entity.table}_key",
+                value_col="value",
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_mid_col=mid_col,
+                mid_table=mid_table,
+                mid_key=mid_spec.key,
+                mid_attr=fk.column,
+                value_ctype=mid_schema.column_type(fk.column),
+            )
+        )
+
+    # (c) through a second fact table to a dimension (the paper's Q6)
+    for link in links:
+        oriented = _orient(link, mid_table)
+        if oriented is None:
+            continue
+        fact2, mid_col2, dim_table, dim_col2 = oriented
+        if fact2 == fact or not metadata.is_dimension(dim_table):
+            continue
+        dim_key, dim_label = _dim_label(metadata, dim_table)
+        name = _relation_name(entity.table, dim_table)
+        families.append(
+            PropertyFamily(
+                entity=entity.table,
+                kind=FamilyKind.DERIVED_DIM,
+                attribute=dim_table,
+                dim_table=dim_table,
+                dim_key=dim_key,
+                dim_label=dim_label,
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_dim_col=mid_col,
+                derived_table=name,
+                derived_entity_col=f"{entity.table}_key",
+                derived_value_col="value",
+                value_is_ref=True,
+                mid_table=mid_table,
+            )
+        )
+        recipes.append(
+            DerivedRecipe(
+                name=name,
+                kind="chain",
+                entity=entity.table,
+                entity_key_col=f"{entity.table}_key",
+                value_col="value",
+                fact_table=fact,
+                fact_entity_col=my_col,
+                fact_mid_col=mid_col,
+                mid_table=mid_table,
+                mid_key=mid_spec.key,
+                second_fact_table=fact2,
+                second_fact_mid_col=mid_col2,
+                second_fact_dim_col=dim_col2,
+                value_ctype=database.relation(dim_table).schema.column_type(dim_key),
+            )
+        )
+    return families, recipes
+
+
+def _relation_name(entity: str, target: str, qualifier: str = "") -> str:
+    """αDB relation name, e.g. ``persontogenre`` / ``persontomovie_actor``."""
+    base = f"{entity}to{target}".replace(".", "_")
+    if qualifier:
+        safe = "".join(ch.lower() for ch in qualifier if ch.isalnum())
+        base = f"{base}_{safe}"
+    return base

@@ -1,0 +1,82 @@
+"""Entity lookup: mapping example strings to candidate entities (§6.1).
+
+Users provide single-column values (names, titles).  The inverted column
+index identifies which entity display attribute contains *all* of the
+examples; each example then maps to one or more candidate entity keys
+(ambiguity is resolved by :mod:`repro.core.disambiguation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..relational.errors import QueryError
+from .adb import AbductionReadyDatabase
+from .metadata import EntitySpec
+
+
+@dataclass
+class EntityMatch:
+    """All candidate entities for one example set on one entity type."""
+
+    entity: EntitySpec
+    candidates: List[List[Any]]
+    """Per example (in input order): the candidate entity keys."""
+
+    @property
+    def is_ambiguous(self) -> bool:
+        """Whether at least one example maps to several entities."""
+        return any(len(options) > 1 for options in self.candidates)
+
+    def combination_count(self) -> int:
+        """Number of complete assignments (product of candidate counts)."""
+        total = 1
+        for options in self.candidates:
+            total *= len(options)
+        return total
+
+
+class ExampleLookupError(QueryError):
+    """No entity attribute contains every provided example."""
+
+
+def lookup_examples(
+    adb: AbductionReadyDatabase, examples: Sequence[str]
+) -> List[EntityMatch]:
+    """Candidate entity types (+ per-example entity keys) for the examples.
+
+    Returns one :class:`EntityMatch` per display attribute that contains
+    all examples; raises :class:`ExampleLookupError` if none does.
+    """
+    examples = list(examples)
+    if not examples:
+        raise ExampleLookupError("no examples provided")
+    unique = list(dict.fromkeys(examples))
+    columns = adb.inverted.candidate_columns(unique)
+    matches: List[EntityMatch] = []
+    for table, column in columns:
+        spec = _entity_for_display(adb, table, column)
+        if spec is None:
+            continue
+        relation = adb.db.relation(table)
+        key_store = relation.column(spec.key)
+        candidates = []
+        for example in unique:
+            rows = adb.inverted.matches_in(example, table, column)
+            candidates.append([key_store[rid] for rid in rows])
+        matches.append(EntityMatch(entity=spec, candidates=candidates))
+    if not matches:
+        raise ExampleLookupError(
+            f"no entity attribute contains all {len(unique)} examples"
+        )
+    return matches
+
+
+def _entity_for_display(
+    adb: AbductionReadyDatabase, table: str, column: str
+) -> EntitySpec | None:
+    for spec in adb.metadata.entities:
+        if spec.table == table and spec.display == column:
+            return spec
+    return None

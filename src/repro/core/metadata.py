@@ -1,0 +1,160 @@
+"""αDB metadata: the minimal schema annotations SQuID needs (Section 5).
+
+The paper's offline module relies on "(1) the database schema, including the
+specification of primary and foreign key constraints, and (2) additional
+meta-data, which can be provided once by a database administrator, that
+specify which tables describe entities (e.g. person, movie), and which
+tables and attributes describe direct properties of entities (e.g. genre,
+age)".  Everything else — fact tables, derived properties — is discovered
+automatically from the schema graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """An entity table: its key and the attribute users give examples of."""
+
+    table: str
+    key: str
+    display: str
+    """Display attribute, e.g. ``person.name`` or ``movie.title``: the
+    column whose values users supply as example tuples."""
+
+    derive_properties: bool = True
+    """Whether the offline module builds derived families for this entity.
+    Disabling it bounds αDB size for entities nobody queries by example."""
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """A property (dimension) table: small domain of values for entities."""
+
+    table: str
+    key: str
+    label: str
+    """Label attribute holding the human-readable value (e.g. ``name``)."""
+
+
+@dataclass(frozen=True)
+class QualifierSpec:
+    """A qualifier on a fact table that splits entity-entity associations.
+
+    Example: ``castinfo.role_id`` qualifies person↔movie associations by
+    role, yielding separate families such as "movies as Actor" and
+    "movies as Director" — the distinction behind the paper's IQ6
+    discussion (Clint Eastwood directing vs. acting).
+    """
+
+    fact_table: str
+    column: str
+    dim_table: str
+
+
+@dataclass
+class AdbMetadata:
+    """Administrator-provided annotations driving αDB construction."""
+
+    entities: List[EntitySpec] = field(default_factory=list)
+    dimensions: List[DimensionSpec] = field(default_factory=list)
+    property_attributes: Dict[str, List[str]] = field(default_factory=dict)
+    """Per entity table: direct attributes that are semantic properties
+    (e.g. ``person -> [gender, birth_year]``).  FK attributes pointing at
+    dimension tables are discovered automatically and need not be listed."""
+
+    qualifiers: List[QualifierSpec] = field(default_factory=list)
+    excluded_attributes: Dict[str, List[str]] = field(default_factory=dict)
+    """Attributes never to treat as properties (keys, display names)."""
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def entity(self, table: str) -> EntitySpec:
+        """The :class:`EntitySpec` for ``table`` (raises if absent)."""
+        for spec in self.entities:
+            if spec.table == table:
+                return spec
+        raise SchemaError(f"{table!r} is not declared as an entity")
+
+    def is_entity(self, table: str) -> bool:
+        """Whether ``table`` is a declared entity table."""
+        return any(spec.table == table for spec in self.entities)
+
+    def dimension(self, table: str) -> Optional[DimensionSpec]:
+        """The :class:`DimensionSpec` for ``table``, or ``None``."""
+        for spec in self.dimensions:
+            if spec.table == table:
+                return spec
+        return None
+
+    def is_dimension(self, table: str) -> bool:
+        """Whether ``table`` is a declared dimension table."""
+        return self.dimension(table) is not None
+
+    def qualifier_for(self, fact_table: str) -> Optional[QualifierSpec]:
+        """The qualifier declared on ``fact_table``, if any."""
+        for spec in self.qualifiers:
+            if spec.fact_table == fact_table:
+                return spec
+        return None
+
+    def properties_of(self, table: str) -> List[str]:
+        """Direct property attributes declared for ``table``."""
+        return list(self.property_attributes.get(table, []))
+
+    def is_excluded(self, table: str, attribute: str) -> bool:
+        """Whether ``table.attribute`` must not become a property."""
+        return attribute in self.excluded_attributes.get(table, [])
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, database: Database) -> None:
+        """Check every annotation against the actual schema."""
+        if not self.entities:
+            raise SchemaError("metadata declares no entity tables")
+        for spec in self.entities:
+            schema = database.relation(spec.table).schema
+            for column in (spec.key, spec.display):
+                if not schema.has_column(column):
+                    raise SchemaError(
+                        f"entity {spec.table!r}: missing column {column!r}"
+                    )
+        for dim in self.dimensions:
+            schema = database.relation(dim.table).schema
+            for column in (dim.key, dim.label):
+                if not schema.has_column(column):
+                    raise SchemaError(
+                        f"dimension {dim.table!r}: missing column {column!r}"
+                    )
+        for table, attributes in self.property_attributes.items():
+            schema = database.relation(table).schema
+            for attribute in attributes:
+                if not schema.has_column(attribute):
+                    raise SchemaError(
+                        f"property attribute {table}.{attribute} does not exist"
+                    )
+        for qual in self.qualifiers:
+            schema = database.relation(qual.fact_table).schema
+            if not schema.has_column(qual.column):
+                raise SchemaError(
+                    f"qualifier {qual.fact_table}.{qual.column} does not exist"
+                )
+            if self.dimension(qual.dim_table) is None:
+                raise SchemaError(
+                    f"qualifier dimension {qual.dim_table!r} is not declared"
+                )
+        overlap = {e.table for e in self.entities} & {
+            d.table for d in self.dimensions
+        }
+        if overlap:
+            raise SchemaError(
+                f"tables declared both entity and dimension: {sorted(overlap)}"
+            )

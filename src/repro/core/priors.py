@@ -1,0 +1,146 @@
+"""Filter-event priors: Pr(φ) = ρ · δ(φ) · α(φ) · λ(φ)  (§4.2.2, App. A/B).
+
+* ρ — base prior, common to all filters;
+* δ(φ) — domain selectivity impact: penalises filters covering a large
+  fraction of their attribute's domain,
+  ``δ = 1 / max(1, coverage/η)^γ``;
+* α(φ) — association strength impact: derived filters with θ below the
+  threshold τa are insignificant (α = 0), all others get α = 1;
+* λ(φ) — outlier impact: a derived filter earns λ = 1 only when the
+  association-strength distribution of its family is skewed beyond τs
+  *and* its own θ is an outlier (mean + k·stddev rule); basic filters
+  always get λ = 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import SquidConfig
+from .properties import FamilyKind, Filter
+
+
+def domain_selectivity_impact(filt: Filter, config: SquidConfig) -> float:
+    """δ(φ): 1 below coverage threshold η, decaying with exponent γ above."""
+    coverage = filt.domain_coverage
+    if config.gamma == 0.0 or coverage <= 0.0:
+        return 1.0
+    return 1.0 / max(1.0, coverage / config.eta) ** config.gamma
+
+
+def association_strength_impact(filt: Filter, config: SquidConfig) -> float:
+    """α(φ): 0 for derived filters with θ below their τa, else 1."""
+    theta = filt.theta
+    if theta is None:
+        return 1.0
+    threshold = (
+        config.entity_dim_tau_a
+        if filt.family.kind is FamilyKind.DERIVED_ENTITY
+        else config.tau_a
+    )
+    return 0.0 if theta < threshold else 1.0
+
+
+def sample_skewness(values: Sequence[float]) -> float:
+    """Sample skewness with the paper's formula (Appendix B).
+
+    ``skew = n * Σ (a_i - mean)^3 / (s^3 (n-1)(n-2))`` with the sample
+    standard deviation s.  Undefined (returns 0.0) for n < 3 or zero
+    spread.
+    """
+    n = len(values)
+    if n < 3:
+        return 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    if variance <= 0.0:
+        return 0.0
+    s = math.sqrt(variance)
+    denominator = s**3 * (n - 1) * (n - 2)
+    if denominator == 0.0 or not math.isfinite(denominator):
+        return 0.0  # underflow/overflow: no usable skew signal
+    third = sum((v - mean) ** 3 for v in values)
+    return n * third / denominator
+
+
+def is_outlier(theta: float, values: Sequence[float], k: float) -> bool:
+    """Mean/standard-deviation outlier rule: ``theta - mean > k * s``."""
+    n = len(values)
+    if n < 3:
+        return True  # skewness undefined: treat all elements as outliers
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    s = math.sqrt(variance) if variance > 0 else 0.0
+    return (theta - mean) > k * s
+
+
+def outlier_impact(
+    filt: Filter, family_thetas: Sequence[float], config: SquidConfig
+) -> float:
+    """λ(φ) per Appendix B.
+
+    Basic filters always get λ = 1.  Derived filters over *entity-valued*
+    dimensions also get λ = 1: their strengths are inherently ≈1 (an actor
+    appears in a movie once), so skew within the family carries no signal
+    — the informative part is the shared association itself (see
+    DESIGN.md §5).  Remaining derived filters require a skewed family
+    distribution and an outlying θ.
+    """
+    if filt.theta is None:
+        return 1.0
+    if filt.family.kind is FamilyKind.DERIVED_ENTITY:
+        return 1.0
+    thetas = list(family_thetas)
+    if len(thetas) < 3:
+        return 1.0  # skewness undefined: all elements treated as outliers
+    if sample_skewness(thetas) <= config.tau_s:
+        return 0.0
+    return 1.0 if is_outlier(filt.theta, thetas, config.outlier_k) else 0.0
+
+
+@dataclass(frozen=True)
+class PriorBreakdown:
+    """All factors of one filter's prior, for inspection and tests."""
+
+    rho: float
+    delta: float
+    alpha: float
+    lam: float
+
+    @property
+    def prior(self) -> float:
+        """Pr(φ) = ρ · δ · α · λ, clamped into [0, 1)."""
+        return min(0.999999, self.rho * self.delta * self.alpha * self.lam)
+
+
+def filter_prior(
+    filt: Filter,
+    family_thetas: Sequence[float],
+    config: SquidConfig,
+) -> PriorBreakdown:
+    """Compute every factor of Pr(φ) for one filter.
+
+    ``family_thetas`` are the association strengths of all *discovered*
+    filters in the same family (Figure 8's Θ_A distribution).
+    """
+    return PriorBreakdown(
+        rho=config.rho,
+        delta=domain_selectivity_impact(filt, config),
+        alpha=association_strength_impact(filt, config),
+        lam=outlier_impact(filt, family_thetas, config),
+    )
+
+
+def family_theta_map(filters: Sequence[Filter]) -> Dict[Tuple[str, str], List[float]]:
+    """Group discovered association strengths by family key.
+
+    This materialises the Θ_A distributions of Figure 8: for each derived
+    family, the strengths of every filter the example set produced.
+    """
+    out: Dict[Tuple[str, str], List[float]] = {}
+    for filt in filters:
+        if filt.theta is not None:
+            out.setdefault(filt.family.key, []).append(filt.theta)
+    return out

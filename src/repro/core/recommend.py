@@ -1,0 +1,122 @@
+"""Example recommendation — a §9 future direction, implemented.
+
+The paper closes by suggesting "example recommendation to increase sample
+diversity and improve abduction".  The idea: after an initial discovery,
+some filter decisions are *borderline* — their include and exclude scores
+are close, so the abduced query may hinge on a coincidence.  The most
+informative next example is an entity from the current result set that
+*discriminates* those borderline filters:
+
+* if the user accepts the suggestion, the coincidental context disappears
+  (the new example lacks the property) and the filter is dropped with
+  confidence;
+* if the user rejects it, that is evidence the property is intended.
+
+Candidates are scored by how many borderline filters they discriminate,
+with a small diversity bonus for differing from the current examples on
+decided filters as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .abduction import FilterDecision
+from .properties import FamilyKind, Filter
+from .squid import DiscoveryResult, SquidSystem
+
+
+@dataclass
+class Recommendation:
+    """One suggested example with its rationale."""
+
+    entity_key: Any
+    display: str
+    score: float
+    discriminates: List[str] = field(default_factory=list)
+    """Notations of the borderline filters this entity would resolve."""
+
+
+def borderline_decisions(
+    result: DiscoveryResult, factor: float = 8.0
+) -> List[FilterDecision]:
+    """Decisions whose include/exclude scores are within ``factor``.
+
+    These are the filters whose verdicts could plausibly flip with one
+    more example.
+    """
+    out = []
+    for decision in result.abduction.decisions:
+        hi = max(decision.include_score, decision.exclude_score)
+        lo = min(decision.include_score, decision.exclude_score)
+        if lo <= 0.0:
+            continue
+        if hi / lo <= factor:
+            out.append(decision)
+    return out
+
+
+def _entity_holds(squid: SquidSystem, filt: Filter, key: Any) -> bool:
+    """Whether one entity satisfies a filter's property."""
+    family = filt.family
+    props = squid.adb.entity_properties(family, key)
+    prop = filt.prop
+    if family.kind is FamilyKind.DIRECT_NUMERIC:
+        if not props:
+            return False
+        value = next(iter(props))
+        low, high = prop.value  # type: ignore[misc]
+        return low <= value <= high
+    if isinstance(prop.value, frozenset):
+        return any(v in props for v in prop.value)
+    if family.kind.is_basic:
+        return prop.value in props
+    theta = prop.theta or 1.0
+    return props.get(prop.value, 0.0) >= theta
+
+
+def recommend_examples(
+    squid: SquidSystem,
+    result: DiscoveryResult,
+    k: int = 5,
+    borderline_factor: float = 8.0,
+    candidate_cap: int = 500,
+) -> List[Recommendation]:
+    """Suggest up to ``k`` further examples that sharpen the abduction.
+
+    Candidates are drawn from the current abduced query's result set
+    (anything else would contradict the examples already given).  Entities
+    identical to the current example set are skipped.
+    """
+    borderline = borderline_decisions(result, borderline_factor)
+    rows = squid.execute(result.keyed_query).rows[:candidate_cap]
+    current = set(result.entity_keys)
+    recommendations: List[Recommendation] = []
+    for key, display in ((row[0], row[1]) for row in rows):
+        if key in current:
+            continue
+        discriminates = []
+        score = 0.0
+        for decision in borderline:
+            if not _entity_holds(squid, decision.filt, key):
+                discriminates.append(decision.filt.notation())
+                score += 1.0
+        # diversity bonus: differing on decided-but-rejected contexts keeps
+        # the sample from reinforcing coincidences
+        for decision in result.abduction.decisions:
+            if decision.included or decision in borderline:
+                continue
+            if not _entity_holds(squid, decision.filt, key):
+                score += 0.1
+        if score > 0.0:
+            recommendations.append(
+                Recommendation(
+                    entity_key=key,
+                    display=str(display),
+                    score=score,
+                    discriminates=discriminates,
+                )
+            )
+    recommendations.sort(key=lambda r: (-r.score, repr(r.entity_key)))
+    return recommendations[:k]

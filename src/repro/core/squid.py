@@ -1,0 +1,243 @@
+"""End-to-end SQuID system facade (Figure 4).
+
+``SquidSystem.build`` runs the offline module once (αDB construction);
+``discover`` then performs the online pipeline per example set:
+
+1. entity lookup via the inverted column index,
+2. entity disambiguation,
+3. semantic context discovery,
+4. query abduction (Algorithm 1),
+5. query construction (SPJ over the αDB, plus the equivalent SPJAI form
+   over the original schema).
+
+When the examples match several entity types (several candidate base
+queries), each base query is abduced and the one with the highest
+unnormalised log posterior wins; valid base queries carry equal priors
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..relational.database import Database
+from ..sql.ast import AnyQuery, Query
+from ..sql.executor import Executor, ResultSet
+from ..sql.formatter import format_query
+from .abduction import AbductionResult, abduce
+from .adb import AbductionReadyDatabase
+from .base_query import build_adb_query, build_base_query, build_original_query
+from .config import SquidConfig
+from .context import ContextSet, discover_contexts
+from .disambiguation import DisambiguationResult, disambiguate
+from .lookup import EntityMatch, ExampleLookupError, lookup_examples
+from .metadata import AdbMetadata, EntitySpec
+
+
+@dataclass
+class DiscoveryTimings:
+    """Per-stage wall-clock timings of one discovery call."""
+
+    lookup_seconds: float = 0.0
+    disambiguation_seconds: float = 0.0
+    context_seconds: float = 0.0
+    abduction_seconds: float = 0.0
+    construction_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end query intent discovery time."""
+        return (
+            self.lookup_seconds
+            + self.disambiguation_seconds
+            + self.context_seconds
+            + self.abduction_seconds
+            + self.construction_seconds
+        )
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything SQuID inferred for one example set."""
+
+    entity: EntitySpec
+    entity_keys: List[Any]
+    contexts: ContextSet
+    abduction: AbductionResult
+    query: Query
+    """The abduced SPJ query over the αDB (Q5 form), selecting the
+    display attribute."""
+
+    keyed_query: Query
+    """Same query additionally projecting the entity key (for metrics)."""
+
+    original_query: AnyQuery
+    """Equivalent SPJAI query over the original schema (Q4 form)."""
+
+    timings: DiscoveryTimings
+    disambiguation: Optional[DisambiguationResult] = None
+    log_posterior: float = 0.0
+
+    @property
+    def sql(self) -> str:
+        """SQL text of the abduced αDB query."""
+        return format_query(self.query)
+
+    @property
+    def original_sql(self) -> str:
+        """SQL text of the original-schema SPJAI rendering."""
+        return format_query(self.original_query)
+
+    def explain(self) -> str:
+        """Human-readable abduction report (filters kept vs dropped)."""
+        lines = [f"entity: {self.entity.table} ({len(self.entity_keys)} examples)"]
+        for decision in self.abduction.decisions:
+            verdict = "KEEP" if decision.included else "drop"
+            filt = decision.filt
+            lines.append(
+                f"  [{verdict}] {filt.notation()} "
+                f"ψ={filt.selectivity:.4f} "
+                f"Pr(φ)={decision.prior.prior:.4f} "
+                f"include={decision.include_score:.3e} "
+                f"exclude={decision.exclude_score:.3e}"
+            )
+        return "\n".join(lines)
+
+
+class SquidSystem:
+    """The full system: offline αDB plus the online discovery pipeline."""
+
+    def __init__(self, adb: AbductionReadyDatabase) -> None:
+        self.adb = adb
+        self._executor = Executor(adb.db)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        database: Database,
+        metadata: AdbMetadata,
+        config: Optional[SquidConfig] = None,
+    ) -> "SquidSystem":
+        """Run the offline module and return a ready system."""
+        adb = AbductionReadyDatabase.build(database, metadata, config)
+        return cls(adb)
+
+    @property
+    def config(self) -> SquidConfig:
+        """The active configuration."""
+        return self.adb.config
+
+    # ------------------------------------------------------------------
+    # online pipeline
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        examples: Sequence[str],
+        config: Optional[SquidConfig] = None,
+    ) -> DiscoveryResult:
+        """Abduce the most likely query intent for the given examples."""
+        config = config or self.adb.config
+        examples = list(examples)
+        if len(examples) > config.max_example_warn:
+            raise ValueError(
+                f"{len(examples)} examples provided; QBE expects few "
+                f"(cap: {config.max_example_warn})"
+            )
+        timings = DiscoveryTimings()
+
+        start = time.perf_counter()
+        matches = lookup_examples(self.adb, examples)
+        timings.lookup_seconds = time.perf_counter() - start
+
+        best: Optional[DiscoveryResult] = None
+        for match in matches:
+            candidate = self._discover_for_match(match, config, timings)
+            if best is None or candidate.log_posterior > best.log_posterior:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _discover_for_match(
+        self,
+        match: EntityMatch,
+        config: SquidConfig,
+        timings: DiscoveryTimings,
+    ) -> DiscoveryResult:
+        start = time.perf_counter()
+        resolution = disambiguate(self.adb, match, config)
+        timings.disambiguation_seconds += time.perf_counter() - start
+        keys = resolution.keys
+
+        start = time.perf_counter()
+        contexts = discover_contexts(self.adb, match.entity.table, keys, config)
+        timings.context_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        abduction = abduce(contexts.filters, len(keys), config)
+        timings.abduction_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        selected = abduction.selected
+        if config.prune_redundant_filters and len(selected) > 1:
+            selected = self._prune_redundant(match.entity, selected)
+        query = build_adb_query(self.adb, match.entity, selected)
+        keyed = build_adb_query(self.adb, match.entity, selected, select_key=True)
+        original = build_original_query(self.adb, match.entity, selected)
+        timings.construction_seconds += time.perf_counter() - start
+
+        return DiscoveryResult(
+            entity=match.entity,
+            entity_keys=keys,
+            contexts=contexts,
+            abduction=abduction,
+            query=query,
+            keyed_query=keyed,
+            original_query=original,
+            timings=timings,
+            disambiguation=resolution,
+            log_posterior=abduction.log_posterior(),
+        )
+
+    def _prune_redundant(self, entity, selected):
+        """Occam's-razor pass: drop filters that do not change the result.
+
+        Filters are probed most-common-first (descending selectivity): a
+        broad filter subsumed by a sharper one contributes nothing to the
+        result set and only inflates the query.  Each probe is one αDB
+        query, so the pass costs O(|ϕ|) executions.
+        """
+        current = list(selected)
+        baseline = self._executor.execute(
+            build_adb_query(self.adb, entity, current, select_key=True)
+        ).as_set()
+        for filt in sorted(selected, key=lambda f: -f.selectivity):
+            if len(current) <= 1:
+                break
+            trial = [f for f in current if f is not filt]
+            result = self._executor.execute(
+                build_adb_query(self.adb, entity, trial, select_key=True)
+            ).as_set()
+            if result == baseline:
+                current = trial
+        return current
+
+    # ------------------------------------------------------------------
+    # execution helpers
+    # ------------------------------------------------------------------
+    def execute(self, query: AnyQuery) -> ResultSet:
+        """Run any query against the αDB."""
+        return self._executor.execute(query)
+
+    def result_keys(self, result: DiscoveryResult) -> set:
+        """Entity keys returned by the abduced query."""
+        rows = self._executor.execute(result.keyed_query).rows
+        return {row[0] for row in rows}
+
+    def result_values(self, result: DiscoveryResult) -> List[Any]:
+        """Display-attribute values returned by the abduced query."""
+        return self._executor.execute(result.query).single_column()

@@ -1,0 +1,24 @@
+"""Synthetic dataset substrate: IMDb-like, DBLP-like, and Adult generators.
+
+Each module exposes ``generate(size)`` returning a fully-loaded
+:class:`~repro.relational.Database` plus ``metadata()`` returning the αDB
+annotations for that schema.  Variants (sm/bs/bd IMDb, replicated Adult)
+and the Section 7.4 case-study lists live alongside.
+"""
+
+from . import adult, case_studies, dblp, imdb
+from .adult import AdultSize
+from .case_studies import CaseStudy
+from .dblp import DblpSize
+from .imdb import ImdbSize
+
+__all__ = [
+    "AdultSize",
+    "CaseStudy",
+    "DblpSize",
+    "ImdbSize",
+    "adult",
+    "case_studies",
+    "dblp",
+    "imdb",
+]

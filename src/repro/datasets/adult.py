@@ -1,0 +1,229 @@
+"""Synthetic census-style Adult dataset (single relation, UCI schema).
+
+The UCI Adult table has no name column; like the paper (whose Figure 22
+queries SELECT DISTINCT name) we add a synthetic unique ``name`` per row so
+examples can be provided by value.  Marginal distributions approximate the
+UCI dataset: peaked hours-per-week at 40, mostly-zero capital gains/losses
+with a heavy tail, a dominant native country, and correlated
+education/income structure.
+
+``replicate`` scales the table by an integer factor for the Fig. 16(b)
+scalability experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metadata import AdbMetadata, EntitySpec
+from ..relational import ColumnDef, ColumnType, Database, TableSchema
+from .seeds import make_rng
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+WORKCLASSES = [
+    "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+    "Local-gov", "State-gov", "Without-pay", "Never-worked",
+]
+WORKCLASS_WEIGHTS = [70, 8, 4, 3, 6, 4, 0.5, 0.5]
+
+EDUCATIONS = [
+    "Bachelors", "Some-college", "11th", "HS-grad", "Prof-school",
+    "Assoc-acdm", "Assoc-voc", "9th", "7th-8th", "12th", "Masters",
+    "1st-4th", "10th", "Doctorate", "5th-6th", "Preschool",
+]
+EDUCATION_WEIGHTS = [16, 22, 4, 32, 2, 3, 4, 2, 2, 1, 5, 1, 3, 1.5, 1, 0.5]
+
+MARITAL_STATUSES = [
+    "Married-civ-spouse", "Divorced", "Never-married", "Separated",
+    "Widowed", "Married-spouse-absent", "Married-AF-spouse",
+]
+MARITAL_WEIGHTS = [46, 14, 33, 3, 3, 1, 0.2]
+
+OCCUPATIONS = [
+    "Tech-support", "Craft-repair", "Other-service", "Sales",
+    "Exec-managerial", "Prof-specialty", "Handlers-cleaners",
+    "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+    "Transport-moving", "Priv-house-serv", "Protective-serv",
+    "Armed-Forces",
+]
+OCCUPATION_WEIGHTS = [3, 13, 10, 11, 13, 13, 4, 6, 12, 3, 5, 0.5, 2, 0.2]
+
+RELATIONSHIPS = [
+    "Wife", "Own-child", "Husband", "Not-in-family", "Other-relative",
+    "Unmarried",
+]
+RELATIONSHIP_WEIGHTS = [5, 15, 40, 26, 3, 11]
+
+RACES = ["White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"]
+RACE_WEIGHTS = [85, 3, 1, 1, 10]
+
+SEXES = ["Male", "Female"]
+SEX_WEIGHTS = [67, 33]
+
+NATIVE_COUNTRIES = [
+    "United-States", "Mexico", "Philippines", "Germany", "Canada",
+    "Puerto-Rico", "El-Salvador", "India", "Cuba", "England", "Jamaica",
+    "South", "China", "Italy", "Dominican-Republic", "Vietnam",
+    "Guatemala", "Japan", "Poland", "Columbia",
+]
+NATIVE_WEIGHTS = [
+    89.5, 2.0, 0.6, 0.4, 0.4, 0.4, 0.3, 0.3, 0.3, 0.3, 0.25, 0.25, 0.25,
+    0.22, 0.21, 0.2, 0.2, 0.2, 0.18, 0.18,
+]
+
+INCOMES = ["<=50K", ">50K"]
+
+
+@dataclass(frozen=True)
+class AdultSize:
+    """Scale knobs of the Adult generator."""
+
+    rows: int = 8000
+    seed: int = 4242
+
+    @classmethod
+    def small(cls) -> "AdultSize":
+        return cls(rows=2500)
+
+    @classmethod
+    def base(cls) -> "AdultSize":
+        return cls()
+
+
+def metadata() -> AdbMetadata:
+    """αDB metadata for the single-relation Adult schema."""
+    return AdbMetadata(
+        entities=[EntitySpec("adult", "id", "name", derive_properties=False)],
+        property_attributes={
+            "adult": [
+                "age", "workclass", "fnlwgt", "education", "educationnum",
+                "maritalstatus", "occupation", "relationship", "race",
+                "sex", "capitalgain", "capitalloss", "hoursperweek",
+                "nativecountry", "income",
+            ],
+        },
+    )
+
+
+ATTRIBUTE_COLUMNS: List[Tuple[str, ColumnType]] = [
+    ("age", INT),
+    ("workclass", TEXT),
+    ("fnlwgt", INT),
+    ("education", TEXT),
+    ("educationnum", INT),
+    ("maritalstatus", TEXT),
+    ("occupation", TEXT),
+    ("relationship", TEXT),
+    ("race", TEXT),
+    ("sex", TEXT),
+    ("capitalgain", INT),
+    ("capitalloss", INT),
+    ("hoursperweek", INT),
+    ("nativecountry", TEXT),
+    ("income", TEXT),
+]
+
+
+def _schema(db: Database) -> None:
+    columns = [
+        ColumnDef("id", INT, nullable=False),
+        ColumnDef("name", TEXT, nullable=False),
+    ] + [ColumnDef(name, ctype) for name, ctype in ATTRIBUTE_COLUMNS]
+    db.create_table(TableSchema("adult", columns, primary_key="id"))
+
+
+def _categorical(
+    rng: np.random.Generator, values: Sequence[str], weights: Sequence[float], n: int
+) -> List[str]:
+    probs = np.asarray(weights, dtype=float)
+    probs = probs / probs.sum()
+    idx = rng.choice(len(values), size=n, p=probs)
+    return [values[int(i)] for i in idx]
+
+
+def generate(size: Optional[AdultSize] = None) -> Database:
+    """Generate the Adult table with UCI-like marginals."""
+    size = size or AdultSize.base()
+    rng = make_rng(size.seed, "adult")
+    n = size.rows
+
+    ages = np.clip(rng.gamma(6.5, 6.0, size=n) + 17, 17, 90).astype(int)
+    fnlwgt = np.clip(rng.lognormal(12.0, 0.45, size=n), 20_000, 900_000).astype(int)
+    education = _categorical(rng, EDUCATIONS, EDUCATION_WEIGHTS, n)
+    edu_num = {name: i + 1 for i, name in enumerate(EDUCATIONS)}
+    workclass = _categorical(rng, WORKCLASSES, WORKCLASS_WEIGHTS, n)
+    marital = _categorical(rng, MARITAL_STATUSES, MARITAL_WEIGHTS, n)
+    occupation = _categorical(rng, OCCUPATIONS, OCCUPATION_WEIGHTS, n)
+    relationship = _categorical(rng, RELATIONSHIPS, RELATIONSHIP_WEIGHTS, n)
+    race = _categorical(rng, RACES, RACE_WEIGHTS, n)
+    sex = _categorical(rng, SEXES, SEX_WEIGHTS, n)
+    native = _categorical(rng, NATIVE_COUNTRIES, NATIVE_WEIGHTS, n)
+
+    # capital gains/losses: mostly zero with a heavy positive tail
+    gain = np.where(
+        rng.random(n) < 0.08,
+        np.clip(rng.lognormal(8.4, 0.9, size=n), 100, 99_999),
+        0,
+    ).astype(int)
+    loss = np.where(
+        rng.random(n) < 0.05,
+        np.clip(rng.normal(1870, 320, size=n), 100, 4_400),
+        0,
+    ).astype(int)
+
+    hours = np.clip(rng.normal(40, 11, size=n), 1, 99).astype(int)
+    hours[rng.random(n) < 0.45] = 40  # the UCI spike at 40
+
+    rows = []
+    for i in range(n):
+        edu = education[i]
+        # income loosely correlated with education and hours
+        p_high = 0.08 + 0.03 * edu_num[edu] + (0.1 if hours[i] > 45 else 0.0)
+        income = ">50K" if rng.random() < min(0.75, p_high) else "<=50K"
+        rows.append(
+            (
+                i + 1,
+                f"Resident {i + 1:06d}",
+                int(ages[i]),
+                workclass[i],
+                int(fnlwgt[i]),
+                edu,
+                edu_num[edu],
+                marital[i],
+                occupation[i],
+                relationship[i],
+                race[i],
+                sex[i],
+                int(gain[i]),
+                int(loss[i]),
+                int(hours[i]),
+                native[i],
+                income,
+            )
+        )
+    db = Database("adult")
+    _schema(db)
+    db.bulk_load("adult", rows)
+    return db
+
+
+def replicate(source: Database, factor: int) -> Database:
+    """Scale the Adult table by an integer factor (Fig. 16(b))."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    db = Database(f"adult_x{factor}")
+    _schema(db)
+    base_rows = list(source.relation("adult").rows())
+    n = len(base_rows)
+    out = []
+    for rep in range(factor):
+        for row in base_rows:
+            rid = row[0] + rep * n
+            out.append((rid, f"Resident {rid:06d}", *row[2:]))
+    db.bulk_load("adult", out)
+    return db

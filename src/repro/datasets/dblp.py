@@ -1,0 +1,498 @@
+"""Synthetic DBLP-like bibliography database (14 relations).
+
+Mirrors the paper's DBLP subset: authors, publications in top venues over
+2000-2015, affiliations, research areas, keywords, and awards.  Planted
+structure backs the five DQ benchmark queries of Figure 20:
+
+* DQ1 — authors affiliated with both "University of Washington" and
+  "Microsoft Research Redmond";
+* DQ2 — prolific database authors with >= 10 SIGMOD and >= 10 VLDB papers;
+* DQ3 — SIGMOD publications in 2010-2012;
+* DQ4 — publications co-authored by Jiawei Han, Xifeng Yan, and
+  Philip S. Yu together;
+* DQ5 — publications with authors from both USA and Canada.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metadata import AdbMetadata, DimensionSpec, EntitySpec
+from ..relational import ColumnDef, ColumnType, Database, ForeignKey, TableSchema
+from . import names
+from .seeds import make_rng, sample_unique_names, zipf_weights
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+VENUES = [
+    ("SIGMOD", "conference", "Databases"),
+    ("VLDB", "conference", "Databases"),
+    ("PODS", "conference", "Databases"),
+    ("ICDE", "conference", "Databases"),
+    ("EDBT", "conference", "Databases"),
+    ("CIDR", "conference", "Databases"),
+    ("TODS", "journal", "Databases"),
+    ("VLDBJ", "journal", "Databases"),
+    ("KDD", "conference", "Data Mining"),
+    ("ICDM", "conference", "Data Mining"),
+    ("WSDM", "conference", "Data Mining"),
+    ("ICML", "conference", "Machine Learning"),
+    ("NeurIPS", "conference", "Machine Learning"),
+    ("AAAI", "conference", "Artificial Intelligence"),
+    ("IJCAI", "conference", "Artificial Intelligence"),
+    ("ACL", "conference", "Natural Language Processing"),
+    ("EMNLP", "conference", "Natural Language Processing"),
+    ("SIGIR", "conference", "Information Retrieval"),
+    ("WWW", "conference", "Web"),
+    ("CHI", "conference", "Human-Computer Interaction"),
+    ("SOSP", "conference", "Systems"),
+    ("OSDI", "conference", "Systems"),
+    ("NSDI", "conference", "Networking"),
+    ("SIGCOMM", "conference", "Networking"),
+    ("S&P", "conference", "Security"),
+]
+AREAS = [
+    "Databases", "Data Mining", "Machine Learning",
+    "Artificial Intelligence", "Natural Language Processing",
+    "Information Retrieval", "Web", "Human-Computer Interaction",
+    "Systems", "Networking", "Security",
+]
+COUNTRIES = [
+    "USA", "Canada", "UK", "Germany", "France", "China", "India",
+    "Switzerland", "Netherlands", "Israel", "Singapore", "Australia",
+    "Italy", "South Korea", "Japan",
+]
+COUNTRY_WEIGHTS = [45, 7, 7, 6, 4, 8, 4, 3, 3, 3, 2, 3, 2, 2, 2]
+
+INSTITUTIONS = [
+    ("University of Washington", "USA"),
+    ("Microsoft Research Redmond", "USA"),
+    ("MIT", "USA"),
+    ("Stanford University", "USA"),
+    ("UC Berkeley", "USA"),
+    ("Carnegie Mellon University", "USA"),
+    ("University of Massachusetts Amherst", "USA"),
+    ("University of Wisconsin-Madison", "USA"),
+    ("Cornell University", "USA"),
+    ("Georgia Tech", "USA"),
+    ("University of Toronto", "Canada"),
+    ("University of Waterloo", "Canada"),
+    ("University of British Columbia", "Canada"),
+    ("Simon Fraser University", "Canada"),
+    ("University of Oxford", "UK"),
+    ("University of Cambridge", "UK"),
+    ("Imperial College London", "UK"),
+    ("TU Munich", "Germany"),
+    ("Max Planck Institute", "Germany"),
+    ("INRIA", "France"),
+    ("Tsinghua University", "China"),
+    ("Peking University", "China"),
+    ("IIT Bombay", "India"),
+    ("ETH Zurich", "Switzerland"),
+    ("CWI", "Netherlands"),
+    ("Technion", "Israel"),
+    ("NUS", "Singapore"),
+    ("University of Melbourne", "Australia"),
+    ("Politecnico di Milano", "Italy"),
+    ("KAIST", "South Korea"),
+    ("University of Tokyo", "Japan"),
+]
+AWARDS = [
+    "Test of Time Award", "Best Paper Award", "ACM Fellow",
+    "SIGMOD Contributions Award", "Dissertation Award",
+]
+
+PLANTED_AUTHORS = ["Jiawei Han", "Xifeng Yan", "Philip S. Yu"]
+
+
+@dataclass(frozen=True)
+class DblpSize:
+    """Scale knobs of the DBLP generator."""
+
+    authors: int = 800
+    publications: int = 2600
+    avg_authors_per_pub: float = 2.8
+    ambiguity_rate: float = 0.02
+    seed: int = 1337
+
+    @classmethod
+    def small(cls) -> "DblpSize":
+        return cls(authors=300, publications=900)
+
+    @classmethod
+    def base(cls) -> "DblpSize":
+        return cls()
+
+
+def metadata() -> AdbMetadata:
+    """αDB metadata for the DBLP schema."""
+    return AdbMetadata(
+        entities=[
+            EntitySpec("author", "id", "name"),
+            EntitySpec("publication", "id", "title"),
+        ],
+        dimensions=[
+            DimensionSpec("venue", "id", "name"),
+            DimensionSpec("venuetype", "id", "name"),
+            DimensionSpec("area", "id", "name"),
+            DimensionSpec("country", "id", "name"),
+            DimensionSpec("institution", "id", "name"),
+            DimensionSpec("keyword", "id", "name"),
+            DimensionSpec("award", "id", "name"),
+        ],
+        property_attributes={
+            "publication": ["year"],
+        },
+    )
+
+
+def _schema(db: Database) -> None:
+    """Create the 14 DBLP relations."""
+    for name in ("venuetype", "area", "country", "keyword", "award"):
+        db.create_table(
+            TableSchema(
+                name,
+                [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+                primary_key="id",
+            )
+        )
+    db.create_table(
+        TableSchema(
+            "venue",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("type_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("type_id", "venuetype", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "venuetoarea",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("venue_id", INT),
+                ColumnDef("area_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("venue_id", "venue", "id"),
+                ForeignKey("area_id", "area", "id"),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "institution",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("country_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("country_id", "country", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "author",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("country_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("country_id", "country", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "publication",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("title", TEXT),
+                ColumnDef("year", INT),
+                ColumnDef("venue_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("venue_id", "venue", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "authortopub",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("author_id", INT),
+                ColumnDef("pub_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("author_id", "author", "id"),
+                ForeignKey("pub_id", "publication", "id"),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "authortoinstitution",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("author_id", INT),
+                ColumnDef("institution_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("author_id", "author", "id"),
+                ForeignKey("institution_id", "institution", "id"),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "pubtokeyword",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("pub_id", INT),
+                ColumnDef("keyword_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("pub_id", "publication", "id"),
+                ForeignKey("keyword_id", "keyword", "id"),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "authortoaward",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("author_id", INT),
+                ColumnDef("award_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("author_id", "author", "id"),
+                ForeignKey("award_id", "award", "id"),
+            ],
+        )
+    )
+
+
+def _pub_title(rng: np.random.Generator, used: set) -> str:
+    for _ in range(50):
+        adj = names.RESEARCH_TITLE_WORDS[
+            int(rng.integers(0, len(names.RESEARCH_TITLE_WORDS)))
+        ]
+        topic = names.RESEARCH_TITLE_TOPICS[
+            int(rng.integers(0, len(names.RESEARCH_TITLE_TOPICS)))
+        ]
+        title = f"{adj} {topic}"
+        if rng.random() < 0.4:
+            suffix = names.RESEARCH_TITLE_SUFFIXES[
+                int(rng.integers(0, len(names.RESEARCH_TITLE_SUFFIXES)))
+            ]
+            title = f"{title} {suffix}"
+        if title not in used:
+            used.add(title)
+            return title
+    return title
+
+
+def generate(size: Optional[DblpSize] = None) -> Database:
+    """Generate the DBLP-like database (background + planted DQ data)."""
+    size = size or DblpSize.base()
+    db = Database("dblp")
+    _schema(db)
+    rng = make_rng(size.seed, "dblp")
+
+    # --- dimensions ------------------------------------------------------
+    venuetype_ids = {"conference": 1, "journal": 2}
+    db.bulk_load("venuetype", [(v, k) for k, v in venuetype_ids.items()])
+    area_ids = {name: i + 1 for i, name in enumerate(AREAS)}
+    db.bulk_load("area", [(v, k) for k, v in area_ids.items()])
+    country_ids = {name: i + 1 for i, name in enumerate(COUNTRIES)}
+    db.bulk_load("country", [(v, k) for k, v in country_ids.items()])
+    keyword_pool = names.KEYWORD_POOL[:80]
+    keyword_ids = {name: i + 1 for i, name in enumerate(keyword_pool)}
+    db.bulk_load("keyword", [(v, k) for k, v in keyword_ids.items()])
+    award_ids = {name: i + 1 for i, name in enumerate(AWARDS)}
+    db.bulk_load("award", [(v, k) for k, v in award_ids.items()])
+
+    venue_ids: Dict[str, int] = {}
+    venue_rows, vta_rows = [], []
+    for i, (venue, vtype, area) in enumerate(VENUES):
+        venue_ids[venue] = i + 1
+        venue_rows.append((i + 1, venue, venuetype_ids[vtype]))
+        vta_rows.append((i + 1, i + 1, area_ids[area]))
+    db.bulk_load("venue", venue_rows)
+    db.bulk_load("venuetoarea", vta_rows)
+
+    institution_ids: Dict[str, int] = {}
+    inst_rows = []
+    for i, (inst, country) in enumerate(INSTITUTIONS):
+        institution_ids[inst] = i + 1
+        inst_rows.append((i + 1, inst, country_ids[country]))
+    db.bulk_load("institution", inst_rows)
+
+    # --- authors ----------------------------------------------------------
+    n = size.authors
+    author_names = sample_unique_names(
+        rng,
+        names.MALE_FIRST_NAMES + names.FEMALE_FIRST_NAMES,
+        names.LAST_NAMES,
+        n,
+        size.ambiguity_rate,
+    )
+    planted = set(PLANTED_AUTHORS)
+    country_probs = np.asarray(COUNTRY_WEIGHTS, dtype=float)
+    country_probs = country_probs / country_probs.sum()
+    author_rows = []
+    author_country: List[str] = []
+    for i in range(n):
+        name = author_names[i]
+        if name in planted:
+            name = f"{name} Jr."
+        country = COUNTRIES[int(rng.choice(len(COUNTRIES), p=country_probs))]
+        author_rows.append((i + 1, name, country_ids[country]))
+        author_country.append(country)
+    # planted DQ4 authors
+    for j, name in enumerate(PLANTED_AUTHORS):
+        author_rows.append((n + 1 + j, name, country_ids["USA"]))
+        author_country.append("USA")
+    db.bulk_load("author", author_rows)
+    planted_ids = [n + 1, n + 2, n + 3]
+    total_authors = n + 3
+
+    # affiliations: most authors 1, some 2; DQ1 group holds UW + MSR
+    a2i_rows = []
+    a2i_next = 1
+    institutions = list(institution_ids)
+    country_institutions: Dict[str, List[str]] = {}
+    for inst, country in INSTITUTIONS:
+        country_institutions.setdefault(country, []).append(inst)
+    for aid in range(1, total_authors + 1):
+        country = author_country[aid - 1]
+        pool = country_institutions.get(country) or institutions
+        inst = pool[int(rng.integers(0, len(pool)))]
+        a2i_rows.append((a2i_next, aid, institution_ids[inst]))
+        a2i_next += 1
+        if rng.random() < 0.15:
+            other = institutions[int(rng.integers(0, len(institutions)))]
+            if other != inst:
+                a2i_rows.append((a2i_next, aid, institution_ids[other]))
+                a2i_next += 1
+    # DQ1: 12 authors explicitly at both UW and MSR Redmond
+    dq1_authors = list(rng.choice(np.arange(1, n + 1), size=12, replace=False))
+    for aid in dq1_authors:
+        for inst in ("University of Washington", "Microsoft Research Redmond"):
+            a2i_rows.append((a2i_next, int(aid), institution_ids[inst]))
+            a2i_next += 1
+    db.bulk_load("authortoinstitution", a2i_rows)
+
+    # awards: sparse
+    award_rows = []
+    award_next = 1
+    for aid in range(1, total_authors + 1):
+        if rng.random() < 0.06:
+            award = AWARDS[int(rng.integers(0, len(AWARDS)))]
+            award_rows.append((award_next, aid, award_ids[award]))
+            award_next += 1
+    db.bulk_load("authortoaward", award_rows)
+
+    # --- publications -----------------------------------------------------
+    # authors have a home venue-area; prolific DB authors get many DB papers
+    activity = zipf_weights(total_authors, exponent=1.02)
+    rng.shuffle(activity)
+    # DQ2: make 14 authors prolific in both SIGMOD and VLDB
+    dq2_authors = [int(a) for a in rng.choice(
+        np.arange(1, n + 1), size=14, replace=False
+    )]
+    home_venue = [
+        VENUES[int(rng.integers(0, len(VENUES)))][0]
+        for _ in range(total_authors)
+    ]
+
+    used_titles: set = set()
+    pub_rows, a2p_rows, p2k_rows = [], [], []
+    a2p_next = p2k_next = 1
+    pub_id = 0
+
+    def add_pub(venue: str, year: int, authors: Sequence[int]) -> int:
+        nonlocal pub_id, a2p_next, p2k_next
+        pub_id += 1
+        title = _pub_title(rng, used_titles)
+        pub_rows.append((pub_id, title, year, venue_ids[venue]))
+        for aid in dict.fromkeys(int(a) for a in authors):
+            a2p_rows.append((a2p_next, aid, pub_id))
+            a2p_next += 1
+        for _ in range(int(rng.integers(1, 4))):
+            kw = keyword_pool[int(rng.integers(0, len(keyword_pool)))]
+            p2k_rows.append((p2k_next, pub_id, keyword_ids[kw]))
+            p2k_next += 1
+        return pub_id
+
+    weights = activity / activity.sum()
+    for _ in range(size.publications):
+        lead = int(rng.choice(total_authors, p=weights)) + 1
+        venue = home_venue[lead - 1] if rng.random() < 0.6 else (
+            VENUES[int(rng.integers(0, len(VENUES)))][0]
+        )
+        year = int(rng.integers(2000, 2016))
+        coauthors = [lead]
+        k = max(1, int(rng.normal(size.avg_authors_per_pub, 1.2)))
+        for _ in range(k - 1):
+            coauthors.append(int(rng.choice(total_authors, p=weights)) + 1)
+        add_pub(venue, year, coauthors)
+
+    # DQ2 planted: 10-16 SIGMOD and 10-16 VLDB papers per prolific author
+    for aid in dq2_authors:
+        for venue in ("SIGMOD", "VLDB"):
+            for _ in range(int(rng.integers(10, 17))):
+                year = int(rng.integers(2000, 2016))
+                coauthors = [aid]
+                for _ in range(int(rng.integers(0, 3))):
+                    coauthors.append(int(rng.choice(total_authors, p=weights)) + 1)
+                add_pub(venue, year, coauthors)
+
+    # DQ3 planted: ensure a healthy SIGMOD 2010-2012 slice
+    for _ in range(60):
+        year = int(rng.integers(2010, 2013))
+        lead = int(rng.choice(total_authors, p=weights)) + 1
+        add_pub("SIGMOD", year, [lead])
+
+    # DQ4 planted: 8 joint papers of the three named authors
+    for _ in range(8):
+        venue = ("KDD", "ICDM", "ICDE")[int(rng.integers(0, 3))]
+        year = int(rng.integers(2002, 2016))
+        add_pub(venue, year, planted_ids)
+    # solo / pairwise work so the triple is informative
+    for aid in planted_ids:
+        for _ in range(10):
+            venue = ("KDD", "ICDM", "SIGIR")[int(rng.integers(0, 3))]
+            add_pub(venue, int(rng.integers(2000, 2016)), [aid])
+
+    # DQ5 planted: 25 USA-Canada collaborations
+    usa_authors = [
+        i + 1 for i, c in enumerate(author_country) if c == "USA"
+    ]
+    canada_authors = [
+        i + 1 for i, c in enumerate(author_country) if c == "Canada"
+    ]
+    for _ in range(25):
+        venue = VENUES[int(rng.integers(0, len(VENUES)))][0]
+        a_us = usa_authors[int(rng.integers(0, len(usa_authors)))]
+        a_ca = canada_authors[int(rng.integers(0, len(canada_authors)))]
+        add_pub(venue, int(rng.integers(2000, 2016)), [a_us, a_ca])
+
+    db.bulk_load("publication", pub_rows)
+    db.bulk_load("authortopub", a2p_rows)
+    db.bulk_load("pubtokeyword", p2k_rows)
+    return db

@@ -1,0 +1,907 @@
+"""Synthetic IMDb-like database generator (15 relations, Appendix D shape).
+
+The generator reproduces the *statistical structure* the paper's IMDb
+experiments rely on, at laptop scale:
+
+* entities: ``person`` and ``movie``; dimensions: genre, country, language,
+  certificate, roletype, keyword, company; fact tables: castinfo (with a
+  role qualifier) and the four ``movieto*`` association tables;
+* skewed country/genre marginals, Zipfian actor activity, per-actor genre
+  affinity (the mechanism behind "funny actors appear in many comedies");
+* planted entities for every benchmark query of Figure 19 (Pulp Fiction's
+  cast, the LOTR trilogy, Clint Eastwood directing *and* acting, Tom
+  Cruise + Nicole Kidman co-starring in English-language 1990-2014 films,
+  Indian actors with many Hollywood movies, and so on), so the intended
+  result sets are non-trivial and the paper's per-query phenomena
+  (IQ3/IQ6/IQ10 failure modes) reproduce.
+
+The scaled variants of Appendix D.1 (sm/bs/bd) are provided as transforms
+of the base database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metadata import AdbMetadata, DimensionSpec, EntitySpec, QualifierSpec
+from ..relational import ColumnDef, ColumnType, Database, ForeignKey, TableSchema
+from . import names
+from .seeds import clipped_normal, make_rng, sample_unique_names, zipf_weights
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+GENRES = [
+    "Action", "Adventure", "Animation", "Biography", "Comedy", "Crime",
+    "Documentary", "Drama", "Family", "Fantasy", "History", "Horror",
+    "Music", "Mystery", "Romance", "Sci-Fi", "Sport", "Thriller", "War",
+    "Western",
+]
+GENRE_WEIGHTS = [
+    8, 6, 4, 3, 14, 6, 3, 16, 4, 4, 2, 5, 2, 4, 7, 5, 2, 8, 2, 2,
+]
+
+COUNTRIES = [
+    "USA", "UK", "France", "Germany", "Italy", "Spain", "Canada", "India",
+    "Japan", "Russia", "China", "Australia", "Mexico", "Brazil", "Sweden",
+    "Denmark", "Norway", "Netherlands", "Belgium", "Poland", "Austria",
+    "Switzerland", "Ireland", "South Korea", "Argentina",
+]
+COUNTRY_WEIGHTS = [
+    40, 9, 5, 4, 3, 3, 5, 8, 5, 4, 4, 3, 2, 2, 1.5,
+    1, 1, 1, 1, 1, 0.8, 0.8, 1, 2, 1,
+]
+
+LANGUAGES = [
+    "English", "French", "German", "Italian", "Spanish", "Hindi",
+    "Japanese", "Russian", "Mandarin", "Portuguese", "Swedish", "Danish",
+    "Norwegian", "Dutch", "Polish", "Korean",
+]
+COUNTRY_LANGUAGE = {
+    "USA": "English", "UK": "English", "Canada": "English",
+    "Australia": "English", "Ireland": "English", "France": "French",
+    "Belgium": "French", "Germany": "German", "Austria": "German",
+    "Switzerland": "German", "Italy": "Italian", "Spain": "Spanish",
+    "Mexico": "Spanish", "Argentina": "Spanish", "India": "Hindi",
+    "Japan": "Japanese", "Russia": "Russian", "China": "Mandarin",
+    "Brazil": "Portuguese", "Sweden": "Swedish", "Denmark": "Danish",
+    "Norway": "Norwegian", "Netherlands": "Dutch", "Poland": "Polish",
+    "South Korea": "Korean",
+}
+
+CERTIFICATES = ["G", "PG", "PG-13", "R", "NC-17", "TV-14", "TV-MA", "Unrated"]
+ROLETYPES = [
+    "Actor", "Actress", "Director", "Producer", "Writer", "Editor",
+    "Composer", "Cinematographer",
+]
+
+PLANTED_PERSONS = [
+    "Tom Cruise", "Nicole Kidman", "Clint Eastwood", "Al Pacino",
+    "Patrick Stewart",
+]
+PLANTED_MOVIES = [
+    "Pulp Fiction",
+    "The Lord of the Rings: The Fellowship of the Ring",
+    "The Lord of the Rings: The Two Towers",
+    "The Lord of the Rings: The Return of the King",
+]
+PLANTED_COMPANIES = ["Walt Disney Pictures", "Pixar"]
+
+
+@dataclass(frozen=True)
+class ImdbSize:
+    """Scale knobs of the generator."""
+
+    persons: int = 2000
+    movies: int = 4000
+    companies: int = 80
+    keywords: int = 120
+    avg_cast: float = 7.0
+    ambiguity_rate: float = 0.03
+    seed: int = 701
+
+    @classmethod
+    def small(cls) -> "ImdbSize":
+        """Test-suite scale: builds plus αDB in a couple of seconds."""
+        return cls(persons=450, movies=900, companies=40, keywords=60)
+
+    @classmethod
+    def base(cls) -> "ImdbSize":
+        """Benchmark scale (the reproduction's stand-in for 633 MB IMDb)."""
+        return cls()
+
+    def scaled(self, factor: float) -> "ImdbSize":
+        """A proportionally resized configuration."""
+        return ImdbSize(
+            persons=max(50, int(self.persons * factor)),
+            movies=max(80, int(self.movies * factor)),
+            companies=max(10, int(self.companies * factor)),
+            keywords=max(20, int(self.keywords * factor)),
+            avg_cast=self.avg_cast,
+            ambiguity_rate=self.ambiguity_rate,
+            seed=self.seed,
+        )
+
+
+def metadata() -> AdbMetadata:
+    """αDB metadata for the IMDb schema (the administrator's one-off input)."""
+    return AdbMetadata(
+        entities=[
+            EntitySpec("person", "id", "name"),
+            EntitySpec("movie", "id", "title"),
+        ],
+        dimensions=[
+            DimensionSpec("genre", "id", "name"),
+            DimensionSpec("country", "id", "name"),
+            DimensionSpec("language", "id", "name"),
+            DimensionSpec("certificate", "id", "name"),
+            DimensionSpec("roletype", "id", "name"),
+            DimensionSpec("keyword", "id", "name"),
+            DimensionSpec("company", "id", "name"),
+        ],
+        property_attributes={
+            "person": ["gender", "birth_year"],
+            "movie": ["year"],
+        },
+        qualifiers=[QualifierSpec("castinfo", "role_id", "roletype")],
+        excluded_attributes={
+            "movie": ["runtime", "votes"],
+        },
+    )
+
+
+def _schema(db: Database) -> None:
+    """Create the 15 IMDb relations."""
+    for name in ("genre", "country", "language", "certificate", "roletype", "keyword"):
+        db.create_table(
+            TableSchema(
+                name,
+                [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+                primary_key="id",
+            )
+        )
+    db.create_table(
+        TableSchema(
+            "company",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("country_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("country_id", "country", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "person",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("gender", TEXT),
+                ColumnDef("birth_year", INT),
+                ColumnDef("country_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("country_id", "country", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "movie",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("title", TEXT),
+                ColumnDef("year", INT),
+                ColumnDef("runtime", INT),
+                ColumnDef("votes", INT),
+                ColumnDef("certificate_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("certificate_id", "certificate", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "castinfo",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("person_id", INT),
+                ColumnDef("movie_id", INT),
+                ColumnDef("role_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("person_id", "person", "id"),
+                ForeignKey("movie_id", "movie", "id"),
+                ForeignKey("role_id", "roletype", "id"),
+            ],
+        )
+    )
+    for name, dim in (
+        ("movietogenre", "genre"),
+        ("movietocountry", "country"),
+        ("movietolanguage", "language"),
+        ("movietocompany", "company"),
+        ("movietokeyword", "keyword"),
+    ):
+        db.create_table(
+            TableSchema(
+                name,
+                [
+                    ColumnDef("id", INT, nullable=False),
+                    ColumnDef("movie_id", INT),
+                    ColumnDef(f"{dim}_id", INT),
+                ],
+                primary_key="id",
+                foreign_keys=[
+                    ForeignKey("movie_id", "movie", "id"),
+                    ForeignKey(f"{dim}_id", dim, "id"),
+                ],
+            )
+        )
+
+
+class _Builder:
+    """Accumulates rows and hands out sequential ids per table."""
+
+    def __init__(self) -> None:
+        self.rows: Dict[str, List[tuple]] = {}
+        self._next: Dict[str, int] = {}
+
+    def add(self, table: str, *values: Any) -> int:
+        rid = self._next.get(table, 1)
+        self._next[table] = rid + 1
+        self.rows.setdefault(table, []).append((rid, *values))
+        return rid
+
+    def load_into(self, db: Database) -> None:
+        for table, rows in self.rows.items():
+            db.bulk_load(table, rows)
+
+
+def generate(size: Optional[ImdbSize] = None) -> Database:
+    """Generate the full IMDb-like database (background + planted data)."""
+    size = size or ImdbSize.base()
+    db = Database("imdb")
+    _schema(db)
+    b = _Builder()
+
+    dims = _build_dimensions(b, size)
+    persons, affinity, activity = _build_persons(b, size, dims)
+    movies = _build_movies(b, size, dims)
+    _build_cast(b, size, dims, persons, affinity, activity, movies)
+    _plant_benchmarks(b, size, dims, movies)
+    b.load_into(db)
+    return db
+
+
+# ----------------------------------------------------------------------
+# background generation
+# ----------------------------------------------------------------------
+def _build_dimensions(b: _Builder, size: ImdbSize) -> Dict[str, Dict[str, int]]:
+    rng = make_rng(size.seed, "dims")
+    ids: Dict[str, Dict[str, int]] = {}
+    ids["genre"] = {name: b.add("genre", name) for name in GENRES}
+    ids["country"] = {name: b.add("country", name) for name in COUNTRIES}
+    ids["language"] = {name: b.add("language", name) for name in LANGUAGES}
+    ids["certificate"] = {name: b.add("certificate", name) for name in CERTIFICATES}
+    ids["roletype"] = {name: b.add("roletype", name) for name in ROLETYPES}
+    keywords = names.KEYWORD_POOL[: size.keywords]
+    ids["keyword"] = {name: b.add("keyword", name) for name in keywords}
+    company_ids: Dict[str, int] = {}
+    for name in PLANTED_COMPANIES:
+        company_ids[name] = b.add("company", name, ids["country"]["USA"])
+    suffixes = ["Pictures", "Films", "Studios", "Entertainment", "Productions"]
+    while len(company_ids) < size.companies:
+        word = names.TITLE_NOUNS[int(rng.integers(0, len(names.TITLE_NOUNS)))]
+        suffix = suffixes[int(rng.integers(0, len(suffixes)))]
+        name = f"{word} {suffix}"
+        if name in company_ids:
+            continue
+        country = _weighted_country(rng)
+        company_ids[name] = b.add("company", name, ids["country"][country])
+    ids["company"] = company_ids
+    return ids
+
+
+def _weighted_country(rng: np.random.Generator) -> str:
+    probs = np.asarray(COUNTRY_WEIGHTS, dtype=float)
+    return COUNTRIES[int(rng.choice(len(COUNTRIES), p=probs / probs.sum()))]
+
+
+def _build_persons(
+    b: _Builder, size: ImdbSize, dims: Dict[str, Dict[str, int]]
+) -> Tuple[List[dict], np.ndarray, np.ndarray]:
+    rng = make_rng(size.seed, "persons")
+    n = size.persons
+    genders = np.where(rng.random(n) < 0.58, "Male", "Female")
+    birth_years = clipped_normal(rng, 1962, 16, 1920, 2000, n).astype(int)
+    male_names = sample_unique_names(
+        rng, names.MALE_FIRST_NAMES, names.LAST_NAMES, n, size.ambiguity_rate
+    )
+    female_names = sample_unique_names(
+        rng, names.FEMALE_FIRST_NAMES, names.LAST_NAMES, n, size.ambiguity_rate
+    )
+    planted = set(PLANTED_PERSONS)
+    genre_probs = np.asarray(GENRE_WEIGHTS, dtype=float)
+    genre_probs = genre_probs / genre_probs.sum()
+    affinity = rng.choice(len(GENRES), size=n, p=genre_probs)
+    # Zipfian activity: a few persons appear in very many movies
+    activity = zipf_weights(n, exponent=1.05)
+    rng.shuffle(activity)
+    # ~15% of persons never appear in a movie (pure background entities)
+    inactive = rng.random(n) < 0.15
+    activity[inactive] = 0.0
+
+    persons: List[dict] = []
+    mi = fi = 0
+    for i in range(n):
+        if genders[i] == "Male":
+            name = male_names[mi]
+            mi += 1
+        else:
+            name = female_names[fi]
+            fi += 1
+        if name in planted:
+            name = f"{name} Jr."
+        country = _weighted_country(rng)
+        pid = b.add(
+            "person", name, str(genders[i]), int(birth_years[i]),
+            dims["country"][country],
+        )
+        persons.append(
+            {"id": pid, "gender": str(genders[i]), "country": country}
+        )
+    return persons, affinity, activity
+
+
+def _movie_title(rng: np.random.Generator, used: set) -> str:
+    for _ in range(40):
+        adj = names.TITLE_ADJECTIVES[int(rng.integers(0, len(names.TITLE_ADJECTIVES)))]
+        noun = names.TITLE_NOUNS[int(rng.integers(0, len(names.TITLE_NOUNS)))]
+        if rng.random() < 0.25:
+            suffix = names.TITLE_SUFFIXES[
+                int(rng.integers(0, len(names.TITLE_SUFFIXES)))
+            ]
+            title = f"The {adj} {noun} {suffix}"
+        else:
+            title = f"The {adj} {noun}"
+        if title not in used:
+            used.add(title)
+            return title
+    # exhausted unique space: allow an intentional duplicate
+    return title
+
+
+def _movie_year(rng: np.random.Generator) -> int:
+    # recent-skewed release years, 1930..2017
+    r = rng.random()
+    if r < 0.5:
+        return int(rng.integers(2000, 2018))
+    if r < 0.8:
+        return int(rng.integers(1980, 2000))
+    return int(rng.integers(1930, 1980))
+
+
+def _build_movies(
+    b: _Builder, size: ImdbSize, dims: Dict[str, Dict[str, int]]
+) -> List[dict]:
+    rng = make_rng(size.seed, "movies")
+    used_titles = set(PLANTED_MOVIES)
+    genre_probs = np.asarray(GENRE_WEIGHTS, dtype=float)
+    genre_probs = genre_probs / genre_probs.sum()
+    company_names = list(dims["company"])
+    keyword_names = list(dims["keyword"])
+    movies: List[dict] = []
+    for _ in range(size.movies):
+        title = _movie_title(rng, used_titles)
+        if rng.random() < 0.02 and movies:
+            # intentional title collision for disambiguation experiments
+            title = movies[int(rng.integers(0, len(movies)))]["title"]
+        year = _movie_year(rng)
+        primary = int(rng.choice(len(GENRES), p=genre_probs))
+        country = _weighted_country(rng)
+        movie = _add_movie(
+            b, rng, dims, title=title, year=year, primary_genre=GENRES[primary],
+            country=country,
+            companies=[
+                company_names[int(rng.integers(0, len(company_names)))]
+                for _ in range(1 + (rng.random() < 0.3))
+            ],
+            keywords=[
+                keyword_names[int(rng.integers(0, len(keyword_names)))]
+                for _ in range(int(rng.integers(0, 4)))
+            ],
+        )
+        movies.append(movie)
+    return movies
+
+
+def _add_movie(
+    b: _Builder,
+    rng: np.random.Generator,
+    dims: Dict[str, Dict[str, int]],
+    *,
+    title: str,
+    year: int,
+    primary_genre: str,
+    country: str,
+    extra_genres: Sequence[str] = (),
+    companies: Sequence[str] = (),
+    keywords: Sequence[str] = (),
+    language: Optional[str] = None,
+    votes: Optional[int] = None,
+) -> dict:
+    runtime = int(clipped_normal(rng, 105, 18, 60, 220, 1)[0])
+    votes = int(votes if votes is not None else rng.lognormal(8.0, 1.6))
+    certificate = CERTIFICATES[int(rng.integers(0, len(CERTIFICATES)))]
+    mid = b.add(
+        "movie", title, year, runtime, votes, dims["certificate"][certificate]
+    )
+    genres = [primary_genre] + [g for g in extra_genres if g != primary_genre]
+    if not extra_genres and rng.random() < 0.55:
+        other = GENRES[int(rng.integers(0, len(GENRES)))]
+        if other not in genres:
+            genres.append(other)
+    for genre in genres:
+        b.add("movietogenre", mid, dims["genre"][genre])
+    b.add("movietocountry", mid, dims["country"][country])
+    language = language or COUNTRY_LANGUAGE.get(country, "English")
+    b.add("movietolanguage", mid, dims["language"][language])
+    for company in companies:
+        b.add("movietocompany", mid, dims["company"][company])
+    for keyword in dict.fromkeys(keywords):
+        b.add("movietokeyword", mid, dims["keyword"][keyword])
+    return {
+        "id": mid,
+        "title": title,
+        "year": year,
+        "primary_genre": primary_genre,
+        "country": country,
+    }
+
+
+def _build_cast(
+    b: _Builder,
+    size: ImdbSize,
+    dims: Dict[str, Dict[str, int]],
+    persons: List[dict],
+    affinity: np.ndarray,
+    activity: np.ndarray,
+    movies: List[dict],
+) -> None:
+    rng = make_rng(size.seed, "cast")
+    role_ids = dims["roletype"]
+    n = len(persons)
+    genre_index = {name: i for i, name in enumerate(GENRES)}
+    # per-genre sampling distributions biased to affinity + activity
+    base = np.maximum(activity, 0.0)
+    if base.sum() == 0:
+        base = np.ones(n)
+    pools: Dict[int, np.ndarray] = {}
+    for gi in range(len(GENRES)):
+        weights = base * np.where(affinity == gi, 12.0, 1.0)
+        total = weights.sum()
+        pools[gi] = weights / total if total > 0 else np.ones(n) / n
+
+    for movie in movies:
+        gi = genre_index[movie["primary_genre"]]
+        cast_size = max(3, int(rng.normal(size.avg_cast, 2.5)))
+        chosen = rng.choice(n, size=min(cast_size, n), replace=False, p=pools[gi])
+        for idx in chosen:
+            person = persons[int(idx)]
+            role = "Actor" if person["gender"] == "Male" else "Actress"
+            b.add("castinfo", person["id"], movie["id"], role_ids[role])
+        # crew: director, producer, writer drawn activity-weighted
+        for role in ("Director", "Producer", "Writer"):
+            idx = int(rng.choice(n, p=pools[gi]))
+            b.add("castinfo", persons[idx]["id"], movie["id"], role_ids[role])
+
+
+# ----------------------------------------------------------------------
+# planted benchmark entities (Figure 19 queries)
+# ----------------------------------------------------------------------
+def _plant_persons(
+    b: _Builder,
+    rng: np.random.Generator,
+    dims: Dict[str, Dict[str, int]],
+    count: int,
+    *,
+    gender: str = "Male",
+    country: str = "USA",
+    birth_range: Tuple[int, int] = (1940, 1990),
+    name_prefix: str = "",
+) -> List[int]:
+    firsts = (
+        names.MALE_FIRST_NAMES if gender == "Male" else names.FEMALE_FIRST_NAMES
+    )
+    out = []
+    for i in range(count):
+        first = firsts[int(rng.integers(0, len(firsts)))]
+        last = names.LAST_NAMES[int(rng.integers(0, len(names.LAST_NAMES)))]
+        name = f"{name_prefix}{first} {last}"
+        birth = int(rng.integers(birth_range[0], birth_range[1] + 1))
+        pid = b.add("person", name, gender, birth, dims["country"][country])
+        out.append(pid)
+    return out
+
+
+def _cast_actor(b: _Builder, dims, pid: int, mid: int, gender: str = "Male") -> None:
+    role = "Actor" if gender == "Male" else "Actress"
+    b.add("castinfo", pid, mid, dims["roletype"][role])
+
+
+def _plant_benchmarks(
+    b: _Builder,
+    size: ImdbSize,
+    dims: Dict[str, Dict[str, int]],
+    background_movies: List[dict],
+) -> None:
+    rng = make_rng(size.seed, "plant")
+    role_ids = dims["roletype"]
+
+    def background_career(pid: int, low: int = 2, high: int = 7) -> None:
+        """Give a planted person appearances in random background movies.
+
+        Real cast members work across many films; without this, trees like
+        TALOS could isolate planted movies by title with zero leakage,
+        hiding the mislabelling failure the paper documents for IQ1.
+        """
+        n = int(rng.integers(low, high + 1))
+        picks = rng.choice(len(background_movies), size=n, replace=False)
+        for mi in picks:
+            _cast_actor(b, dims, pid, background_movies[int(mi)]["id"])
+
+    # --- IQ1: Pulp Fiction and its cast -------------------------------
+    pulp = _add_movie(
+        b, rng, dims, title="Pulp Fiction", year=1994, primary_genre="Crime",
+        country="USA", extra_genres=["Drama"], votes=2_000_000,
+    )
+    pulp_cast = _plant_persons(b, rng, dims, 36)
+    for pid in pulp_cast:
+        _cast_actor(b, dims, pid, pulp["id"])
+        background_career(pid)
+
+    # --- IQ2: LOTR trilogy with a shared core cast ---------------------
+    core = _plant_persons(b, rng, dims, 18, country="UK", birth_range=(1940, 1985))
+    for pid in core:
+        background_career(pid, low=1, high=4)
+    for title in PLANTED_MOVIES[1:]:
+        movie = _add_movie(
+            b, rng, dims, title=title,
+            year={"The Lord of the Rings: The Fellowship of the Ring": 2001,
+                  "The Lord of the Rings: The Two Towers": 2002,
+                  "The Lord of the Rings: The Return of the King": 2003}[title],
+            primary_genre="Fantasy", country="USA", extra_genres=["Adventure"],
+            votes=1_700_000,
+        )
+        for pid in core:
+            _cast_actor(b, dims, pid, movie["id"])
+        for pid in _plant_persons(b, rng, dims, 8, country="UK"):
+            _cast_actor(b, dims, pid, movie["id"])
+            background_career(pid, low=0, high=3)
+
+    # --- IQ5: Tom Cruise + Nicole Kidman, English, 1990-2014 ----------
+    cruise = b.add("person", "Tom Cruise", "Male", 1962, dims["country"]["USA"])
+    kidman = b.add(
+        "person", "Nicole Kidman", "Female", 1967, dims["country"]["Australia"]
+    )
+    for i in range(12):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Crimson Verdict {i + 1}",
+            year=int(1990 + (24 * i) // 11 if i < 12 else 1990),
+            primary_genre="Drama", country="USA", language="English",
+        )
+        _cast_actor(b, dims, cruise, movie["id"])
+        _cast_actor(b, dims, kidman, movie["id"], gender="Female")
+    # solo careers so the pair filter is informative
+    for i in range(10):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Scarlet Mission {i + 1}",
+            year=int(rng.integers(1986, 2017)), primary_genre="Action",
+            country="USA", language="English",
+        )
+        _cast_actor(b, dims, cruise, movie["id"])
+    for i in range(9):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Velvet Hour {i + 1}",
+            year=int(rng.integers(1989, 2017)), primary_genre="Drama",
+            country="USA", language="English",
+        )
+        _cast_actor(b, dims, kidman, movie["id"], gender="Female")
+
+    # --- IQ6: Clint Eastwood directs 20, acts in 14 of them ------------
+    eastwood = b.add("person", "Clint Eastwood", "Male", 1930, dims["country"]["USA"])
+    for i in range(20):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Iron Frontier {i + 1}",
+            year=int(rng.integers(1971, 2017)), primary_genre="Western",
+            country="USA",
+        )
+        b.add("castinfo", eastwood, movie["id"], role_ids["Director"])
+        if i < 14:
+            _cast_actor(b, dims, eastwood, movie["id"])
+    # acting-only appearances
+    for i in range(6):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Hollow Canyon {i + 1}",
+            year=int(rng.integers(1964, 2000)), primary_genre="Western",
+            country="USA",
+        )
+        _cast_actor(b, dims, eastwood, movie["id"])
+
+    # --- IQ8: Al Pacino movies -----------------------------------------
+    pacino = b.add("person", "Al Pacino", "Male", 1940, dims["country"]["USA"])
+    for i in range(30):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Shattered Covenant {i + 1}",
+            year=int(rng.integers(1971, 2017)), primary_genre="Crime",
+            country="USA", extra_genres=["Drama"],
+        )
+        _cast_actor(b, dims, pacino, movie["id"])
+
+    # --- IQ9: Indian actors with >= 15 Hollywood (USA) movies ----------
+    indian_pool_movies = [
+        _add_movie(
+            b, rng, dims, title=f"The Golden Monsoon {i + 1}",
+            year=int(rng.integers(1990, 2017)), primary_genre="Drama",
+            country="USA", language="English",
+        )
+        for i in range(30)
+    ]
+    heavy = _plant_persons(b, rng, dims, 10, country="India")
+    for pid in heavy:
+        picks = rng.choice(len(indian_pool_movies), size=18, replace=False)
+        for mi in picks:
+            _cast_actor(b, dims, pid, indian_pool_movies[int(mi)]["id"])
+    light = _plant_persons(b, rng, dims, 12, country="India")
+    for pid in light:
+        picks = rng.choice(len(indian_pool_movies), size=5, replace=False)
+        for mi in picks:
+            _cast_actor(b, dims, pid, indian_pool_movies[int(mi)]["id"])
+
+    # --- IQ10: actors with > 10 Russian movies after 2010 --------------
+    russian_recent = [
+        _add_movie(
+            b, rng, dims, title=f"The Frozen Meridian {i + 1}",
+            year=int(rng.integers(2011, 2018)), primary_genre="Drama",
+            country="Russia", language="Russian",
+        )
+        for i in range(26)
+    ]
+    russian_old = [
+        _add_movie(
+            b, rng, dims, title=f"The Distant Tempest {i + 1}",
+            year=int(rng.integers(1995, 2010)), primary_genre="Drama",
+            country="Russia", language="Russian",
+        )
+        for i in range(20)
+    ]
+    # satisfy the intent: many recent Russian movies
+    for pid in _plant_persons(b, rng, dims, 8, country="Russia"):
+        for mi in rng.choice(len(russian_recent), size=13, replace=False):
+            _cast_actor(b, dims, pid, russian_recent[int(mi)]["id"])
+    # confounders: many Russian movies but mostly old ones
+    for pid in _plant_persons(b, rng, dims, 8, country="Russia"):
+        for mi in rng.choice(len(russian_old), size=11, replace=False):
+            _cast_actor(b, dims, pid, russian_old[int(mi)]["id"])
+        for mi in rng.choice(len(russian_recent), size=4, replace=False):
+            _cast_actor(b, dims, pid, russian_recent[int(mi)]["id"])
+
+    # --- IQ3: Canadian actresses born after 1970 -------------------------
+    canadian_films = [
+        _add_movie(
+            b, rng, dims, title=f"The Restless Harbor {i + 1}",
+            year=int(rng.integers(1995, 2017)), primary_genre="Drama",
+            country="Canada", language="English",
+        )
+        for i in range(12)
+    ]
+    actresses = _plant_persons(
+        b, rng, dims, 16, gender="Female", country="Canada",
+        birth_range=(1971, 1995),
+    )
+    for pid in actresses:
+        for mi in rng.choice(len(canadian_films), size=3, replace=False):
+            _cast_actor(b, dims, pid, canadian_films[int(mi)]["id"], gender="Female")
+    # confounders: older Canadian actresses and young Canadian women who
+    # never act (so each predicate of IQ3 matters)
+    older = _plant_persons(
+        b, rng, dims, 8, gender="Female", country="Canada",
+        birth_range=(1940, 1969),
+    )
+    for pid in older:
+        for mi in rng.choice(len(canadian_films), size=2, replace=False):
+            _cast_actor(b, dims, pid, canadian_films[int(mi)]["id"], gender="Female")
+    _plant_persons(
+        b, rng, dims, 10, gender="Female", country="Canada",
+        birth_range=(1971, 1995),
+    )
+
+    # --- IQ4: Sci-Fi movies released in USA in 2016 ---------------------
+    for i in range(22):
+        _add_movie(
+            b, rng, dims, title=f"The Neon Paradox {i + 1}", year=2016,
+            primary_genre="Sci-Fi", country="USA", language="English",
+        )
+
+    # --- IQ11: USA Horror-Drama movies 2005-2008 ------------------------
+    for i in range(20):
+        _add_movie(
+            b, rng, dims, title=f"The Midnight Requiem {i + 1}",
+            year=int(rng.integers(2005, 2009)), primary_genre="Horror",
+            country="USA", extra_genres=["Drama"],
+        )
+
+    # --- IQ12/IQ13/IQ16: Disney & Pixar movies ---------------------------
+    us_cast_pool = _plant_persons(b, rng, dims, 60, country="USA")
+    for i in range(40):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Lucky Carnival {i + 1}",
+            year=int(rng.integers(1990, 2017)), primary_genre="Family",
+            country="USA", companies=["Walt Disney Pictures"],
+        )
+        # IQ16: half of Disney movies have large American casts
+        cast = 18 if i % 2 == 0 else 6
+        for pi in rng.choice(len(us_cast_pool), size=cast, replace=False):
+            _cast_actor(b, dims, us_cast_pool[int(pi)], movie["id"])
+    for i in range(18):
+        _add_movie(
+            b, rng, dims, title=f"The Gentle Zephyr {i + 1}",
+            year=int(rng.integers(1995, 2017)), primary_genre="Animation",
+            country="USA", companies=["Pixar"], extra_genres=["Family"],
+        )
+
+    # --- IQ14: Sci-Fi movies with Patrick Stewart ------------------------
+    stewart = b.add("person", "Patrick Stewart", "Male", 1940, dims["country"]["UK"])
+    for i in range(14):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Electric Odyssey {i + 1}",
+            year=int(rng.integers(1987, 2017)), primary_genre="Sci-Fi",
+            country="USA", language="English",
+        )
+        _cast_actor(b, dims, stewart, movie["id"])
+    for i in range(6):
+        movie = _add_movie(
+            b, rng, dims, title=f"The Quiet Sanctuary {i + 1}",
+            year=int(rng.integers(1990, 2017)), primary_genre="Drama",
+            country="UK", language="English",
+        )
+        _cast_actor(b, dims, stewart, movie["id"])
+
+    # --- IQ15: Japanese Animation movies ---------------------------------
+    for i in range(45):
+        _add_movie(
+            b, rng, dims, title=f"The Silver Lantern {i + 1}",
+            year=int(rng.integers(1985, 2017)), primary_genre="Animation",
+            country="Japan", language="Japanese",
+        )
+
+
+# ----------------------------------------------------------------------
+# scaled variants (Appendix D.1)
+# ----------------------------------------------------------------------
+def _copy_schema(source: Database, name: str) -> Database:
+    db = Database(name)
+    for schema in source.schema.tables.values():
+        db.create_table(
+            TableSchema(
+                schema.name,
+                list(schema.columns),
+                primary_key=schema.primary_key,
+                foreign_keys=list(schema.foreign_keys),
+            )
+        )
+    return db
+
+
+def downsized_variant(source: Database, keep_fraction: float = 0.35) -> Database:
+    """sm-IMDb: drop sparsely-connected persons and empty movies.
+
+    Appendix D.1 drops persons with fewer than 2 movies and movies with no
+    cast; ``keep_fraction`` additionally subsamples the surviving movies.
+    """
+    rng = make_rng(10_101, "sm")
+    cast = source.relation("castinfo")
+    per_person: Dict[int, int] = {}
+    per_movie: Dict[int, int] = {}
+    for pid, mid in zip(cast.column("person_id"), cast.column("movie_id")):
+        per_person[pid] = per_person.get(pid, 0) + 1
+        per_movie[mid] = per_movie.get(mid, 0) + 1
+
+    keep_movies = {
+        mid
+        for mid in source.relation("movie").column("id")
+        if per_movie.get(mid, 0) > 0 and rng.random() < keep_fraction
+    }
+    keep_persons = {
+        pid
+        for pid in source.relation("person").column("id")
+        if per_person.get(pid, 0) >= 2
+    }
+    db = _copy_schema(source, "sm-imdb")
+    for dim in ("genre", "country", "language", "certificate", "roletype",
+                "keyword", "company"):
+        db.bulk_load(dim, source.relation(dim).rows())
+    db.bulk_load(
+        "person",
+        (r for r in source.relation("person").rows() if r[0] in keep_persons),
+    )
+    db.bulk_load(
+        "movie",
+        (r for r in source.relation("movie").rows() if r[0] in keep_movies),
+    )
+    db.bulk_load(
+        "castinfo",
+        (
+            r
+            for r in source.relation("castinfo").rows()
+            if r[1] in keep_persons and r[2] in keep_movies
+        ),
+    )
+    for table in ("movietogenre", "movietocountry", "movietolanguage",
+                  "movietocompany", "movietokeyword"):
+        db.bulk_load(
+            table,
+            (r for r in source.relation(table).rows() if r[1] in keep_movies),
+        )
+    return db
+
+
+def upsized_variant(source: Database, dense: bool) -> Database:
+    """bs-IMDb (sparse) / bd-IMDb (dense) duplication of Appendix D.1.
+
+    Every person and movie is duplicated with fresh ids.  For each original
+    association (P1, M1), bs adds (P2, M2); bd additionally adds (P1, M2)
+    and (P2, M1), creating denser connections.
+    """
+    db = _copy_schema(source, "bd-imdb" if dense else "bs-imdb")
+    for dim in ("genre", "country", "language", "certificate", "roletype",
+                "keyword", "company"):
+        db.bulk_load(dim, source.relation(dim).rows())
+
+    person_rows = list(source.relation("person").rows())
+    movie_rows = list(source.relation("movie").rows())
+    person_offset = max(r[0] for r in person_rows) + 1
+    movie_offset = max(r[0] for r in movie_rows) + 1
+
+    db.bulk_load("person", person_rows)
+    db.bulk_load(
+        "person",
+        ((r[0] + person_offset, f"{r[1]} (II)", *r[2:]) for r in person_rows),
+    )
+    db.bulk_load("movie", movie_rows)
+    db.bulk_load(
+        "movie",
+        ((r[0] + movie_offset, f"{r[1]} (II)", *r[2:]) for r in movie_rows),
+    )
+
+    cast_rows = list(source.relation("castinfo").rows())
+    out = []
+    next_id = max(r[0] for r in cast_rows) + 1 if cast_rows else 1
+    for cid, pid, mid, role in cast_rows:
+        out.append((cid, pid, mid, role))
+        out.append((next_id, pid + person_offset, mid + movie_offset, role))
+        next_id += 1
+        if dense:
+            out.append((next_id, pid, mid + movie_offset, role))
+            next_id += 1
+            out.append((next_id, pid + person_offset, mid, role))
+            next_id += 1
+    db.bulk_load("castinfo", out)
+
+    for table in ("movietogenre", "movietocountry", "movietolanguage",
+                  "movietocompany", "movietokeyword"):
+        rows = list(source.relation(table).rows())
+        next_id = max(r[0] for r in rows) + 1 if rows else 1
+        dup = []
+        for rid, mid, dim_id in rows:
+            dup.append((rid, mid, dim_id))
+            dup.append((next_id, mid + movie_offset, dim_id))
+            next_id += 1
+        db.bulk_load(table, dup)
+    return db

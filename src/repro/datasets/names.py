@@ -1,0 +1,143 @@
+"""Name pools for the synthetic generators.
+
+All strings are synthetic or generic.  A handful of real public-figure
+names (Tom Cruise, Clint Eastwood, ...) are planted deliberately because
+the paper's benchmark queries reference them by name (Figure 19/20); the
+associated data is entirely synthetic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+MALE_FIRST_NAMES: List[str] = [
+    "James", "Robert", "John", "Michael", "David", "William", "Richard",
+    "Joseph", "Thomas", "Charles", "Daniel", "Matthew", "Anthony", "Mark",
+    "Donald", "Steven", "Paul", "Andrew", "Joshua", "Kenneth", "Kevin",
+    "Brian", "George", "Timothy", "Ronald", "Edward", "Jason", "Jeffrey",
+    "Ryan", "Jacob", "Gary", "Nicholas", "Eric", "Jonathan", "Stephen",
+    "Larry", "Justin", "Scott", "Brandon", "Benjamin", "Samuel", "Gregory",
+    "Alexander", "Patrick", "Frank", "Raymond", "Jack", "Dennis", "Jerry",
+    "Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry", "Zachary",
+    "Douglas", "Peter", "Kyle", "Noah", "Ethan", "Jeremy", "Walter",
+    "Christian", "Keith", "Roger", "Terry", "Austin", "Sean", "Gerald",
+    "Carl", "Harold", "Dylan", "Arthur", "Lawrence", "Jordan", "Jesse",
+    "Bryan", "Billy", "Bruce", "Gabriel", "Joe", "Logan", "Alan", "Juan",
+    "Albert", "Willie", "Elijah", "Wayne", "Randy", "Vincent", "Mason",
+    "Roy", "Ralph", "Bobby", "Russell", "Bradley", "Philip", "Eugene",
+]
+
+FEMALE_FIRST_NAMES: List[str] = [
+    "Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+    "Susan", "Jessica", "Sarah", "Karen", "Lisa", "Nancy", "Betty",
+    "Sandra", "Margaret", "Ashley", "Kimberly", "Emily", "Donna",
+    "Michelle", "Carol", "Amanda", "Melissa", "Deborah", "Stephanie",
+    "Dorothy", "Rebecca", "Sharon", "Laura", "Cynthia", "Amy", "Kathleen",
+    "Angela", "Shirley", "Brenda", "Emma", "Anna", "Pamela", "Nicole",
+    "Samantha", "Katherine", "Christine", "Helen", "Debra", "Rachel",
+    "Carolyn", "Janet", "Maria", "Catherine", "Heather", "Diane", "Olivia",
+    "Julie", "Joyce", "Victoria", "Ruth", "Virginia", "Lauren", "Kelly",
+    "Christina", "Joan", "Evelyn", "Judith", "Andrea", "Hannah", "Megan",
+    "Cheryl", "Jacqueline", "Martha", "Madison", "Teresa", "Gloria",
+    "Sara", "Janice", "Ann", "Kathryn", "Abigail", "Sophia", "Frances",
+    "Jean", "Alice", "Judy", "Isabella", "Julia", "Grace", "Amber",
+    "Denise", "Danielle", "Marilyn", "Beverly", "Charlotte", "Natalie",
+    "Theresa", "Diana", "Brittany", "Doris", "Kayla", "Alexis", "Lori",
+]
+
+LAST_NAMES: List[str] = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin", "Lee",
+    "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark", "Ramirez",
+    "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams",
+    "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
+    "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+    "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales",
+    "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper",
+    "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim",
+    "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez", "Wood",
+    "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes", "Price",
+    "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long", "Ross",
+    "Foster", "Jimenez", "Sharma", "Tanaka", "Suzuki", "Ivanov", "Petrov",
+    "Kumar", "Singh", "Chen", "Wang", "Zhang", "Mueller", "Schmidt",
+    "Rossi", "Ferrari", "Dubois", "Moreau", "Silva", "Santos", "Kowalski",
+]
+
+TITLE_ADJECTIVES: List[str] = [
+    "Dark", "Silent", "Broken", "Golden", "Hidden", "Final", "Lost",
+    "Eternal", "Crimson", "Frozen", "Burning", "Distant", "Savage",
+    "Gentle", "Midnight", "Electric", "Silver", "Scarlet", "Hollow",
+    "Rising", "Falling", "Secret", "Wild", "Quiet", "Shattered", "Ancient",
+    "Neon", "Velvet", "Iron", "Glass", "Phantom", "Royal", "Lucky",
+    "Bitter", "Sweet", "Lonely", "Endless", "Forgotten", "Restless",
+]
+
+TITLE_NOUNS: List[str] = [
+    "Horizon", "Empire", "River", "Shadow", "Garden", "Mirror", "Storm",
+    "Harvest", "Voyage", "Fortress", "Whisper", "Canyon", "Harbor",
+    "Symphony", "Carnival", "Labyrinth", "Meridian", "Paradox", "Odyssey",
+    "Covenant", "Reckoning", "Masquerade", "Requiem", "Sanctuary",
+    "Cascade", "Eclipse", "Monolith", "Serenade", "Tempest", "Vendetta",
+    "Wanderer", "Zephyr", "Citadel", "Dominion", "Ember", "Frontier",
+    "Gambit", "Haven", "Inferno", "Juncture", "Kingdom", "Legacy",
+]
+
+TITLE_SUFFIXES: List[str] = [
+    "of the North", "of Tomorrow", "at Dawn", "in Winter", "of Glass",
+    "Returns", "Awakens", "Forever", "Reborn", "Unbound", "of the Deep",
+    "in the Mist", "of Ashes", "at Midnight", "of Steel", "Rising",
+]
+
+KEYWORD_POOL: List[str] = [
+    "betrayal", "revenge", "friendship", "heist", "time-travel", "space",
+    "robot", "alien", "detective", "murder", "conspiracy", "war",
+    "romance", "family", "road-trip", "undercover", "prison", "escape",
+    "treasure", "haunted", "vampire", "zombie", "superhero", "magic",
+    "dystopia", "apocalypse", "survival", "island", "desert", "jungle",
+    "mountain", "ocean", "submarine", "airplane", "train", "race",
+    "boxing", "chess", "music", "dance", "painting", "writer", "journalist",
+    "lawyer", "doctor", "scientist", "teacher", "soldier", "spy", "pirate",
+    "cowboy", "samurai", "gangster", "mafia", "cult", "ghost", "dream",
+    "memory", "amnesia", "twins", "clone", "experiment", "virus",
+    "pandemic", "flood", "earthquake", "volcano", "comet", "moon", "mars",
+    "future", "past", "medieval", "victorian", "noir", "silent-film",
+    "documentary-style", "found-footage", "courtroom", "election",
+    "politics", "royalty", "inheritance", "wedding", "divorce", "adoption",
+    "orphan", "coming-of-age", "midlife", "retirement", "immigration",
+    "refugee", "translation", "code-breaking", "hacking", "startup",
+    "stock-market", "casino", "poker", "kidnapping", "ransom", "hostage",
+    "bodyguard", "assassin", "bounty-hunter", "smuggling", "archaeology",
+    "expedition", "first-contact", "parallel-universe", "simulation",
+    "artificial-intelligence", "genetics", "nanotech", "steampunk",
+    "cyberpunk", "western-frontier", "gold-rush", "prohibition",
+    "cold-war", "space-race", "moon-landing", "deep-sea",
+]
+
+RESEARCH_TITLE_WORDS: List[str] = [
+    "Scalable", "Efficient", "Adaptive", "Distributed", "Incremental",
+    "Approximate", "Robust", "Interactive", "Declarative", "Probabilistic",
+    "Streaming", "Parallel", "Secure", "Private", "Federated", "Hybrid",
+    "Learned", "Automated", "Explainable", "Semantic",
+]
+
+RESEARCH_TITLE_TOPICS: List[str] = [
+    "Query Processing", "Join Algorithms", "Index Structures",
+    "Transaction Management", "Data Cleaning", "Entity Resolution",
+    "Schema Mapping", "Data Integration", "Provenance Tracking",
+    "Crowdsourcing", "Graph Analytics", "Stream Processing",
+    "Columnar Storage", "Query Optimization", "Concurrency Control",
+    "Data Exploration", "Visualization Recommendation", "Model Training",
+    "Feature Selection", "Representation Learning", "Knowledge Graphs",
+    "Question Answering", "Information Extraction", "Text Mining",
+    "Recommender Systems", "Anomaly Detection", "Time Series Forecasting",
+    "Causal Inference", "Hyperparameter Tuning", "Neural Architecture Search",
+]
+
+RESEARCH_TITLE_SUFFIXES: List[str] = [
+    "at Scale", "in the Cloud", "on Modern Hardware", "with Guarantees",
+    "for Interactive Workloads", "under Uncertainty", "Made Practical",
+    "Revisited", "via Sampling", "using Sketches", "with Human Feedback",
+    "for Heterogeneous Data", "in Dynamic Environments", "by Example",
+]

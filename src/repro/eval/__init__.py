@@ -1,0 +1,34 @@
+"""Evaluation harness: metrics, example sampling, per-figure runners."""
+
+from .metrics import Accuracy, accuracy, is_instance_equivalent, masked_accuracy
+from .reporting import emit, format_table, results_dir
+from .runner import (
+    AccuracyPoint,
+    QreOutcome,
+    accuracy_curve,
+    dataset_statistics,
+    evaluate_once,
+    query_runtime_comparison,
+    scalability_curve,
+    squid_qre,
+)
+from .sampling import sample_example_sets
+
+__all__ = [
+    "Accuracy",
+    "AccuracyPoint",
+    "QreOutcome",
+    "accuracy",
+    "accuracy_curve",
+    "dataset_statistics",
+    "emit",
+    "evaluate_once",
+    "format_table",
+    "is_instance_equivalent",
+    "masked_accuracy",
+    "query_runtime_comparison",
+    "results_dir",
+    "sample_example_sets",
+    "scalability_curve",
+    "squid_qre",
+]

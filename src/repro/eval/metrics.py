@@ -1,0 +1,71 @@
+"""Accuracy metrics: precision, recall, f-score over result sets (§7.1).
+
+The paper computes precision as |Q'(D) ∩ Q(D)| / |Q'(D)| and recall as
+|Q'(D) ∩ Q(D)| / |Q(D)| where Q is the intended and Q' the inferred
+query; the f-score is their harmonic mean.  We compare *entity key* sets,
+which is robust to duplicate display names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Set
+
+
+@dataclass(frozen=True)
+class Accuracy:
+    """Precision / recall / f-score triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f_score(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F={self.f_score:.3f}"
+        )
+
+
+def accuracy(predicted: Iterable[Any], intended: Iterable[Any]) -> Accuracy:
+    """Accuracy of a predicted result set against the intended one.
+
+    Degenerate cases follow the conventional definitions: an empty
+    prediction has precision 1 (it asserts nothing false) iff the intended
+    set is also empty, else precision is 0-safe and recall reflects the
+    miss.
+    """
+    predicted_set = set(predicted)
+    intended_set = set(intended)
+    overlap = len(predicted_set & intended_set)
+    if not predicted_set and not intended_set:
+        return Accuracy(precision=1.0, recall=1.0)
+    precision = overlap / len(predicted_set) if predicted_set else 0.0
+    recall = overlap / len(intended_set) if intended_set else 0.0
+    return Accuracy(precision=precision, recall=recall)
+
+
+def masked_accuracy(
+    predicted: Iterable[Any],
+    intended: Iterable[Any],
+    mask: Optional[Set[Any]] = None,
+) -> Accuracy:
+    """Accuracy after restricting both sides to a popularity mask.
+
+    The case studies (Section 7.4, footnote 14) evaluate against
+    popularity-filtered lists; entities outside the mask are ignored on
+    both sides.
+    """
+    if mask is None:
+        return accuracy(predicted, intended)
+    return accuracy(set(predicted) & mask, set(intended) & mask)
+
+
+def is_instance_equivalent(predicted: Iterable[Any], intended: Iterable[Any]) -> bool:
+    """IEQ test (Section 7.5): exact result-set equality (f-score = 1)."""
+    return set(predicted) == set(intended)

@@ -1,0 +1,76 @@
+"""Result-table formatting shared by benchmarks and examples.
+
+Benchmarks print their figure tables through :func:`emit`, which writes to
+``benchmarks/results/`` *and* echoes to the real stdout (bypassing pytest
+capture) so the tables appear in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render row dicts as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns:
+        cols = list(columns)
+    else:
+        cols = []
+        for row in rows:  # union of keys, first-seen order
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def results_dir() -> str:
+    """``benchmarks/results`` under the repository root (created lazily)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit(name: str, text: str) -> str:
+    """Write a result table to disk and echo it to the real stdout.
+
+    ``sys.__stdout__`` bypasses pytest's capture so the figure tables show
+    up in the tee'd benchmark log; the on-disk copy under
+    ``benchmarks/results/`` survives for EXPERIMENTS.md.
+    """
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    stream = sys.__stdout__ if sys.__stdout__ is not None else sys.stdout
+    stream.write(f"\n===== {name} =====\n{text}")
+    stream.flush()
+    return path

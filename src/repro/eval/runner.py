@@ -1,0 +1,238 @@
+"""Per-figure experiment drivers.
+
+Each function regenerates one table or figure of the paper's evaluation
+section and returns plain data structures (lists of row dicts) that the
+benchmark harnesses print and `EXPERIMENTS.md` records.  Keeping the
+drivers here lets the pytest benchmarks, the examples, and ad-hoc scripts
+share one implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from ..core.config import SquidConfig
+from ..core.lookup import ExampleLookupError
+from ..core.squid import SquidSystem
+from ..relational.database import Database
+from ..sql.counting import count_predicates
+from ..sql.executor import execute
+from ..workloads.registry import Workload, WorkloadRegistry
+from .metrics import Accuracy, accuracy, is_instance_equivalent, masked_accuracy
+from .sampling import sample_example_sets
+
+
+@dataclass
+class AccuracyPoint:
+    """One (workload, example-set size) accuracy measurement."""
+
+    qid: str
+    num_examples: int
+    precision: float
+    recall: float
+    f_score: float
+    seconds: float
+    runs: int
+
+
+def evaluate_once(
+    squid: SquidSystem,
+    workload: Workload,
+    examples: Sequence[str],
+    config: Optional[SquidConfig] = None,
+    mask: Optional[Set[Any]] = None,
+) -> tuple[Accuracy, float, Any]:
+    """Run one discovery and score it against the workload ground truth."""
+    start = time.perf_counter()
+    result = squid.discover(examples, config=config)
+    elapsed = time.perf_counter() - start
+    predicted = squid.result_keys(result)
+    intended = workload.ground_truth_keys(squid.adb.db)
+    score = masked_accuracy(predicted, intended, mask)
+    return score, elapsed, result
+
+
+def accuracy_curve(
+    squid: SquidSystem,
+    workload: Workload,
+    example_sizes: Sequence[int],
+    runs_per_size: int = 10,
+    config: Optional[SquidConfig] = None,
+    seed: int = 7,
+    mask: Optional[Set[Any]] = None,
+    examples_override: Optional[Sequence[str]] = None,
+) -> List[AccuracyPoint]:
+    """Figure 10/13 style curve: accuracy vs number of examples."""
+    if examples_override is not None:
+        values = list(examples_override)
+    else:
+        values = workload.ground_truth_examples(squid.adb.db)
+    points: List[AccuracyPoint] = []
+    for size in example_sizes:
+        example_sets = sample_example_sets(values, size, runs_per_size, seed)
+        if not example_sets:
+            continue
+        precisions, recalls, fscores, times = [], [], [], []
+        for examples in example_sets:
+            try:
+                score, elapsed, _ = evaluate_once(
+                    squid, workload, examples, config, mask
+                )
+            except ExampleLookupError:
+                continue
+            precisions.append(score.precision)
+            recalls.append(score.recall)
+            fscores.append(score.f_score)
+            times.append(elapsed)
+        if not times:
+            continue
+        n = len(times)
+        points.append(
+            AccuracyPoint(
+                qid=workload.qid,
+                num_examples=size,
+                precision=sum(precisions) / n,
+                recall=sum(recalls) / n,
+                f_score=sum(fscores) / n,
+                seconds=sum(times) / n,
+                runs=n,
+            )
+        )
+    return points
+
+
+def scalability_curve(
+    squid: SquidSystem,
+    registry: WorkloadRegistry,
+    example_sizes: Sequence[int],
+    runs_per_size: int = 3,
+    seed: int = 11,
+) -> List[Dict[str, Any]]:
+    """Figure 9 style: mean abduction time vs number of examples."""
+    rows: List[Dict[str, Any]] = []
+    for size in example_sizes:
+        times: List[float] = []
+        for workload in registry:
+            values = workload.ground_truth_examples(squid.adb.db)
+            for examples in sample_example_sets(values, size, runs_per_size, seed):
+                try:
+                    start = time.perf_counter()
+                    squid.discover(examples)
+                    times.append(time.perf_counter() - start)
+                except ExampleLookupError:
+                    continue
+        if times:
+            rows.append(
+                {
+                    "num_examples": size,
+                    "mean_seconds": sum(times) / len(times),
+                    "runs": len(times),
+                }
+            )
+    return rows
+
+
+def query_runtime_comparison(
+    squid: SquidSystem,
+    registry: WorkloadRegistry,
+    num_examples: int = 10,
+    seed: int = 13,
+) -> List[Dict[str, Any]]:
+    """Figure 11: runtime of the abduced query vs the intended query."""
+    rows: List[Dict[str, Any]] = []
+    for workload in registry:
+        values = workload.ground_truth_examples(squid.adb.db)
+        example_sets = sample_example_sets(values, num_examples, 1, seed)
+        if not example_sets:
+            continue
+        try:
+            result = squid.discover(example_sets[0])
+        except ExampleLookupError:
+            continue
+        start = time.perf_counter()
+        squid.execute(result.query)
+        abduced_seconds = time.perf_counter() - start
+        if workload.query is not None:
+            start = time.perf_counter()
+            execute(squid.adb.db, workload.query)
+            actual_seconds = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            workload.ground_truth_keys(squid.adb.db)
+            actual_seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "qid": workload.qid,
+                "actual_seconds": actual_seconds,
+                "abduced_seconds": abduced_seconds,
+            }
+        )
+    return rows
+
+
+@dataclass
+class QreOutcome:
+    """Closed-world QRE comparison row (Figures 14/15)."""
+
+    qid: str
+    cardinality: int
+    actual_predicates: int
+    squid_predicates: Optional[int] = None
+    squid_seconds: Optional[float] = None
+    squid_f_score: Optional[float] = None
+    squid_ieq: Optional[bool] = None
+    talos_predicates: Optional[int] = None
+    talos_seconds: Optional[float] = None
+    talos_f_score: Optional[float] = None
+    talos_ieq: Optional[bool] = None
+
+
+def squid_qre(
+    squid: SquidSystem,
+    workload: Workload,
+    config: Optional[SquidConfig] = None,
+) -> QreOutcome:
+    """Run SQuID in the closed-world setting: entire output as examples."""
+    config = config or SquidConfig.optimistic()
+    db = squid.adb.db
+    intended = workload.ground_truth_keys(db)
+    examples = workload.ground_truth_examples(db)
+    actual_preds = (
+        count_predicates(workload.query) if workload.query is not None else 0
+    )
+    outcome = QreOutcome(
+        qid=workload.qid,
+        cardinality=len(intended),
+        actual_predicates=actual_preds,
+    )
+    config = config.with_overrides(
+        max_example_warn=max(config.max_example_warn, len(examples) + 1)
+    )
+    start = time.perf_counter()
+    result = squid.discover(examples, config=config)
+    outcome.squid_seconds = time.perf_counter() - start
+    predicted = squid.result_keys(result)
+    outcome.squid_predicates = count_predicates(result.query)
+    outcome.squid_f_score = accuracy(predicted, intended).f_score
+    outcome.squid_ieq = is_instance_equivalent(predicted, intended)
+    return outcome
+
+
+def dataset_statistics(databases: Dict[str, Database]) -> List[Dict[str, Any]]:
+    """Figure 18 style dataset-description rows."""
+    rows = []
+    for name, db in databases.items():
+        counts = db.row_counts()
+        rows.append(
+            {
+                "dataset": name,
+                "relations": len(counts),
+                "total_rows": sum(counts.values()),
+                "largest_relations": sorted(
+                    counts.items(), key=lambda kv: -kv[1]
+                )[:3],
+            }
+        )
+    return rows

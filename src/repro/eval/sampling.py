@@ -1,0 +1,38 @@
+"""Example-set sampling for accuracy experiments.
+
+The accuracy curves of Figures 10/12/13 average precision/recall/f-score
+over several random example sets per size; this module draws those sets
+deterministically from a workload's ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..datasets.seeds import make_rng
+
+
+def sample_example_sets(
+    values: Sequence[str],
+    set_size: int,
+    num_sets: int,
+    seed: int,
+) -> List[List[str]]:
+    """Draw ``num_sets`` example sets of ``set_size`` values (no repeats).
+
+    If the ground truth is smaller than ``set_size``, the full set is
+    returned once (the closed-world case).
+    """
+    unique = list(dict.fromkeys(values))
+    if not unique:
+        return []
+    if set_size >= len(unique):
+        return [list(unique)]
+    rng = make_rng(seed, f"examples-{set_size}")
+    out: List[List[str]] = []
+    for _ in range(num_sets):
+        idx = rng.choice(len(unique), size=set_size, replace=False)
+        out.append([unique[int(i)] for i in idx])
+    return out

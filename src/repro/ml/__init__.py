@@ -1,0 +1,28 @@
+"""Learning substrate: feature encoding, decision tree, random forest.
+
+scikit-learn is unavailable in the offline reproduction environment, so
+the estimators the evaluation needs (TALOS's decision tree, the
+PU-learning DT/RF variants of Figure 16) are implemented from scratch on
+numpy.
+"""
+
+from .decision_tree import DecisionTreeClassifier, TreeNode
+from .encoding import (
+    FeatureColumn,
+    FeatureMatrix,
+    encode_categorical,
+    encode_numeric,
+    encode_table,
+)
+from .random_forest import RandomForestClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "FeatureColumn",
+    "FeatureMatrix",
+    "RandomForestClassifier",
+    "TreeNode",
+    "encode_categorical",
+    "encode_numeric",
+    "encode_table",
+]

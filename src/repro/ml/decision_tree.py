@@ -1,0 +1,312 @@
+"""CART-style decision tree classifier on mixed-type features.
+
+Built from scratch (no scikit-learn offline): gini impurity, numeric
+threshold splits (``x <= t``), and one-vs-rest categorical equality splits
+(``x == c``), which keeps high-cardinality attributes (movie titles)
+usable without one-hot encoding.  The fitted tree exposes its structure so
+the TALOS baseline can extract root-to-leaf predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .encoding import FeatureColumn, FeatureMatrix
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree."""
+
+    counts: np.ndarray
+    """Per-class sample counts at this node."""
+
+    feature: int = -1
+    kind: str = ""  # "numeric" | "categorical"
+    threshold: float = 0.0
+    category: int = 0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def prediction(self) -> int:
+        """Majority class at this node."""
+        return int(np.argmax(self.counts))
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Class distribution at this node."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.ones_like(self.counts, dtype=float) / len(self.counts)
+        return self.counts / total
+
+    def condition_str(self, columns: Sequence[FeatureColumn]) -> str:
+        """Human-readable split condition (left-branch form)."""
+        col = columns[self.feature]
+        if self.kind == "numeric":
+            return f"{col.name} <= {self.threshold:g}"
+        return f"{col.name} = {col.decode(self.category)!r}"
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+@dataclass
+class _Split:
+    feature: int
+    kind: str
+    threshold: float = 0.0
+    category: int = 0
+    impurity: float = float("inf")
+    left_mask: Optional[np.ndarray] = None
+
+
+class DecisionTreeClassifier:
+    """Binary/multiclass CART with gini impurity."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 6,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self.root: Optional[TreeNode] = None
+        self.n_classes = 0
+        self._columns: List[FeatureColumn] = []
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, X: FeatureMatrix, y: Sequence[int]) -> "DecisionTreeClassifier":
+        """Fit the tree; ``y`` holds class indices 0..k-1."""
+        y_arr = np.asarray(y, dtype=np.int64)
+        if X.num_rows != y_arr.shape[0]:
+            raise ValueError("X and y disagree on the number of rows")
+        if X.num_rows == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes = int(y_arr.max()) + 1 if y_arr.size else 1
+        self._columns = X.columns
+        indices = np.arange(X.num_rows)
+        self.root = self._build(X, y_arr, indices, depth=0)
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes).astype(float)
+
+    def _build(
+        self, X: FeatureMatrix, y: np.ndarray, indices: np.ndarray, depth: int
+    ) -> TreeNode:
+        y_here = y[indices]
+        counts = self._class_counts(y_here)
+        node = TreeNode(counts=counts)
+        if (
+            depth >= self.max_depth
+            or indices.size < self.min_samples_split
+            or _gini(counts) == 0.0
+        ):
+            return node
+        split = self._best_split(X, y_here, indices)
+        if split is None:
+            return node
+        left_idx = indices[split.left_mask]
+        right_idx = indices[~split.left_mask]
+        if (
+            left_idx.size < self.min_samples_leaf
+            or right_idx.size < self.min_samples_leaf
+        ):
+            return node
+        node.feature = split.feature
+        node.kind = split.kind
+        node.threshold = split.threshold
+        node.category = split.category
+        node.left = self._build(X, y, left_idx, depth + 1)
+        node.right = self._build(X, y, right_idx, depth + 1)
+        return node
+
+    def _candidate_features(self, n: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n:
+            return np.arange(n)
+        return self._rng.choice(n, size=self.max_features, replace=False)
+
+    def _best_split(
+        self, X: FeatureMatrix, y_here: np.ndarray, indices: np.ndarray
+    ) -> Optional[_Split]:
+        best: Optional[_Split] = None
+        parent_impurity = _gini(self._class_counts(y_here))
+        for feature in self._candidate_features(X.num_features):
+            col = X.columns[int(feature)]
+            values = col.values[indices]
+            if col.kind == "numeric":
+                split = self._best_numeric(int(feature), values, y_here)
+            else:
+                split = self._best_categorical(int(feature), values, y_here)
+            if split is not None and (best is None or split.impurity < best.impurity):
+                best = split
+        if best is None or best.impurity >= parent_impurity - 1e-12:
+            return None
+        return best
+
+    def _best_numeric(
+        self, feature: int, values: np.ndarray, y: np.ndarray
+    ) -> Optional[_Split]:
+        finite = ~np.isnan(values)
+        if finite.sum() < 2:
+            return None
+        order = np.argsort(values, kind="stable")
+        ordered_values = values[order]
+        ordered_y = y[order]
+        n = values.shape[0]
+        n_finite = int(finite.sum())
+        # one-hot prefix counts per class over the sorted order
+        onehot = np.zeros((n, self.n_classes))
+        onehot[np.arange(n), ordered_y] = 1.0
+        prefix = np.cumsum(onehot, axis=0)
+        total = prefix[-1]
+        # candidate cut positions: between distinct finite values
+        distinct = np.nonzero(
+            np.diff(ordered_values[:n_finite]) > 0
+        )[0]
+        if distinct.size == 0:
+            return None
+        best_impurity, best_pos = float("inf"), -1
+        for pos in distinct:
+            left = prefix[pos]
+            right = total - left
+            nl, nr = left.sum(), right.sum()
+            impurity = (nl * _gini(left) + nr * _gini(right)) / n
+            if impurity < best_impurity:
+                best_impurity = impurity
+                best_pos = int(pos)
+        if best_pos < 0:
+            return None
+        threshold = float(
+            (ordered_values[best_pos] + ordered_values[best_pos + 1]) / 2.0
+        )
+        left_mask = values <= threshold  # NaN compares False -> right branch
+        return _Split(
+            feature=feature,
+            kind="numeric",
+            threshold=threshold,
+            impurity=best_impurity,
+            left_mask=left_mask,
+        )
+
+    def _best_categorical(
+        self, feature: int, values: np.ndarray, y: np.ndarray
+    ) -> Optional[_Split]:
+        n = values.shape[0]
+        categories = np.unique(values)
+        categories = categories[categories != 0]  # 0 encodes missing
+        if categories.size < 1:
+            return None
+        total = self._class_counts(y)
+        best_impurity, best_cat, best_mask = float("inf"), -1, None
+        for cat in categories:
+            mask = values == cat
+            if not mask.any() or mask.all():
+                continue
+            left = self._class_counts(y[mask])
+            right = total - left
+            impurity = (mask.sum() * _gini(left) + (~mask).sum() * _gini(right)) / n
+            if impurity < best_impurity:
+                best_impurity = impurity
+                best_cat = int(cat)
+                best_mask = mask
+        if best_mask is None:
+            return None
+        return _Split(
+            feature=feature,
+            kind="categorical",
+            category=best_cat,
+            impurity=best_impurity,
+            left_mask=best_mask,
+        )
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _leaf_for_row(self, X: FeatureMatrix, row: int) -> TreeNode:
+        assert self.root is not None, "tree is not fitted"
+        node = self.root
+        while not node.is_leaf:
+            col = X.columns[node.feature]
+            value = col.values[row]
+            if node.kind == "numeric":
+                go_left = bool(value <= node.threshold)  # NaN -> False
+            else:
+                go_left = bool(value == node.category)
+            node = node.left if go_left else node.right  # type: ignore[assignment]
+        return node
+
+    def predict(self, X: FeatureMatrix) -> np.ndarray:
+        """Majority-class predictions."""
+        return np.array(
+            [self._leaf_for_row(X, row).prediction for row in range(X.num_rows)],
+            dtype=np.int64,
+        )
+
+    def predict_proba(self, X: FeatureMatrix) -> np.ndarray:
+        """Per-class probabilities (leaf class distributions)."""
+        return np.vstack(
+            [self._leaf_for_row(X, row).probabilities for row in range(X.num_rows)]
+        )
+
+    # ------------------------------------------------------------------
+    # structure inspection (used by the TALOS baseline)
+    # ------------------------------------------------------------------
+    def positive_paths(self, positive_class: int = 1) -> List[List[str]]:
+        """Root-to-leaf condition lists for leaves predicting ``positive_class``.
+
+        Each path is a conjunction; the set of paths is the disjunction the
+        tree encodes.  Right-branch steps are rendered with negated
+        comparisons (``>`` / ``!=``).
+        """
+        assert self.root is not None, "tree is not fitted"
+        paths: List[List[str]] = []
+
+        def walk(node: TreeNode, conditions: List[str]) -> None:
+            if node.is_leaf:
+                if node.prediction == positive_class and node.counts.sum() > 0:
+                    paths.append(list(conditions))
+                return
+            col = self._columns[node.feature]
+            if node.kind == "numeric":
+                walk(node.left, conditions + [f"{col.name} <= {node.threshold:g}"])
+                walk(node.right, conditions + [f"{col.name} > {node.threshold:g}"])
+            else:
+                value = col.decode(node.category)
+                walk(node.left, conditions + [f"{col.name} = {value!r}"])
+                walk(node.right, conditions + [f"{col.name} != {value!r}"])
+
+        walk(self.root, [])
+        return paths
+
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+
+        def count(node: Optional[TreeNode]) -> int:
+            if node is None:
+                return 0
+            return 1 + count(node.left) + count(node.right)
+
+        return count(self.root)

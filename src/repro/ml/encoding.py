@@ -1,0 +1,122 @@
+"""Mixed-type feature encoding for the learning substrate.
+
+Classifiers operate on :class:`FeatureMatrix`: a list of typed columns.
+Numeric columns hold float arrays (NaN for missing); categorical columns
+hold integer codes with a category table (code 0 is reserved for missing),
+which lets the decision tree do one-vs-rest equality splits on high-
+cardinality attributes without one-hot blow-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class FeatureColumn:
+    """One encoded feature."""
+
+    name: str
+    kind: str  # "numeric" | "categorical"
+    values: np.ndarray
+    categories: Tuple[Any, ...] = ()
+    """For categorical columns: code -> original value (code 0 = missing)."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "categorical"):
+            raise ValueError(f"unknown column kind {self.kind!r}")
+
+    def decode(self, code: int) -> Any:
+        """Original value for a categorical code."""
+        return self.categories[code]
+
+    def take(self, indices: np.ndarray) -> "FeatureColumn":
+        """Column restricted to a row subset."""
+        return FeatureColumn(
+            name=self.name,
+            kind=self.kind,
+            values=self.values[indices],
+            categories=self.categories,
+        )
+
+
+@dataclass
+class FeatureMatrix:
+    """A set of aligned feature columns."""
+
+    columns: List[FeatureColumn]
+
+    def __post_init__(self) -> None:
+        lengths = {len(col.values) for col in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged feature columns: {lengths}")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0].values) if self.columns else 0
+
+    @property
+    def num_features(self) -> int:
+        return len(self.columns)
+
+    def take(self, indices: np.ndarray) -> "FeatureMatrix":
+        """Row subset of the whole matrix."""
+        return FeatureMatrix([col.take(indices) for col in self.columns])
+
+    def column(self, name: str) -> FeatureColumn:
+        """Look up a column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(name)
+
+
+def encode_numeric(name: str, values: Sequence[Any]) -> FeatureColumn:
+    """Encode a numeric attribute (None -> NaN)."""
+    arr = np.array(
+        [float(v) if v is not None else np.nan for v in values], dtype=float
+    )
+    return FeatureColumn(name=name, kind="numeric", values=arr)
+
+
+def encode_categorical(
+    name: str,
+    values: Sequence[Any],
+    categories: Optional[Sequence[Any]] = None,
+) -> FeatureColumn:
+    """Encode a categorical attribute as integer codes (0 = missing)."""
+    if categories is None:
+        seen: Dict[Any, int] = {}
+        for v in values:
+            if v is not None and v not in seen:
+                seen[v] = len(seen) + 1
+        table: Tuple[Any, ...] = (None,) + tuple(seen)
+        lookup = seen
+    else:
+        table = (None,) + tuple(categories)
+        lookup = {v: i + 1 for i, v in enumerate(categories)}
+    codes = np.array(
+        [lookup.get(v, 0) if v is not None else 0 for v in values], dtype=np.int64
+    )
+    return FeatureColumn(name=name, kind="categorical", values=codes, categories=table)
+
+
+def encode_table(
+    rows: Sequence[Sequence[Any]],
+    names: Sequence[str],
+    kinds: Sequence[str],
+) -> FeatureMatrix:
+    """Encode row tuples into a :class:`FeatureMatrix` column-wise."""
+    if len(names) != len(kinds):
+        raise ValueError("names and kinds must align")
+    columns: List[FeatureColumn] = []
+    for i, (name, kind) in enumerate(zip(names, kinds)):
+        values = [row[i] for row in rows]
+        if kind == "numeric":
+            columns.append(encode_numeric(name, values))
+        else:
+            columns.append(encode_categorical(name, values))
+    return FeatureMatrix(columns)

@@ -1,0 +1,84 @@
+"""Random forest on top of the from-scratch decision tree.
+
+Bootstrap-aggregated CART trees with per-split feature subsampling;
+``predict_proba`` averages leaf distributions, which the Elkan–Noto
+estimator relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .decision_tree import DecisionTreeClassifier
+from .encoding import FeatureMatrix
+
+
+class RandomForestClassifier:
+    """Bagged decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 15,
+        max_depth: int = 12,
+        min_samples_split: int = 6,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self.trees: List[DecisionTreeClassifier] = []
+        self.n_classes = 0
+
+    def fit(self, X: FeatureMatrix, y: Sequence[int]) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples."""
+        y_arr = np.asarray(y, dtype=np.int64)
+        n = X.num_rows
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes = int(y_arr.max()) + 1 if y_arr.size else 1
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(math.sqrt(X.num_features)))
+        self.trees = []
+        for i in range(self.n_estimators):
+            sample = self._rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(self._rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X.take(sample), y_arr[sample])
+            # bootstrap may miss classes; align class count
+            tree.n_classes = max(tree.n_classes, self.n_classes)
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: FeatureMatrix) -> np.ndarray:
+        """Average per-class probabilities over the ensemble."""
+        if not self.trees:
+            raise ValueError("forest is not fitted")
+        total = np.zeros((X.num_rows, self.n_classes))
+        for tree in self.trees:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes:
+                padded = np.zeros((proba.shape[0], self.n_classes))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            total += proba
+        return total / len(self.trees)
+
+    def predict(self, X: FeatureMatrix) -> np.ndarray:
+        """Majority-probability predictions."""
+        return np.argmax(self.predict_proba(X), axis=1)

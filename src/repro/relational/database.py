@@ -1,0 +1,159 @@
+"""The :class:`Database`: named relations plus schema graph plus index cache.
+
+This is the substrate standing in for the PostgreSQL instance of the paper's
+experiments: it owns base tables, the derived relations the offline module
+materialises, and lazily-built secondary indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import IntegrityError, UnknownTableError
+from .indexes import CompositeHashIndex, HashIndex, SortedIndex
+from .relation import Relation
+from .schema import DatabaseSchema, TableSchema
+
+
+class Database:
+    """A collection of relations sharing one schema graph."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.schema = DatabaseSchema()
+        self._relations: Dict[str, Relation] = {}
+        self._hash_indexes: Dict[Tuple[str, str], HashIndex] = {}
+        self._sorted_indexes: Dict[Tuple[str, str], SortedIndex] = {}
+        self._composite_indexes: Dict[Tuple[str, Tuple[str, ...]], CompositeHashIndex] = {}
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Relation:
+        """Create an empty relation from ``schema`` and register it."""
+        self.schema.add_table(schema)
+        relation = Relation(schema)
+        self._relations[schema.name] = relation
+        return relation
+
+    def drop_table(self, name: str) -> None:
+        """Remove a relation and any indexes built on it."""
+        if name not in self._relations:
+            raise UnknownTableError(name)
+        del self._relations[name]
+        del self.schema.tables[name]
+        self._hash_indexes = {
+            key: idx for key, idx in self._hash_indexes.items() if key[0] != name
+        }
+        self._sorted_indexes = {
+            key: idx for key, idx in self._sorted_indexes.items() if key[0] != name
+        }
+        self._composite_indexes = {
+            key: idx for key, idx in self._composite_indexes.items() if key[0] != name
+        }
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def insert(self, table: str, row: Sequence[Any]) -> int:
+        """Insert one tuple; invalidates that table's cached indexes."""
+        rid = self.relation(table).insert(row)
+        self.invalidate_indexes(table)
+        return rid
+
+    def bulk_load(self, table: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Insert many tuples; invalidates that table's cached indexes."""
+        self.relation(table).extend(rows)
+        self.invalidate_indexes(table)
+
+    def invalidate_indexes(self, table: str) -> None:
+        """Drop cached indexes for ``table`` (called on mutation)."""
+        self._hash_indexes = {
+            key: idx for key, idx in self._hash_indexes.items() if key[0] != table
+        }
+        self._sorted_indexes = {
+            key: idx for key, idx in self._sorted_indexes.items() if key[0] != table
+        }
+        self._composite_indexes = {
+            key: idx for key, idx in self._composite_indexes.items() if key[0] != table
+        }
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def hash_index(self, table: str, column: str) -> HashIndex:
+        """Get (building on first use) the hash index on ``table.column``."""
+        key = (table, column)
+        index = self._hash_indexes.get(key)
+        if index is None:
+            index = HashIndex(self.relation(table), column)
+            self._hash_indexes[key] = index
+        return index
+
+    def sorted_index(self, table: str, column: str) -> SortedIndex:
+        """Get (building on first use) the sorted index on ``table.column``."""
+        key = (table, column)
+        index = self._sorted_indexes.get(key)
+        if index is None:
+            index = SortedIndex(self.relation(table), column)
+            self._sorted_indexes[key] = index
+        return index
+
+    def composite_index(self, table: str, columns: Sequence[str]) -> CompositeHashIndex:
+        """Get (building on first use) a composite equality index."""
+        key = (table, tuple(columns))
+        index = self._composite_indexes.get(key)
+        if index is None:
+            index = CompositeHashIndex(self.relation(table), columns)
+            self._composite_indexes[key] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # integrity / stats
+    # ------------------------------------------------------------------
+    def check_integrity(self) -> None:
+        """Validate schema references and every foreign-key value.
+
+        Raises:
+            IntegrityError: if a child row references a missing parent key.
+        """
+        self.schema.validate()
+        for schema in self.schema.tables.values():
+            relation = self.relation(schema.name)
+            for fk in schema.foreign_keys:
+                parent = self.relation(fk.ref_table)
+                if parent.schema.primary_key == fk.ref_column:
+                    exists = parent.lookup_pk
+                else:
+                    index = self.hash_index(fk.ref_table, fk.ref_column)
+                    exists = lambda key, _idx=index: (_idx.lookup(key) or None)
+                for value in relation.column(fk.column):
+                    if value is None:
+                        continue
+                    if exists(value) is None:
+                        raise IntegrityError(
+                            f"{schema.name}.{fk.column}={value!r} has no parent "
+                            f"in {fk.ref_table}.{fk.ref_column}"
+                        )
+
+    def table_names(self) -> List[str]:
+        """Names of all relations."""
+        return list(self._relations)
+
+    def row_counts(self) -> Dict[str, int]:
+        """Cardinality of every relation."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name}, tables={len(self._relations)})"

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the relational engine substrate.
+
+All engine-level failures derive from :class:`RelationalError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for every error raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """A schema definition is inconsistent (duplicate columns, bad FK, ...)."""
+
+
+class UnknownTableError(RelationalError):
+    """A referenced table does not exist in the database."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownColumnError(RelationalError):
+    """A referenced column does not exist in a table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class TypeCoercionError(RelationalError):
+    """A value could not be coerced to the declared column type."""
+
+
+class IntegrityError(RelationalError):
+    """A primary-key or foreign-key constraint was violated."""
+
+
+class QueryError(RelationalError):
+    """A query AST is malformed or references missing schema objects."""

@@ -1,0 +1,138 @@
+"""Secondary indexes: hash index for point lookups, sorted index for ranges.
+
+The paper's abduction phase issues *point queries to retrieve semantic
+properties of the entities, using B-tree indexes* (Section 7.2).  The sorted
+index here plays the B-tree's role: O(log n) range scans via bisect; the
+hash index serves equality lookups and hash joins.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .relation import Relation
+
+
+class HashIndex:
+    """Equality index: value -> list of row ids."""
+
+    def __init__(self, relation: Relation, column: str) -> None:
+        self.relation = relation
+        self.column = column
+        self._map: Dict[Hashable, List[int]] = {}
+        for rid, value in enumerate(relation.column(column)):
+            if value is None:
+                continue
+            self._map.setdefault(value, []).append(rid)
+
+    def lookup(self, value: Hashable) -> List[int]:
+        """Row ids whose column equals ``value`` (empty list if none)."""
+        return self._map.get(value, [])
+
+    def lookup_many(self, values: Iterable[Hashable]) -> List[int]:
+        """Row ids whose column equals any of ``values`` (deduplicated)."""
+        out: List[int] = []
+        seen = set()
+        for value in values:
+            for rid in self._map.get(value, []):
+                if rid not in seen:
+                    seen.add(rid)
+                    out.append(rid)
+        return out
+
+    def distinct_count(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._map)
+
+    def keys(self) -> Iterable[Hashable]:
+        """All distinct indexed values."""
+        return self._map.keys()
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._map
+
+
+class SortedIndex:
+    """Ordered index over a numeric column supporting range scans."""
+
+    def __init__(self, relation: Relation, column: str) -> None:
+        self.relation = relation
+        self.column = column
+        pairs: List[Tuple[Any, int]] = [
+            (value, rid)
+            for rid, value in enumerate(relation.column(column))
+            if value is not None
+        ]
+        pairs.sort(key=lambda p: p[0])
+        self._values: List[Any] = [p[0] for p in pairs]
+        self._row_ids: List[int] = [p[1] for p in pairs]
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> List[int]:
+        """Row ids with ``low <= value <= high`` (bounds optional)."""
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._values, low)
+        else:
+            lo = bisect.bisect_right(self._values, low)
+        if high is None:
+            hi = len(self._values)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._values, high)
+        else:
+            hi = bisect.bisect_left(self._values, high)
+        return self._row_ids[lo:hi]
+
+    def count_leq(self, value: Any) -> int:
+        """Number of non-NULL entries with ``entry <= value``.
+
+        This is the primitive behind the paper's *smart selectivity
+        computation*: prefix counts let the αDB answer any range
+        selectivity with two lookups.
+        """
+        return bisect.bisect_right(self._values, value)
+
+    def min_value(self) -> Optional[Any]:
+        """Smallest indexed value, or ``None`` for an empty index."""
+        return self._values[0] if self._values else None
+
+    def max_value(self) -> Optional[Any]:
+        """Largest indexed value, or ``None`` for an empty index."""
+        return self._values[-1] if self._values else None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class CompositeHashIndex:
+    """Equality index over a tuple of columns: (v1, v2, ...) -> row ids."""
+
+    def __init__(self, relation: Relation, columns: Sequence[str]) -> None:
+        self.relation = relation
+        self.columns = tuple(columns)
+        stores = [relation.column(c) for c in self.columns]
+        self._map: Dict[Tuple[Hashable, ...], List[int]] = {}
+        for rid in relation.row_ids():
+            key = tuple(store[rid] for store in stores)
+            if any(part is None for part in key):
+                continue
+            self._map.setdefault(key, []).append(rid)
+
+    def lookup(self, key: Tuple[Hashable, ...]) -> List[int]:
+        """Row ids matching the composite key."""
+        return self._map.get(tuple(key), [])
+
+    def keys(self) -> Iterable[Tuple[Hashable, ...]]:
+        """All distinct composite keys."""
+        return self._map.keys()
+
+    def __contains__(self, key: Tuple[Hashable, ...]) -> bool:
+        return tuple(key) in self._map

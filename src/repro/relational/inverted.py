@@ -1,0 +1,89 @@
+"""Global inverted column index over text attributes.
+
+SQuID "uses a global inverted column index, built over all text attributes
+and stored in the αDB, to perform fast lookups, matching the provided example
+data to entities in the database" (Section 5).  The index maps a normalised
+text value to every ``(table, column, row_id)`` where it occurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .database import Database
+from .types import ColumnType, normalize_text
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One occurrence of a text value."""
+
+    table: str
+    column: str
+    row_id: int
+
+
+class InvertedColumnIndex:
+    """Value -> postings over all (or selected) text columns of a database."""
+
+    def __init__(
+        self,
+        database: Database,
+        tables: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._columns: List[Tuple[str, str]] = []
+        names = tables if tables is not None else list(database.schema.tables)
+        for table in names:
+            relation = database.relation(table)
+            for col in relation.schema.columns:
+                if col.ctype is not ColumnType.TEXT:
+                    continue
+                self._columns.append((table, col.name))
+                for rid, value in enumerate(relation.column(col.name)):
+                    if value is None:
+                        continue
+                    key = normalize_text(value)
+                    self._postings.setdefault(key, []).append(
+                        Posting(table, col.name, rid)
+                    )
+
+    @property
+    def indexed_columns(self) -> List[Tuple[str, str]]:
+        """All ``(table, column)`` pairs covered by the index."""
+        return list(self._columns)
+
+    def lookup(self, value: str) -> List[Posting]:
+        """Postings for one text value (case/whitespace-insensitive)."""
+        return self._postings.get(normalize_text(value), [])
+
+    def candidate_columns(self, values: Iterable[str]) -> List[Tuple[str, str]]:
+        """Columns containing *every* value in ``values``.
+
+        This implements SQuID's first lookup step: given the user's example
+        strings, find the attributes (e.g. ``movie.title``) that contain all
+        of them, which identifies the candidate entity type.
+        """
+        values = list(values)
+        if not values:
+            return []
+        survivors: Optional[Set[Tuple[str, str]]] = None
+        for value in values:
+            cols = {(p.table, p.column) for p in self.lookup(value)}
+            survivors = cols if survivors is None else survivors & cols
+            if not survivors:
+                return []
+        assert survivors is not None
+        return sorted(survivors)
+
+    def matches_in(self, value: str, table: str, column: str) -> List[int]:
+        """Row ids in ``table.column`` holding ``value``."""
+        return [
+            p.row_id
+            for p in self.lookup(value)
+            if p.table == table and p.column == column
+        ]
+
+    def __len__(self) -> int:
+        return len(self._postings)

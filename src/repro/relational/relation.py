@@ -1,0 +1,130 @@
+"""Column-oriented relation storage.
+
+A :class:`Relation` stores tuples column-wise in plain Python lists.  This
+keeps single-column scans (selectivity computation, aggregation) cheap and
+lets statistics code hand columns to numpy without a transpose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import IntegrityError, SchemaError
+from .schema import TableSchema
+from .types import coerce_value
+
+
+class Relation:
+    """An in-memory relation (table instance) with column-wise storage."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._columns: List[List[Any]] = [[] for _ in schema.columns]
+        self._pk_map: Optional[Dict[Any, int]] = (
+            {} if schema.primary_key is not None else None
+        )
+        self._pk_pos = (
+            schema.column_position(schema.primary_key)
+            if schema.primary_key is not None
+            else -1
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any]) -> int:
+        """Append one tuple (declaration order); returns its row id."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"{self.schema.name}: expected {len(self._columns)} values, "
+                f"got {len(row)}"
+            )
+        values = [
+            coerce_value(value, col.ctype)
+            for value, col in zip(row, self.schema.columns)
+        ]
+        for value, col in zip(values, self.schema.columns):
+            if value is None and not col.nullable:
+                raise IntegrityError(
+                    f"{self.schema.name}.{col.name} is NOT NULL"
+                )
+        rid = len(self._columns[0]) if self._columns else 0
+        if self._pk_map is not None:
+            key = values[self._pk_pos]
+            if key in self._pk_map:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in {self.schema.name}"
+                )
+            self._pk_map[key] = rid
+        for store, value in zip(self._columns, values):
+            store.append(value)
+        return rid
+
+    def insert_dict(self, row: Dict[str, Any]) -> int:
+        """Append one tuple given as a ``{column: value}`` mapping."""
+        ordered = [row.get(name) for name in self.schema.column_names]
+        extra = set(row) - set(self.schema.column_names)
+        if extra:
+            raise SchemaError(f"{self.schema.name}: unknown columns {sorted(extra)}")
+        return self.insert(ordered)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Bulk append tuples."""
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._columns[0]) if self._columns else 0
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored tuples."""
+        return len(self)
+
+    def column(self, name: str) -> List[Any]:
+        """The raw value list of one column (do not mutate)."""
+        return self._columns[self.schema.column_position(name)]
+
+    def value(self, row_id: int, column: str) -> Any:
+        """Value at (row, column)."""
+        return self._columns[self.schema.column_position(column)][row_id]
+
+    def row(self, row_id: int) -> Tuple[Any, ...]:
+        """One tuple in declaration order."""
+        return tuple(col[row_id] for col in self._columns)
+
+    def row_dict(self, row_id: int) -> Dict[str, Any]:
+        """One tuple as a ``{column: value}`` mapping."""
+        return {
+            name: col[row_id]
+            for name, col in zip(self.schema.column_names, self._columns)
+        }
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over all tuples."""
+        for rid in range(len(self)):
+            yield self.row(rid)
+
+    def row_ids(self) -> range:
+        """All valid row ids."""
+        return range(len(self))
+
+    def lookup_pk(self, key: Any) -> Optional[int]:
+        """Row id of the tuple with primary key ``key`` (or ``None``)."""
+        if self._pk_map is None:
+            raise SchemaError(f"{self.schema.name} has no primary key")
+        return self._pk_map.get(key)
+
+    def distinct_values(self, column: str) -> List[Any]:
+        """Distinct non-NULL values of a column (stable first-seen order)."""
+        seen: Dict[Any, None] = {}
+        for value in self.column(column):
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.name}, rows={len(self)})"

@@ -1,0 +1,186 @@
+"""Schema objects: column definitions, foreign keys, table and database schemas.
+
+The database schema doubles as the *schema graph* the paper's offline module
+walks to discover fact tables and derived semantic properties (Section 5):
+nodes are tables, edges are key--foreign-key constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import SchemaError, UnknownColumnError, UnknownTableError
+from .types import ColumnType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Definition of a single column."""
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A key--foreign-key constraint ``column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+class TableSchema:
+    """Schema of one relation: ordered columns, primary key, foreign keys."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[ColumnDef],
+        primary_key: Optional[str] = None,
+        foreign_keys: Sequence[ForeignKey] = (),
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name: {name!r}")
+        seen = set()
+        for col in columns:
+            if col.name in seen:
+                raise SchemaError(f"duplicate column {col.name!r} in {name!r}")
+            seen.add(col.name)
+        if primary_key is not None and primary_key not in seen:
+            raise UnknownColumnError(name, primary_key)
+        for fk in foreign_keys:
+            if fk.column not in seen:
+                raise UnknownColumnError(name, fk.column)
+        self.name = name
+        self.columns: Tuple[ColumnDef, ...] = tuple(columns)
+        self.primary_key = primary_key
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(self.columns)}
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Names of all columns, in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column named ``name`` exists."""
+        return name in self._index
+
+    def column_position(self, name: str) -> int:
+        """Ordinal position of a column; raises if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(self.name, name) from None
+
+    def column_def(self, name: str) -> ColumnDef:
+        """The :class:`ColumnDef` for ``name``; raises if unknown."""
+        return self.columns[self.column_position(name)]
+
+    def column_type(self, name: str) -> ColumnType:
+        """The :class:`ColumnType` of column ``name``."""
+        return self.column_def(name).ctype
+
+    def foreign_key_for(self, column: str) -> Optional[ForeignKey]:
+        """The foreign key declared on ``column``, if any."""
+        for fk in self.foreign_keys:
+            if fk.column == column:
+                return fk
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.ctype.value}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+
+@dataclass(frozen=True)
+class FkEdge:
+    """One key--foreign-key edge of the schema graph.
+
+    The edge is directed from the referencing (child) table to the referenced
+    (parent) table, e.g. ``castinfo.person_id -> person.id``.
+    """
+
+    src_table: str
+    src_column: str
+    dst_table: str
+    dst_column: str
+
+    def reversed(self) -> "FkEdge":
+        """The same join edge seen from the parent side."""
+        return FkEdge(self.dst_table, self.dst_column, self.src_table, self.src_column)
+
+
+@dataclass
+class DatabaseSchema:
+    """All table schemas plus the key--foreign-key schema graph."""
+
+    tables: Dict[str, TableSchema] = field(default_factory=dict)
+
+    def add_table(self, schema: TableSchema) -> None:
+        """Register a table schema; referenced tables may be added later."""
+        if schema.name in self.tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        self.tables[schema.name] = schema
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema; raises :class:`UnknownTableError`."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def validate(self) -> None:
+        """Check that every foreign key points at an existing PK column."""
+        for schema in self.tables.values():
+            for fk in schema.foreign_keys:
+                target = self.table(fk.ref_table)
+                if not target.has_column(fk.ref_column):
+                    raise UnknownColumnError(fk.ref_table, fk.ref_column)
+
+    def fk_edges(self) -> Iterator[FkEdge]:
+        """All FK edges, directed child -> parent."""
+        for schema in self.tables.values():
+            for fk in schema.foreign_keys:
+                yield FkEdge(schema.name, fk.column, fk.ref_table, fk.ref_column)
+
+    def edges_from(self, table: str) -> List[FkEdge]:
+        """All join edges incident to ``table`` (both directions).
+
+        Parent->child edges are the reversal of declared FK edges; the
+        offline module uses them to hop from an entity table into its fact
+        tables.
+        """
+        out: List[FkEdge] = []
+        for edge in self.fk_edges():
+            if edge.src_table == table:
+                out.append(edge)
+            if edge.dst_table == table:
+                out.append(edge.reversed())
+        return out
+
+    def edges_between(self, left: str, right: str) -> List[FkEdge]:
+        """Join edges connecting two specific tables (either direction)."""
+        return [e for e in self.edges_from(left) if e.dst_table == right]
+
+    def referencing_tables(self, table: str) -> List[Tuple[str, ForeignKey]]:
+        """Tables holding a foreign key into ``table`` (its fact tables)."""
+        out: List[Tuple[str, ForeignKey]] = []
+        for schema in self.tables.values():
+            for fk in schema.foreign_keys:
+                if fk.ref_table == table:
+                    out.append((schema.name, fk))
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables

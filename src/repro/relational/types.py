@@ -1,0 +1,78 @@
+"""Column types and value coercion for the relational engine.
+
+The engine supports four scalar types (INT, FLOAT, TEXT, BOOL) plus SQL-style
+NULL, represented by Python ``None``.  Coercion is strict: a value that cannot
+be represented in the declared type raises :class:`TypeCoercionError` instead
+of being silently truncated.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from .errors import TypeCoercionError
+
+
+class ColumnType(enum.Enum):
+    """Scalar type of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support ordering/arithmetic."""
+        return self in (ColumnType.INT, ColumnType.FLOAT)
+
+    @property
+    def is_text(self) -> bool:
+        """Whether values of this type are strings."""
+        return self is ColumnType.TEXT
+
+
+def coerce_value(value: Any, ctype: ColumnType) -> Optional[Any]:
+    """Coerce ``value`` to the Python representation of ``ctype``.
+
+    ``None`` always passes through (SQL NULL).  Booleans are rejected for
+    INT/FLOAT columns so that ``True`` does not masquerade as ``1``.
+
+    Raises:
+        TypeCoercionError: if the value cannot represent the declared type.
+    """
+    if value is None:
+        return None
+    if ctype is ColumnType.INT:
+        if isinstance(value, bool):
+            raise TypeCoercionError(f"bool {value!r} is not an INT")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeCoercionError(f"cannot coerce {value!r} to INT")
+    if ctype is ColumnType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeCoercionError(f"bool {value!r} is not a FLOAT")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeCoercionError(f"cannot coerce {value!r} to FLOAT")
+    if ctype is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeCoercionError(f"cannot coerce {value!r} to TEXT")
+    if ctype is ColumnType.BOOL:
+        if isinstance(value, bool):
+            return value
+        raise TypeCoercionError(f"cannot coerce {value!r} to BOOL")
+    raise TypeCoercionError(f"unsupported column type: {ctype!r}")
+
+
+def normalize_text(value: str) -> str:
+    """Normalise a text value for case-insensitive index lookups.
+
+    The inverted column index stores and queries values through this
+    function, mirroring SQuID's case-insensitive entity lookup.
+    """
+    return " ".join(value.strip().lower().split())

@@ -1,0 +1,48 @@
+"""Query representation and execution for the SPJ(A, intersect) class.
+
+Exports the AST node types, the executor, the paper-style SQL formatter,
+the predicate-counting metric used in Figs. 14/15, and a small parser that
+round-trips the formatter output.
+"""
+
+from .ast import (
+    AnyQuery,
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from .counting import (
+    count_join_predicates,
+    count_predicates,
+    count_selection_predicates,
+)
+from .executor import Executor, ResultSet, execute
+from .formatter import format_predicate, format_query, format_value
+from .parser import parse_query
+
+__all__ = [
+    "AnyQuery",
+    "ColumnRef",
+    "Executor",
+    "HavingCount",
+    "IntersectQuery",
+    "JoinCondition",
+    "Op",
+    "Predicate",
+    "Query",
+    "ResultSet",
+    "TableRef",
+    "count_join_predicates",
+    "count_predicates",
+    "count_selection_predicates",
+    "execute",
+    "format_predicate",
+    "format_query",
+    "format_value",
+    "parse_query",
+]

@@ -1,0 +1,228 @@
+"""Query AST for the SPJ(A, intersect) class SQuID targets.
+
+The paper's query family (footnote 6): select-project-join queries whose
+joins are key--foreign-key joins and whose selection predicates are
+conjunctive ``attribute OP value`` with ``OP ∈ {=, >=, <=}``, plus optional
+group-by aggregation (``HAVING count(*) OP k``) and intersection.
+
+Tables carry aliases so a derived relation (e.g. ``persontogenre``) can
+appear once per semantic-property filter, as the αDB reduction requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Sequence, Tuple, Union
+
+
+class Op(enum.Enum):
+    """Comparison operators allowed in selection predicates."""
+
+    EQ = "="
+    GE = ">="
+    LE = "<="
+    BETWEEN = "BETWEEN"
+    IN = "IN"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table occurrence in the FROM clause: base name plus alias."""
+
+    name: str
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.alias:
+            object.__setattr__(self, "alias", self.name)
+
+    @property
+    def is_aliased(self) -> bool:
+        """Whether the occurrence uses a non-trivial alias."""
+        return self.alias != self.name
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference ``alias.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join condition ``left = right`` between two column refs."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def touches(self, alias: str) -> bool:
+        """Whether the condition references table alias ``alias``."""
+        return self.left.table == alias or self.right.table == alias
+
+    def other_side(self, alias: str) -> ColumnRef:
+        """The column ref on the opposite side of ``alias``."""
+        if self.left.table == alias:
+            return self.right
+        if self.right.table == alias:
+            return self.left
+        raise ValueError(f"join {self} does not touch {alias!r}")
+
+    def side_of(self, alias: str) -> ColumnRef:
+        """The column ref belonging to ``alias``."""
+        if self.left.table == alias:
+            return self.left
+        if self.right.table == alias:
+            return self.right
+        raise ValueError(f"join {self} does not touch {alias!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+PredicateValue = Union[int, float, str, bool, Tuple[Any, Any], FrozenSet[Any]]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A selection predicate ``column OP value``.
+
+    ``value`` is a scalar for EQ/GE/LE, a ``(low, high)`` pair for BETWEEN
+    (both bounds inclusive), and a frozenset for IN (the paper's optional
+    disjunction over categorical values).
+    """
+
+    column: ColumnRef
+    op: Op
+    value: PredicateValue
+
+    def __post_init__(self) -> None:
+        if self.op is Op.BETWEEN:
+            if not (isinstance(self.value, tuple) and len(self.value) == 2):
+                raise ValueError("BETWEEN expects a (low, high) tuple")
+        elif self.op is Op.IN:
+            if not isinstance(self.value, frozenset):
+                object.__setattr__(self, "value", frozenset(self.value))  # type: ignore[arg-type]
+
+    def matches(self, value: Any) -> bool:
+        """Evaluate the predicate against one cell value (NULL fails)."""
+        if value is None:
+            return False
+        if self.op is Op.EQ:
+            return bool(value == self.value)
+        if self.op is Op.GE:
+            return bool(value >= self.value)
+        if self.op is Op.LE:
+            return bool(value <= self.value)
+        if self.op is Op.BETWEEN:
+            low, high = self.value  # type: ignore[misc]
+            return bool(low <= value <= high)
+        if self.op is Op.IN:
+            return value in self.value  # type: ignore[operator]
+        raise ValueError(f"unsupported op {self.op!r}")
+
+    def atom_count(self) -> int:
+        """Number of ``attribute OP constant`` atoms this predicate expands to.
+
+        BETWEEN counts as two atoms (>= and <=); IN counts one atom per
+        member, matching how the paper counts predicates in Figs. 14/15.
+        """
+        if self.op is Op.BETWEEN:
+            return 2
+        if self.op is Op.IN:
+            return max(1, len(self.value))  # type: ignore[arg-type]
+        return 1
+
+
+@dataclass(frozen=True)
+class HavingCount:
+    """A ``HAVING count(*) OP k`` clause attached to a GROUP BY."""
+
+    op: Op
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (Op.EQ, Op.GE, Op.LE):
+            raise ValueError("HAVING count(*) supports =, >=, <= only")
+
+    def matches(self, count: int) -> bool:
+        """Whether a group of ``count`` rows satisfies the clause."""
+        if self.op is Op.EQ:
+            return count == self.value
+        if self.op is Op.GE:
+            return count >= self.value
+        return count <= self.value
+
+
+@dataclass(frozen=True)
+class Query:
+    """One select-project-join block with optional group-by aggregation."""
+
+    select: Tuple[ColumnRef, ...]
+    tables: Tuple[TableRef, ...]
+    joins: Tuple[JoinCondition, ...] = ()
+    predicates: Tuple[Predicate, ...] = ()
+    group_by: Tuple[ColumnRef, ...] = ()
+    having: Optional[HavingCount] = None
+    distinct: bool = True
+
+    def __post_init__(self) -> None:
+        aliases = [t.alias for t in self.tables]
+        if len(set(aliases)) != len(aliases):
+            raise ValueError(f"duplicate table aliases: {aliases}")
+        known = set(aliases)
+        for ref in self.select:
+            if ref.table not in known:
+                raise ValueError(f"SELECT references unknown alias {ref.table!r}")
+        for join in self.joins:
+            for ref in (join.left, join.right):
+                if ref.table not in known:
+                    raise ValueError(f"JOIN references unknown alias {ref.table!r}")
+        for pred in self.predicates:
+            if pred.column.table not in known:
+                raise ValueError(
+                    f"predicate references unknown alias {pred.column.table!r}"
+                )
+        for ref in self.group_by:
+            if ref.table not in known:
+                raise ValueError(f"GROUP BY references unknown alias {ref.table!r}")
+        if self.having is not None and not self.group_by:
+            raise ValueError("HAVING requires GROUP BY")
+
+    def alias_map(self) -> dict:
+        """Mapping alias -> base table name."""
+        return {t.alias: t.name for t in self.tables}
+
+    def with_predicates(self, predicates: Sequence[Predicate]) -> "Query":
+        """A copy of this query with ``predicates`` as the selection set."""
+        return Query(
+            select=self.select,
+            tables=self.tables,
+            joins=self.joins,
+            predicates=tuple(predicates),
+            group_by=self.group_by,
+            having=self.having,
+            distinct=self.distinct,
+        )
+
+
+@dataclass(frozen=True)
+class IntersectQuery:
+    """Intersection of two or more SPJ blocks (the paper's I operator)."""
+
+    blocks: Tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) < 2:
+            raise ValueError("IntersectQuery needs at least two blocks")
+        widths = {len(b.select) for b in self.blocks}
+        if len(widths) != 1:
+            raise ValueError("INTERSECT blocks must have equal arity")
+
+
+AnyQuery = Union[Query, IntersectQuery]

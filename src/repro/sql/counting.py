@@ -1,0 +1,34 @@
+"""Predicate counting for queries, matching the paper's Figs. 14/15 metric.
+
+The paper reports "the total number of predicates (including join and
+selection predicates) in the produced queries" and shows TALOS blowing up to
+hundreds while SQuID stays close to the intended query.  A range filter
+expands to two atoms (>= and <=); an IN disjunction counts one atom per
+member; each join condition and each HAVING clause counts as one.
+"""
+
+from __future__ import annotations
+
+from .ast import AnyQuery, IntersectQuery, Query
+
+
+def count_join_predicates(query: AnyQuery) -> int:
+    """Number of join conditions in a query (summed over INTERSECT blocks)."""
+    if isinstance(query, IntersectQuery):
+        return sum(count_join_predicates(block) for block in query.blocks)
+    return len(query.joins)
+
+
+def count_selection_predicates(query: AnyQuery) -> int:
+    """Number of selection atoms (BETWEEN = 2, IN = |set|, HAVING = 1)."""
+    if isinstance(query, IntersectQuery):
+        return sum(count_selection_predicates(block) for block in query.blocks)
+    total = sum(pred.atom_count() for pred in query.predicates)
+    if query.having is not None:
+        total += 1
+    return total
+
+
+def count_predicates(query: AnyQuery) -> int:
+    """Total predicate count: joins + selections (+HAVING clauses)."""
+    return count_join_predicates(query) + count_selection_predicates(query)

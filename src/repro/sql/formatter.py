@@ -1,0 +1,82 @@
+"""Render query ASTs as SQL text in the paper's style.
+
+The formatter produces queries that look like the paper's Q1--Q6 (upper-case
+keywords, explicit join conditions in the WHERE clause, quoted string
+constants), so examples and logs read like the publication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .ast import (
+    AnyQuery,
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+)
+
+
+def format_value(value: Any) -> str:
+    """SQL literal for one constant."""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def format_predicate(pred: Predicate) -> str:
+    """SQL text for one selection predicate."""
+    col = str(pred.column)
+    if pred.op is Op.BETWEEN:
+        low, high = pred.value  # type: ignore[misc]
+        return f"{col} >= {format_value(low)} AND {col} <= {format_value(high)}"
+    if pred.op is Op.IN:
+        members = ", ".join(
+            format_value(v) for v in sorted(pred.value, key=repr)  # type: ignore[arg-type]
+        )
+        return f"{col} IN ({members})"
+    return f"{col} {pred.op.value} {format_value(pred.value)}"
+
+
+def format_having(having: HavingCount) -> str:
+    """SQL text for a HAVING count(*) clause."""
+    op = "=" if having.op is Op.EQ else having.op.value
+    return f"count(*) {op} {having.value}"
+
+
+def format_query(query: AnyQuery, indent: str = "") -> str:
+    """Full SQL text for a query AST (including INTERSECT forms)."""
+    if isinstance(query, IntersectQuery):
+        parts = [format_query(block, indent) for block in query.blocks]
+        sep = f"\n{indent}INTERSECT\n"
+        return sep.join(parts)
+    return _format_block(query, indent)
+
+
+def _format_block(query: Query, indent: str) -> str:
+    select_kw = "SELECT DISTINCT" if query.distinct else "SELECT"
+    select = ", ".join(str(ref) for ref in query.select)
+    tables = ", ".join(
+        f"{t.name} {t.alias}" if t.is_aliased else t.name for t in query.tables
+    )
+    lines: List[str] = [f"{indent}{select_kw} {select}", f"{indent}FROM {tables}"]
+    conjuncts = [str(join) for join in query.joins]
+    conjuncts += [format_predicate(pred) for pred in query.predicates]
+    if conjuncts:
+        joined = f"\n{indent}  AND ".join(conjuncts)
+        lines.append(f"{indent}WHERE {joined}")
+    if query.group_by:
+        group = ", ".join(str(ref) for ref in query.group_by)
+        lines.append(f"{indent}GROUP BY {group}")
+    if query.having is not None:
+        lines.append(f"{indent}HAVING {format_having(query.having)}")
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""A small SQL parser for the SPJ(A, intersect) subset the formatter emits.
+
+This is a convenience for tests, examples, and users who want to define
+benchmark queries as text.  It accepts exactly the query family of the
+paper's footnote 6 (plus BETWEEN/IN sugar) and round-trips the output of
+:mod:`repro.sql.formatter`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from ..relational.errors import QueryError
+from .ast import (
+    AnyQuery,
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'            # string literal
+      | >=|<=|=|,|\(|\)|\*
+      | -?\d+\.\d+                # float literal
+      | -?\d+                     # int literal
+      | [A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?  # ident / qualified
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "group",
+    "by",
+    "having",
+    "count",
+    "between",
+    "in",
+    "intersect",
+    "true",
+    "false",
+}
+
+
+class _Tokens:
+    """Token stream with one-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                if text[pos:].strip():
+                    raise QueryError(f"cannot tokenize SQL at: {text[pos:pos+30]!r}")
+                break
+            self.tokens.append(match.group(1))
+            pos = match.end()
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def peek_kw(self) -> Optional[str]:
+        token = self.peek()
+        return token.lower() if token is not None else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of SQL")
+        self.pos += 1
+        return token
+
+    def expect_kw(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword:
+            raise QueryError(f"expected {keyword.upper()}, got {token!r}")
+
+    def accept_kw(self, keyword: str) -> bool:
+        if self.peek_kw() == keyword:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def parse_query(text: str) -> AnyQuery:
+    """Parse SQL text into a query AST (single block or INTERSECT chain)."""
+    tokens = _Tokens(text)
+    blocks = [_parse_block(tokens)]
+    while tokens.accept_kw("intersect"):
+        blocks.append(_parse_block(tokens))
+    if not tokens.at_end():
+        raise QueryError(f"trailing tokens: {tokens.tokens[tokens.pos:]}")
+    if len(blocks) == 1:
+        return blocks[0]
+    return IntersectQuery(tuple(blocks))
+
+
+def _parse_block(tokens: _Tokens) -> Query:
+    tokens.expect_kw("select")
+    distinct = tokens.accept_kw("distinct")
+    select = [_parse_column_ref(tokens)]
+    while tokens.accept_kw(","):
+        select.append(_parse_column_ref(tokens))
+
+    tokens.expect_kw("from")
+    tables = [_parse_table_ref(tokens)]
+    while tokens.accept_kw(","):
+        tables.append(_parse_table_ref(tokens))
+    default_alias = tables[0].alias
+
+    joins: List[JoinCondition] = []
+    predicates: List[Predicate] = []
+    if tokens.accept_kw("where"):
+        _parse_conjunct(tokens, joins, predicates, default_alias)
+        while tokens.accept_kw("and"):
+            _parse_conjunct(tokens, joins, predicates, default_alias)
+
+    group_by: List[ColumnRef] = []
+    having: Optional[HavingCount] = None
+    if tokens.accept_kw("group"):
+        tokens.expect_kw("by")
+        group_by.append(_parse_column_ref(tokens, default_alias))
+        while tokens.accept_kw(","):
+            group_by.append(_parse_column_ref(tokens, default_alias))
+    if tokens.accept_kw("having"):
+        having = _parse_having(tokens)
+
+    select = [_qualify(ref, default_alias) for ref in select]
+    try:
+        return Query(
+            select=tuple(select),
+            tables=tuple(tables),
+            joins=tuple(joins),
+            predicates=tuple(_merge_ranges(predicates)),
+            group_by=tuple(group_by),
+            having=having,
+            distinct=distinct,
+        )
+    except ValueError as exc:
+        raise QueryError(f"invalid query: {exc}") from exc
+
+
+def _parse_table_ref(tokens: _Tokens) -> TableRef:
+    name = tokens.next()
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", name):
+        raise QueryError(f"bad table name {name!r}")
+    nxt = tokens.peek()
+    if (
+        nxt is not None
+        and re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", nxt)
+        and nxt.lower() not in _KEYWORDS
+    ):
+        return TableRef(name, tokens.next())
+    return TableRef(name)
+
+
+def _parse_column_ref(tokens: _Tokens, default_alias: str = "") -> ColumnRef:
+    token = tokens.next()
+    if "." in token:
+        table, column = token.split(".", 1)
+        return ColumnRef(table, column)
+    if not default_alias:
+        # qualification deferred: caller fills in the single-table alias
+        return ColumnRef("", token)
+    return ColumnRef(default_alias, token)
+
+
+def _qualify(ref: ColumnRef, default_alias: str) -> ColumnRef:
+    return ColumnRef(default_alias, ref.column) if not ref.table else ref
+
+
+def _parse_value(tokens: _Tokens) -> Any:
+    token = tokens.next()
+    if token.startswith("'"):
+        return token[1:-1].replace("''", "'")
+    if token.lower() == "true":
+        return True
+    if token.lower() == "false":
+        return False
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return float(token)
+    raise QueryError(f"expected literal, got {token!r}")
+
+
+def _parse_conjunct(
+    tokens: _Tokens,
+    joins: List[JoinCondition],
+    predicates: List[Predicate],
+    default_alias: str,
+) -> None:
+    left = _qualify(_parse_column_ref(tokens), default_alias)
+    kw = tokens.peek_kw()
+    if kw == "between":
+        tokens.next()
+        low = _parse_value(tokens)
+        tokens.expect_kw("and")
+        high = _parse_value(tokens)
+        predicates.append(Predicate(left, Op.BETWEEN, (low, high)))
+        return
+    if kw == "in":
+        tokens.next()
+        tokens.expect_kw("(")
+        members = [_parse_value(tokens)]
+        while tokens.accept_kw(","):
+            members.append(_parse_value(tokens))
+        tokens.expect_kw(")")
+        predicates.append(Predicate(left, Op.IN, frozenset(members)))
+        return
+    op_token = tokens.next()
+    op = {">=": Op.GE, "<=": Op.LE, "=": Op.EQ}.get(op_token)
+    if op is None:
+        raise QueryError(f"expected comparison operator, got {op_token!r}")
+    nxt = tokens.peek()
+    if nxt is not None and "." in nxt and not nxt.startswith("'"):
+        right = _parse_column_ref(tokens)
+        if op is not Op.EQ:
+            raise QueryError("join conditions must use =")
+        joins.append(JoinCondition(left, right))
+        return
+    predicates.append(Predicate(left, op, _parse_value(tokens)))
+
+
+def _parse_having(tokens: _Tokens) -> HavingCount:
+    tokens.expect_kw("count")
+    tokens.expect_kw("(")
+    tokens.expect_kw("*")
+    tokens.expect_kw(")")
+    op_token = tokens.next()
+    op = {">=": Op.GE, "<=": Op.LE, "=": Op.EQ}.get(op_token)
+    if op is None:
+        raise QueryError(f"bad HAVING operator {op_token!r}")
+    value = _parse_value(tokens)
+    if not isinstance(value, int):
+        raise QueryError("HAVING count(*) expects an integer")
+    return HavingCount(op, value)
+
+
+def _merge_ranges(predicates: List[Predicate]) -> List[Predicate]:
+    """Fuse ``col >= low AND col <= high`` pairs back into BETWEEN.
+
+    The formatter expands BETWEEN into two atoms; merging on parse makes
+    ``parse(format(q))`` a faithful round trip.
+    """
+    out: List[Predicate] = []
+    pending_ge: dict = {}
+    for pred in predicates:
+        if pred.op is Op.GE and pred.column not in pending_ge:
+            pending_ge[pred.column] = len(out)
+            out.append(pred)
+            continue
+        if pred.op is Op.LE and pred.column in pending_ge:
+            slot = pending_ge.pop(pred.column)
+            low = out[slot].value
+            out[slot] = Predicate(pred.column, Op.BETWEEN, (low, pred.value))
+            continue
+        out.append(pred)
+    return out

@@ -1,0 +1,85 @@
+"""A brute-force reference executor (nested loops) for differential testing.
+
+This evaluator implements SPJ(A, intersect) semantics in the most obvious
+way possible — enumerate the cross product of all FROM tables, filter by
+join conditions and predicates, group, project.  It is exponential and
+only suitable for tiny databases, but its simplicity makes it a trusted
+oracle: the property tests run random queries through both executors and
+require identical results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Set, Tuple
+
+from ..relational.database import Database
+from .ast import AnyQuery, IntersectQuery, Query
+from .executor import ResultSet
+
+
+def execute_reference(database: Database, query: AnyQuery) -> ResultSet:
+    """Evaluate ``query`` by brute force (tiny inputs only)."""
+    if isinstance(query, IntersectQuery):
+        first = execute_reference(database, query.blocks[0])
+        surviving: Set[Tuple[Any, ...]] = set(first.rows)
+        for block in query.blocks[1:]:
+            surviving &= set(execute_reference(database, block).rows)
+        seen: Set[Tuple[Any, ...]] = set()
+        rows = []
+        for row in first.rows:
+            if row in surviving and row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return ResultSet(first.columns, rows)
+    return _execute_block(database, query)
+
+
+def _execute_block(database: Database, query: Query) -> ResultSet:
+    alias_map = query.alias_map()
+    aliases = list(alias_map)
+    relations = {alias: database.relation(alias_map[alias]) for alias in aliases}
+
+    def value(binding: Dict[str, int], ref) -> Any:
+        return relations[ref.table].value(binding[ref.table], ref.column)
+
+    bindings: List[Dict[str, int]] = []
+    id_ranges = [range(len(relations[alias])) for alias in aliases]
+    for combo in itertools.product(*id_ranges):
+        binding = dict(zip(aliases, combo))
+        if any(
+            value(binding, join.left) is None
+            or value(binding, join.left) != value(binding, join.right)
+            for join in query.joins
+        ):
+            continue
+        if any(
+            not pred.matches(value(binding, pred.column))
+            for pred in query.predicates
+        ):
+            continue
+        bindings.append(binding)
+
+    if query.group_by:
+        groups: Dict[Tuple[Any, ...], Tuple[int, Dict[str, int]]] = {}
+        for binding in bindings:
+            key = tuple(value(binding, ref) for ref in query.group_by)
+            count, representative = groups.get(key, (0, binding))
+            groups[key] = (count + 1, representative)
+        bindings = [
+            representative
+            for count, representative in groups.values()
+            if query.having is None or query.having.matches(count)
+        ]
+
+    labels = tuple(str(ref) for ref in query.select)
+    rows: List[Tuple[Any, ...]] = []
+    seen: Set[Tuple[Any, ...]] = set()
+    for binding in bindings:
+        row = tuple(value(binding, ref) for ref in query.select)
+        if query.distinct:
+            if row in seen:
+                continue
+            seen.add(row)
+        rows.append(row)
+    return ResultSet(labels, rows)

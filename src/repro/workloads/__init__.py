@@ -1,0 +1,12 @@
+"""Benchmark workloads: IQ1-IQ16 (IMDb), DQ1-DQ5 (DBLP), AQ* (Adult)."""
+
+from . import adult_queries, dblp_queries, imdb_queries
+from .registry import Workload, WorkloadRegistry
+
+__all__ = [
+    "Workload",
+    "WorkloadRegistry",
+    "adult_queries",
+    "dblp_queries",
+    "imdb_queries",
+]

@@ -1,0 +1,102 @@
+"""Randomized Adult benchmark queries (Figure 22 protocol).
+
+The paper "generated 20 queries, randomizing the attributes and predicate
+values, ranging the number of selection predicates (2 to 7) and the result
+cardinality (8 to 1404 tuples)".  We follow the same protocol: a seeded
+sampler draws conjunctive queries over the Adult attributes, sampling
+categorical equality predicates and numeric ranges from the data itself,
+and keeps those whose cardinality lands inside the target band.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..relational.database import Database
+from ..sql.ast import ColumnRef, Op, Predicate, Query, TableRef
+from ..sql.executor import execute
+from ..datasets.adult import ATTRIBUTE_COLUMNS
+from ..datasets.seeds import make_rng
+from ..relational.types import ColumnType
+from .registry import Workload, WorkloadRegistry
+
+CATEGORICAL = [n for n, t in ATTRIBUTE_COLUMNS if t is ColumnType.TEXT]
+NUMERIC = [n for n, t in ATTRIBUTE_COLUMNS if t is ColumnType.INT]
+
+
+def _sample_predicate(
+    rng: np.random.Generator,
+    db: Database,
+    attribute: str,
+) -> Optional[Predicate]:
+    column = ColumnRef("adult", attribute)
+    values = [v for v in db.relation("adult").column(attribute) if v is not None]
+    if not values:
+        return None
+    if attribute in CATEGORICAL:
+        value = values[int(rng.integers(0, len(values)))]
+        return Predicate(column, Op.EQ, value)
+    ordered = sorted(values)
+    lo_idx = int(rng.integers(0, len(ordered)))
+    width = int(rng.integers(1, max(2, len(ordered) // 4)))
+    hi_idx = min(len(ordered) - 1, lo_idx + width)
+    low, high = ordered[lo_idx], ordered[hi_idx]
+    if low == high:
+        return Predicate(column, Op.EQ, low)
+    return Predicate(column, Op.BETWEEN, (low, high))
+
+
+def generate_queries(
+    db: Database,
+    count: int = 20,
+    seed: int = 2024,
+    min_cardinality: int = 8,
+    max_cardinality: int = 1500,
+    max_attempts: int = 4000,
+) -> WorkloadRegistry:
+    """Sample ``count`` Adult queries within the cardinality band."""
+    rng = make_rng(seed, "adult-queries")
+    attributes = CATEGORICAL + NUMERIC
+    workloads: List[Workload] = []
+    attempts = 0
+    while len(workloads) < count and attempts < max_attempts:
+        attempts += 1
+        n_preds = int(rng.integers(2, 8))
+        chosen = rng.choice(len(attributes), size=n_preds, replace=False)
+        predicates = []
+        for idx in chosen:
+            pred = _sample_predicate(rng, db, attributes[int(idx)])
+            if pred is not None:
+                predicates.append(pred)
+        if len(predicates) < 2:
+            continue
+        query = Query(
+            select=(ColumnRef("adult", "id"), ColumnRef("adult", "name")),
+            tables=(TableRef("adult"),),
+            predicates=tuple(predicates),
+        )
+        cardinality = len(execute(db, query))
+        if not (min_cardinality <= cardinality <= max_cardinality):
+            continue
+        qid = f"AQ{len(workloads) + 1}"
+        workloads.append(
+            Workload(
+                qid=qid,
+                dataset="adult",
+                description=f"random conjunctive query ({len(predicates)} preds)",
+                entity_table="adult",
+                entity_key="id",
+                display="name",
+                query=query,
+                num_joins=0,
+                num_selections=sum(p.atom_count() for p in predicates),
+            )
+        )
+    if len(workloads) < count:
+        raise RuntimeError(
+            f"only sampled {len(workloads)}/{count} queries in the band "
+            f"[{min_cardinality}, {max_cardinality}]"
+        )
+    return WorkloadRegistry("adult", workloads)

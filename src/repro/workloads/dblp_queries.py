@@ -1,0 +1,193 @@
+"""The 5 DBLP benchmark queries (Figure 20) over the synthetic DBLP."""
+
+from __future__ import annotations
+
+from ..sql.ast import (
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from .registry import Workload, WorkloadRegistry
+
+
+def col(table: str, column: str) -> ColumnRef:
+    return ColumnRef(table, column)
+
+
+def _author_select():
+    return (col("author", "id"), col("author", "name"))
+
+
+def _pub_select():
+    return (col("publication", "id"), col("publication", "title"))
+
+
+def _dq2_block(venue: str) -> Query:
+    """Authors with >= 10 publications in one venue."""
+    return Query(
+        select=_author_select(),
+        tables=(
+            TableRef("author"),
+            TableRef("authortopub"),
+            TableRef("publication"),
+            TableRef("venue"),
+        ),
+        joins=(
+            JoinCondition(col("authortopub", "author_id"), col("author", "id")),
+            JoinCondition(col("authortopub", "pub_id"), col("publication", "id")),
+            JoinCondition(col("publication", "venue_id"), col("venue", "id")),
+        ),
+        predicates=(Predicate(col("venue", "name"), Op.EQ, venue),),
+        group_by=(col("author", "id"),),
+        having=HavingCount(Op.GE, 10),
+    )
+
+
+def _dq4_block(author_name: str) -> Query:
+    """Publications of one named author (INTERSECT block)."""
+    return Query(
+        select=_pub_select(),
+        tables=(
+            TableRef("publication"),
+            TableRef("authortopub"),
+            TableRef("author"),
+        ),
+        joins=(
+            JoinCondition(col("authortopub", "pub_id"), col("publication", "id")),
+            JoinCondition(col("authortopub", "author_id"), col("author", "id")),
+        ),
+        predicates=(Predicate(col("author", "name"), Op.EQ, author_name),),
+    )
+
+
+def _dq5_block(country: str) -> Query:
+    """Publications having at least one author from ``country``."""
+    return Query(
+        select=_pub_select(),
+        tables=(
+            TableRef("publication"),
+            TableRef("authortopub"),
+            TableRef("author"),
+            TableRef("country"),
+        ),
+        joins=(
+            JoinCondition(col("authortopub", "pub_id"), col("publication", "id")),
+            JoinCondition(col("authortopub", "author_id"), col("author", "id")),
+            JoinCondition(col("author", "country_id"), col("country", "id")),
+        ),
+        predicates=(Predicate(col("country", "name"), Op.EQ, country),),
+    )
+
+
+def _dq1_block(institution: str) -> Query:
+    """Authors affiliated with one institution (INTERSECT block)."""
+    return Query(
+        select=_author_select(),
+        tables=(
+            TableRef("author"),
+            TableRef("authortoinstitution"),
+            TableRef("institution"),
+        ),
+        joins=(
+            JoinCondition(
+                col("authortoinstitution", "author_id"), col("author", "id")
+            ),
+            JoinCondition(
+                col("authortoinstitution", "institution_id"),
+                col("institution", "id"),
+            ),
+        ),
+        predicates=(Predicate(col("institution", "name"), Op.EQ, institution),),
+    )
+
+
+def build_registry() -> WorkloadRegistry:
+    """All 5 DBLP workloads."""
+    author = dict(entity_table="author", entity_key="id", display="name")
+    pub = dict(entity_table="publication", entity_key="id", display="title")
+    workloads = [
+        Workload(
+            qid="DQ1",
+            dataset="dblp",
+            description=(
+                "Authors affiliated with both U Washington and "
+                "Microsoft Research Redmond"
+            ),
+            query=IntersectQuery(
+                (
+                    _dq1_block("University of Washington"),
+                    _dq1_block("Microsoft Research Redmond"),
+                )
+            ),
+            num_joins=5,
+            num_selections=2,
+            **author,
+        ),
+        Workload(
+            qid="DQ2",
+            dataset="dblp",
+            description=(
+                "Authors with at least 10 SIGMOD and at least 10 VLDB papers"
+            ),
+            query=IntersectQuery((_dq2_block("SIGMOD"), _dq2_block("VLDB"))),
+            num_joins=8,
+            num_selections=4,
+            **author,
+        ),
+        Workload(
+            qid="DQ3",
+            dataset="dblp",
+            description="SIGMOD publications in 2010-2012",
+            query=Query(
+                select=_pub_select(),
+                tables=(TableRef("publication"), TableRef("venue")),
+                joins=(
+                    JoinCondition(
+                        col("publication", "venue_id"), col("venue", "id")
+                    ),
+                ),
+                predicates=(
+                    Predicate(col("venue", "name"), Op.EQ, "SIGMOD"),
+                    Predicate(
+                        col("publication", "year"), Op.BETWEEN, (2010, 2012)
+                    ),
+                ),
+            ),
+            num_joins=3,
+            num_selections=3,
+            **pub,
+        ),
+        Workload(
+            qid="DQ4",
+            dataset="dblp",
+            description=(
+                "Publications Jiawei Han, Xifeng Yan, and Philip S. Yu "
+                "published together"
+            ),
+            query=IntersectQuery(
+                (
+                    _dq4_block("Jiawei Han"),
+                    _dq4_block("Xifeng Yan"),
+                    _dq4_block("Philip S. Yu"),
+                )
+            ),
+            num_joins=7,
+            num_selections=3,
+            **pub,
+        ),
+        Workload(
+            qid="DQ5",
+            dataset="dblp",
+            description="Publications between USA and Canada",
+            query=IntersectQuery((_dq5_block("USA"), _dq5_block("Canada"))),
+            num_joins=5,
+            num_selections=2,
+            **pub,
+        ),
+    ]
+    return WorkloadRegistry("dblp", workloads)

@@ -1,0 +1,513 @@
+"""The 16 IMDb benchmark queries (Figure 19) over the synthetic IMDb.
+
+Each IQ keeps the intent and structural shape of the paper's query (join
+count, selection count, aggregation); constants reference the planted
+entities of :mod:`repro.datasets.imdb`.  IQ7 ("all movie genres", a pure
+projection with no selection) is realised as "all persons" because our
+metadata treats ``genre`` as a dimension, preserving the phenomenon the
+paper discusses — a PJ query whose example set shares no significant
+property.  IQ10's intent (more than 10 *Russian movies released after
+2010*) cannot be expressed as a single SPJ(A) query — exactly why it
+falls outside SQuID's search space — so its ground truth is programmatic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from ..relational.database import Database
+from ..sql.ast import (
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from .registry import Workload, WorkloadRegistry
+
+
+def col(table: str, column: str) -> ColumnRef:
+    return ColumnRef(table, column)
+
+
+def _person_select():
+    return (col("person", "id"), col("person", "name"))
+
+
+def _movie_select():
+    return (col("movie", "id"), col("movie", "title"))
+
+
+def _movies_of_person(person_name: str, role: str | None = None) -> Query:
+    predicates = [Predicate(col("person", "name"), Op.EQ, person_name)]
+    joins = [
+        JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+        JoinCondition(col("castinfo", "movie_id"), col("movie", "id")),
+    ]
+    tables = [TableRef("movie"), TableRef("castinfo"), TableRef("person")]
+    if role is not None:
+        tables.append(TableRef("roletype"))
+        joins.append(
+            JoinCondition(col("castinfo", "role_id"), col("roletype", "id"))
+        )
+        predicates.append(Predicate(col("roletype", "name"), Op.EQ, role))
+    return Query(
+        select=_movie_select(),
+        tables=tuple(tables),
+        joins=tuple(joins),
+        predicates=tuple(predicates),
+    )
+
+
+def _movie_genre_block(genre: str) -> Query:
+    return Query(
+        select=_movie_select(),
+        tables=(TableRef("movie"), TableRef("movietogenre"), TableRef("genre")),
+        joins=(
+            JoinCondition(col("movietogenre", "movie_id"), col("movie", "id")),
+            JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+        ),
+        predicates=(Predicate(col("genre", "name"), Op.EQ, genre),),
+    )
+
+
+def _iq2_block(title: str) -> Query:
+    """Actors of one movie (used as an INTERSECT block for the trilogy)."""
+    return Query(
+        select=_person_select(),
+        tables=(TableRef("person"), TableRef("castinfo"), TableRef("movie")),
+        joins=(
+            JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+            JoinCondition(col("castinfo", "movie_id"), col("movie", "id")),
+        ),
+        predicates=(Predicate(col("movie", "title"), Op.EQ, title),),
+    )
+
+
+def _iq10_evaluator(db: Database) -> Set[Any]:
+    """Actors with > 10 Russian movies released after 2010 (compound)."""
+    country_rel = db.relation("country")
+    russia = next(
+        country_rel.value(rid, "id")
+        for rid in country_rel.row_ids()
+        if country_rel.value(rid, "name") == "Russia"
+    )
+    russian_movies = {
+        mid
+        for mid, cid in zip(
+            db.relation("movietocountry").column("movie_id"),
+            db.relation("movietocountry").column("country_id"),
+        )
+        if cid == russia
+    }
+    movie = db.relation("movie")
+    years = dict(zip(movie.column("id"), movie.column("year")))
+    qualifying = {m for m in russian_movies if years[m] > 2010}
+    counts: Dict[Any, int] = {}
+    cast = db.relation("castinfo")
+    for pid, mid in zip(cast.column("person_id"), cast.column("movie_id")):
+        if mid in qualifying:
+            counts[pid] = counts.get(pid, 0) + 1
+    return {pid for pid, count in counts.items() if count > 10}
+
+
+def build_registry() -> WorkloadRegistry:
+    """All 16 IMDb workloads."""
+    person = dict(entity_table="person", entity_key="id", display="name")
+    movie = dict(entity_table="movie", entity_key="id", display="title")
+    workloads = [
+        Workload(
+            qid="IQ1",
+            dataset="imdb",
+            description="Entire cast of Pulp Fiction",
+            query=Query(
+                select=_person_select(),
+                tables=(TableRef("person"), TableRef("castinfo"), TableRef("movie")),
+                joins=(
+                    JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                    JoinCondition(col("castinfo", "movie_id"), col("movie", "id")),
+                ),
+                predicates=(
+                    Predicate(col("movie", "title"), Op.EQ, "Pulp Fiction"),
+                ),
+            ),
+            num_joins=3,
+            num_selections=1,
+            **person,
+        ),
+        Workload(
+            qid="IQ2",
+            dataset="imdb",
+            description="Actors who appeared in all of the LOTR trilogy",
+            query=IntersectQuery(
+                (
+                    _iq2_block("The Lord of the Rings: The Fellowship of the Ring"),
+                    _iq2_block("The Lord of the Rings: The Two Towers"),
+                    _iq2_block("The Lord of the Rings: The Return of the King"),
+                )
+            ),
+            num_joins=8,
+            num_selections=7,
+            **person,
+        ),
+        Workload(
+            qid="IQ3",
+            dataset="imdb",
+            description="Canadian actresses born after 1970",
+            query=Query(
+                select=_person_select(),
+                tables=(
+                    TableRef("person"),
+                    TableRef("country"),
+                    TableRef("castinfo"),
+                    TableRef("roletype"),
+                ),
+                joins=(
+                    JoinCondition(col("person", "country_id"), col("country", "id")),
+                    JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                    JoinCondition(col("castinfo", "role_id"), col("roletype", "id")),
+                ),
+                predicates=(
+                    Predicate(col("country", "name"), Op.EQ, "Canada"),
+                    Predicate(col("person", "gender"), Op.EQ, "Female"),
+                    Predicate(col("person", "birth_year"), Op.GE, 1971),
+                    Predicate(col("roletype", "name"), Op.EQ, "Actress"),
+                ),
+            ),
+            num_joins=3,
+            num_selections=4,
+            **person,
+        ),
+        Workload(
+            qid="IQ4",
+            dataset="imdb",
+            description="Sci-Fi movies released in USA in 2016",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("movietogenre"),
+                    TableRef("genre"),
+                    TableRef("movietocountry"),
+                    TableRef("country"),
+                ),
+                joins=(
+                    JoinCondition(col("movietogenre", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+                    JoinCondition(
+                        col("movietocountry", "movie_id"), col("movie", "id")
+                    ),
+                    JoinCondition(
+                        col("movietocountry", "country_id"), col("country", "id")
+                    ),
+                ),
+                predicates=(
+                    Predicate(col("genre", "name"), Op.EQ, "Sci-Fi"),
+                    Predicate(col("country", "name"), Op.EQ, "USA"),
+                    Predicate(col("movie", "year"), Op.EQ, 2016),
+                ),
+            ),
+            num_joins=5,
+            num_selections=3,
+            **movie,
+        ),
+        Workload(
+            qid="IQ5",
+            dataset="imdb",
+            description="Movies Tom Cruise and Nicole Kidman acted together",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("castinfo", "c1"),
+                    TableRef("person", "p1"),
+                    TableRef("castinfo", "c2"),
+                    TableRef("person", "p2"),
+                ),
+                joins=(
+                    JoinCondition(col("c1", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("c1", "person_id"), col("p1", "id")),
+                    JoinCondition(col("c2", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("c2", "person_id"), col("p2", "id")),
+                ),
+                predicates=(
+                    Predicate(col("p1", "name"), Op.EQ, "Tom Cruise"),
+                    Predicate(col("p2", "name"), Op.EQ, "Nicole Kidman"),
+                ),
+            ),
+            num_joins=5,
+            num_selections=2,
+            **movie,
+        ),
+        Workload(
+            qid="IQ6",
+            dataset="imdb",
+            description="Movies directed by Clint Eastwood",
+            query=_movies_of_person("Clint Eastwood", role="Director"),
+            num_joins=4,
+            num_selections=2,
+            **movie,
+        ),
+        Workload(
+            qid="IQ7",
+            dataset="imdb",
+            description="All persons (pure projection, no selection)",
+            query=Query(select=_person_select(), tables=(TableRef("person"),)),
+            num_joins=1,
+            num_selections=0,
+            **person,
+        ),
+        Workload(
+            qid="IQ8",
+            dataset="imdb",
+            description="Movies by Al Pacino",
+            query=_movies_of_person("Al Pacino"),
+            num_joins=4,
+            num_selections=2,
+            **movie,
+        ),
+        Workload(
+            qid="IQ9",
+            dataset="imdb",
+            description="Indian actors who acted in at least 15 USA movies",
+            query=Query(
+                select=_person_select(),
+                tables=(
+                    TableRef("person"),
+                    TableRef("country", "pc"),
+                    TableRef("castinfo"),
+                    TableRef("movietocountry"),
+                    TableRef("country", "mc"),
+                ),
+                joins=(
+                    JoinCondition(col("person", "country_id"), col("pc", "id")),
+                    JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                    JoinCondition(
+                        col("movietocountry", "movie_id"), col("castinfo", "movie_id")
+                    ),
+                    JoinCondition(
+                        col("movietocountry", "country_id"), col("mc", "id")
+                    ),
+                ),
+                predicates=(
+                    Predicate(col("pc", "name"), Op.EQ, "India"),
+                    Predicate(col("mc", "name"), Op.EQ, "USA"),
+                ),
+                group_by=(col("person", "id"),),
+                having=HavingCount(Op.GE, 15),
+            ),
+            num_joins=6,
+            num_selections=4,
+            **person,
+        ),
+        Workload(
+            qid="IQ10",
+            dataset="imdb",
+            description="Actors with more than 10 Russian movies after 2010",
+            evaluator=_iq10_evaluator,
+            num_joins=6,
+            num_selections=4,
+            **person,
+        ),
+        Workload(
+            qid="IQ11",
+            dataset="imdb",
+            description="USA Horror-Drama movies in 2005-2008",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("movietogenre", "mg1"),
+                    TableRef("genre", "g1"),
+                    TableRef("movietogenre", "mg2"),
+                    TableRef("genre", "g2"),
+                    TableRef("movietocountry"),
+                    TableRef("country"),
+                ),
+                joins=(
+                    JoinCondition(col("mg1", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("mg1", "genre_id"), col("g1", "id")),
+                    JoinCondition(col("mg2", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("mg2", "genre_id"), col("g2", "id")),
+                    JoinCondition(
+                        col("movietocountry", "movie_id"), col("movie", "id")
+                    ),
+                    JoinCondition(
+                        col("movietocountry", "country_id"), col("country", "id")
+                    ),
+                ),
+                predicates=(
+                    Predicate(col("g1", "name"), Op.EQ, "Horror"),
+                    Predicate(col("g2", "name"), Op.EQ, "Drama"),
+                    Predicate(col("country", "name"), Op.EQ, "USA"),
+                    Predicate(col("movie", "year"), Op.BETWEEN, (2005, 2008)),
+                ),
+            ),
+            num_joins=7,
+            num_selections=5,
+            **movie,
+        ),
+        Workload(
+            qid="IQ12",
+            dataset="imdb",
+            description="Movies produced by Walt Disney Pictures",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("movietocompany"),
+                    TableRef("company"),
+                ),
+                joins=(
+                    JoinCondition(
+                        col("movietocompany", "movie_id"), col("movie", "id")
+                    ),
+                    JoinCondition(
+                        col("movietocompany", "company_id"), col("company", "id")
+                    ),
+                ),
+                predicates=(
+                    Predicate(
+                        col("company", "name"), Op.EQ, "Walt Disney Pictures"
+                    ),
+                ),
+            ),
+            num_joins=3,
+            num_selections=1,
+            **movie,
+        ),
+        Workload(
+            qid="IQ13",
+            dataset="imdb",
+            description="Animation movies produced by Pixar",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("movietocompany"),
+                    TableRef("company"),
+                    TableRef("movietogenre"),
+                    TableRef("genre"),
+                ),
+                joins=(
+                    JoinCondition(
+                        col("movietocompany", "movie_id"), col("movie", "id")
+                    ),
+                    JoinCondition(
+                        col("movietocompany", "company_id"), col("company", "id")
+                    ),
+                    JoinCondition(col("movietogenre", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+                ),
+                predicates=(
+                    Predicate(col("company", "name"), Op.EQ, "Pixar"),
+                    Predicate(col("genre", "name"), Op.EQ, "Animation"),
+                ),
+            ),
+            num_joins=5,
+            num_selections=2,
+            **movie,
+        ),
+        Workload(
+            qid="IQ14",
+            dataset="imdb",
+            description="Sci-Fi movies acted by Patrick Stewart",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("castinfo"),
+                    TableRef("person"),
+                    TableRef("movietogenre"),
+                    TableRef("genre"),
+                ),
+                joins=(
+                    JoinCondition(col("castinfo", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                    JoinCondition(col("movietogenre", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+                ),
+                predicates=(
+                    Predicate(col("person", "name"), Op.EQ, "Patrick Stewart"),
+                    Predicate(col("genre", "name"), Op.EQ, "Sci-Fi"),
+                ),
+            ),
+            num_joins=6,
+            num_selections=3,
+            **movie,
+        ),
+        Workload(
+            qid="IQ15",
+            dataset="imdb",
+            description="Japanese Animation movies",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("movietogenre"),
+                    TableRef("genre"),
+                    TableRef("movietocountry"),
+                    TableRef("country"),
+                ),
+                joins=(
+                    JoinCondition(col("movietogenre", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+                    JoinCondition(
+                        col("movietocountry", "movie_id"), col("movie", "id")
+                    ),
+                    JoinCondition(
+                        col("movietocountry", "country_id"), col("country", "id")
+                    ),
+                ),
+                predicates=(
+                    Predicate(col("genre", "name"), Op.EQ, "Animation"),
+                    Predicate(col("country", "name"), Op.EQ, "Japan"),
+                ),
+            ),
+            num_joins=5,
+            num_selections=2,
+            **movie,
+        ),
+        Workload(
+            qid="IQ16",
+            dataset="imdb",
+            description="Disney movies with more than 15 American cast members",
+            query=Query(
+                select=_movie_select(),
+                tables=(
+                    TableRef("movie"),
+                    TableRef("movietocompany"),
+                    TableRef("company"),
+                    TableRef("castinfo"),
+                    TableRef("person"),
+                    TableRef("country"),
+                ),
+                joins=(
+                    JoinCondition(
+                        col("movietocompany", "movie_id"), col("movie", "id")
+                    ),
+                    JoinCondition(
+                        col("movietocompany", "company_id"), col("company", "id")
+                    ),
+                    JoinCondition(col("castinfo", "movie_id"), col("movie", "id")),
+                    JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                    JoinCondition(col("person", "country_id"), col("country", "id")),
+                ),
+                predicates=(
+                    Predicate(
+                        col("company", "name"), Op.EQ, "Walt Disney Pictures"
+                    ),
+                    Predicate(col("country", "name"), Op.EQ, "USA"),
+                ),
+                group_by=(col("movie", "id"),),
+                having=HavingCount(Op.GE, 16),
+            ),
+            num_joins=5,
+            num_selections=3,
+            **movie,
+        ),
+    ]
+    return WorkloadRegistry("imdb", workloads)

@@ -1,0 +1,98 @@
+"""Tests for the denormalised feature-table builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    adult_features,
+    builder_for,
+    dblp_author_features,
+    dblp_publication_features,
+    imdb_movie_features,
+    imdb_person_features,
+)
+from repro.datasets import adult, dblp, imdb
+
+
+@pytest.fixture(scope="module")
+def small_imdb():
+    return imdb.generate(imdb.ImdbSize.small())
+
+
+@pytest.fixture(scope="module")
+def small_dblp():
+    return dblp.generate(dblp.DblpSize.small())
+
+
+class TestAdultFeatures:
+    def test_one_row_per_entity(self):
+        db = adult.generate(adult.AdultSize(rows=200))
+        table = adult_features(db)
+        assert table.num_rows == 200
+        assert len(set(table.entity_keys)) == 200
+
+    def test_feature_names(self):
+        db = adult.generate(adult.AdultSize(rows=50))
+        table = adult_features(db)
+        names = {col.name for col in table.features.columns}
+        assert {"age", "education", "occupation", "hoursperweek"} <= names
+
+
+class TestImdbFeatures:
+    def test_person_rows_per_cast_genre(self, small_imdb):
+        table = imdb_person_features(small_imdb)
+        # at least one row per castinfo entry (movies can have 2 genres)
+        assert table.num_rows >= len(small_imdb.relation("castinfo"))
+
+    def test_every_person_represented(self, small_imdb):
+        table = imdb_person_features(small_imdb)
+        assert set(table.entity_keys) == set(
+            small_imdb.relation("person").column("id")
+        )
+
+    def test_person_feature_columns(self, small_imdb):
+        table = imdb_person_features(small_imdb)
+        names = {col.name for col in table.features.columns}
+        assert {"gender", "birth_year", "movie_title", "genre"} <= names
+
+    def test_movie_rows_and_columns(self, small_imdb):
+        table = imdb_movie_features(small_imdb)
+        assert set(table.entity_keys) == set(
+            small_imdb.relation("movie").column("id")
+        )
+        names = {col.name for col in table.features.columns}
+        assert {"year", "genre", "country", "company", "cast_member"} <= names
+
+
+class TestDblpFeatures:
+    def test_author_rows(self, small_dblp):
+        table = dblp_author_features(small_dblp)
+        assert set(table.entity_keys) == set(
+            small_dblp.relation("author").column("id")
+        )
+
+    def test_publication_rows(self, small_dblp):
+        table = dblp_publication_features(small_dblp)
+        assert set(table.entity_keys) == set(
+            small_dblp.relation("publication").column("id")
+        )
+
+
+class TestBuilderFor:
+    @pytest.mark.parametrize(
+        "dataset,entity",
+        [
+            ("adult", "adult"),
+            ("imdb", "person"),
+            ("imdb", "movie"),
+            ("dblp", "author"),
+            ("dblp", "publication"),
+        ],
+    )
+    def test_known_builders(self, dataset, entity):
+        assert builder_for(dataset, entity) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            builder_for("imdb", "genre")

@@ -1,0 +1,101 @@
+"""Tests for the Elkan-Noto PU-learning baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import PuLearner, adult_features
+from repro.datasets import adult
+from repro.eval import accuracy
+from repro.workloads import adult_queries
+
+
+@pytest.fixture(scope="module")
+def small_adult():
+    return adult.generate(adult.AdultSize.small())
+
+
+@pytest.fixture(scope="module")
+def adult_table(small_adult):
+    return adult_features(small_adult)
+
+
+def positive_sample(intended, fraction, seed=0):
+    rng = np.random.default_rng(seed)
+    ordered = sorted(intended)
+    size = max(2, int(len(ordered) * fraction))
+    return [int(k) for k in rng.choice(ordered, size=min(size, len(ordered)), replace=False)]
+
+
+class TestPuLearner:
+    def test_full_positives_recovers_query(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=3)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        learner = PuLearner(estimator="dt")
+        result = learner.classify(adult_table, sorted(intended))
+        score = accuracy(result.predicted_keys, intended)
+        assert score.recall == pytest.approx(1.0)
+        assert score.precision > 0.5
+
+    def test_accuracy_grows_with_fraction(self, small_adult, adult_table):
+        """Figure 16(a)'s shape: more positives -> better f-score."""
+        registry = adult_queries.generate_queries(small_adult, count=3)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        scores = []
+        for fraction in (0.2, 1.0):
+            learner = PuLearner(estimator="dt", random_state=5)
+            sample = positive_sample(intended, fraction)
+            result = learner.classify(adult_table, sample)
+            scores.append(accuracy(result.predicted_keys, intended).f_score)
+        assert scores[-1] >= scores[0]
+
+    def test_low_fraction_low_recall(self, small_adult, adult_table):
+        """PU favours precision; recall collapses with few examples (§7.6)."""
+        registry = adult_queries.generate_queries(small_adult, count=3)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        learner = PuLearner(estimator="dt", random_state=5)
+        sample = positive_sample(intended, 0.1)
+        result = learner.classify(adult_table, sample)
+        score = accuracy(result.predicted_keys, intended)
+        assert score.recall < 0.9
+
+    def test_rf_estimator_runs(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=1)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        learner = PuLearner(estimator="rf", n_estimators=4, random_state=2)
+        result = learner.classify(adult_table, positive_sample(intended, 0.5))
+        assert result.predicted_keys
+        assert result.total_seconds > 0
+
+    def test_c_estimate_in_unit_interval(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=1)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        learner = PuLearner(estimator="dt")
+        result = learner.classify(adult_table, sorted(intended))
+        assert 0.0 < result.c_estimate <= 1.0
+
+    def test_examples_always_predicted_positive(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=1)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        sample = positive_sample(intended, 0.3)
+        result = PuLearner(estimator="dt").classify(adult_table, sample)
+        assert set(sample) <= result.predicted_keys
+
+    def test_rejects_empty_positives(self, adult_table):
+        with pytest.raises(ValueError):
+            PuLearner().classify(adult_table, [])
+
+    def test_rejects_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            PuLearner(estimator="svm")  # type: ignore[arg-type]
+
+    def test_rejects_bad_holdout(self):
+        with pytest.raises(ValueError):
+            PuLearner(holdout_fraction=0.0)

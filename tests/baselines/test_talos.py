@@ -1,0 +1,97 @@
+"""Tests for the TALOS-style QRE baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TalosBaseline, adult_features, imdb_person_features
+from repro.datasets import adult, imdb
+from repro.eval import accuracy
+from repro.workloads import adult_queries, imdb_queries
+
+
+@pytest.fixture(scope="module")
+def small_adult():
+    return adult.generate(adult.AdultSize.small())
+
+
+@pytest.fixture(scope="module")
+def adult_table(small_adult):
+    return adult_features(small_adult)
+
+
+@pytest.fixture(scope="module")
+def small_imdb():
+    return imdb.generate(imdb.ImdbSize.small())
+
+
+@pytest.fixture(scope="module")
+def imdb_table(small_imdb):
+    return imdb_person_features(small_imdb)
+
+
+class TestAdultQre:
+    """Section 7.5: TALOS achieves perfect f-score on Adult."""
+
+    def test_perfect_fscore_on_adult_queries(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=5)
+        talos = TalosBaseline()
+        for workload in registry:
+            intended = workload.ground_truth_keys(small_adult)
+            result = talos.reverse_engineer(
+                small_adult, "adult", "adult", intended, table=adult_table
+            )
+            score = accuracy(result.predicted_keys, intended)
+            assert score.f_score == pytest.approx(1.0), workload.qid
+
+    def test_predicates_at_least_intended(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=5)
+        talos = TalosBaseline()
+        for workload in registry:
+            intended = workload.ground_truth_keys(small_adult)
+            result = talos.reverse_engineer(
+                small_adult, "adult", "adult", intended, table=adult_table
+            )
+            assert result.num_predicates >= 1
+
+    def test_result_reports_paths(self, small_adult, adult_table):
+        registry = adult_queries.generate_queries(small_adult, count=1)
+        workload = registry.all()[0]
+        intended = workload.ground_truth_keys(small_adult)
+        result = TalosBaseline().reverse_engineer(
+            small_adult, "adult", "adult", intended, table=adult_table
+        )
+        assert result.num_paths == len(result.paths)
+        assert result.num_predicates == sum(len(p) for p in result.paths)
+        assert "positive paths" in result.describe()
+
+
+class TestImdbMislabelling:
+    """The paper's IQ1 analysis: row mislabelling hurts TALOS on joins."""
+
+    def test_iq1_not_perfect(self, small_imdb, imdb_table):
+        registry = imdb_queries.build_registry()
+        workload = registry.get("IQ1")
+        intended = workload.ground_truth_keys(small_imdb)
+        result = TalosBaseline().reverse_engineer(
+            small_imdb, "imdb", "person", intended, table=imdb_table
+        )
+        score = accuracy(result.predicted_keys, intended)
+        assert score.f_score < 1.0
+        assert score.f_score > 0.3  # it is not useless either
+
+    def test_iq1_predicate_blowup(self, small_imdb, imdb_table):
+        """SQuID needs ~2 predicates for IQ1; TALOS needs orders more."""
+        registry = imdb_queries.build_registry()
+        workload = registry.get("IQ1")
+        intended = workload.ground_truth_keys(small_imdb)
+        result = TalosBaseline().reverse_engineer(
+            small_imdb, "imdb", "person", intended, table=imdb_table
+        )
+        assert result.num_predicates > 50
+
+    def test_unknown_builder_raises(self, small_imdb):
+        with pytest.raises(KeyError):
+            TalosBaseline().reverse_engineer(
+                small_imdb, "imdb", "genre", {1}
+            )

@@ -1,0 +1,231 @@
+"""Shared fixtures: tiny databases used across the test suite.
+
+``academics_db`` reproduces Figure 1 of the paper (CS academics and their
+research interests); ``people_db`` reproduces the Figure 6 sample relation;
+``mini_movies_db`` is a small IMDb-shaped database with known ground truth,
+small enough to verify joins and abduction by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    Database,
+    ForeignKey,
+    TableSchema,
+)
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+FLOAT = ColumnType.FLOAT
+BOOL = ColumnType.BOOL
+
+
+def build_academics_db() -> Database:
+    """The Figure 1 database: academics + research interests."""
+    db = Database("cs_academics")
+    db.create_table(
+        TableSchema(
+            "academics",
+            [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "research",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("aid", INT),
+                ColumnDef("interest", TEXT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("aid", "academics", "id")],
+        )
+    )
+    academics = [
+        (100, "Thomas Cormen"),
+        (101, "Dan Suciu"),
+        (102, "Jiawei Han"),
+        (103, "Sam Madden"),
+        (104, "James Kurose"),
+        (105, "Joseph Hellerstein"),
+    ]
+    research = [
+        (1, 100, "algorithms"),
+        (2, 101, "data management"),
+        (3, 102, "data mining"),
+        (4, 103, "data management"),
+        (5, 103, "distributed systems"),
+        (6, 104, "computer networks"),
+        (7, 105, "data management"),
+        (8, 105, "distributed systems"),
+    ]
+    db.bulk_load("academics", academics)
+    db.bulk_load("research", research)
+    return db
+
+
+def build_people_db() -> Database:
+    """The Figure 6 sample relation (person with gender and age)."""
+    db = Database("people")
+    db.create_table(
+        TableSchema(
+            "person",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("gender", TEXT),
+                ColumnDef("age", INT),
+            ],
+            primary_key="id",
+        )
+    )
+    rows = [
+        (1, "Tom Cruise", "Male", 50),
+        (2, "Clint Eastwood", "Male", 90),
+        (3, "Tom Hanks", "Male", 60),
+        (4, "Julia Roberts", "Female", 50),
+        (5, "Emma Stone", "Female", 29),
+        (6, "Julianne Moore", "Female", 60),
+    ]
+    db.bulk_load("person", rows)
+    return db
+
+
+def build_mini_movies_db() -> Database:
+    """A hand-sized IMDb-shaped database (Figure 5 flavour).
+
+    Three genres, six persons, eight movies.  Jim Carrey and Eddie Murphy
+    are "funny" (mostly Comedy); Arnold and Sylvester are "strong" (mostly
+    Action); Meryl and Ewan are mixed.
+    """
+    db = Database("mini_movies")
+    db.create_table(
+        TableSchema(
+            "person",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("gender", TEXT),
+                ColumnDef("birth_year", INT),
+            ],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "movie",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("title", TEXT),
+                ColumnDef("year", INT),
+            ],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "genre",
+            [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "castinfo",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("person_id", INT),
+                ColumnDef("movie_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("person_id", "person", "id"),
+                ForeignKey("movie_id", "movie", "id"),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "movietogenre",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("movie_id", INT),
+                ColumnDef("genre_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("movie_id", "movie", "id"),
+                ForeignKey("genre_id", "genre", "id"),
+            ],
+        )
+    )
+    persons = [
+        (1, "Jim Carrey", "Male", 1962),
+        (2, "Eddie Murphy", "Male", 1961),
+        (3, "Arnold Schwarzenegger", "Male", 1947),
+        (4, "Sylvester Stallone", "Male", 1946),
+        (5, "Meryl Streep", "Female", 1949),
+        (6, "Ewan McGregor", "Male", 1971),
+    ]
+    movies = [
+        (1, "Bruce Almighty", 2003),
+        (2, "Dumb and Dumber", 1994),
+        (3, "Coming to America", 1988),
+        (4, "Norbit", 2007),
+        (5, "Predator", 1987),
+        (6, "Rocky", 1976),
+        (7, "The Hours", 2002),
+        (8, "Big Fish", 2003),
+    ]
+    genres = [(1, "Comedy"), (2, "Action"), (3, "Drama")]
+    # person -> movies
+    castinfo = [
+        (1, 1, 1),
+        (2, 1, 2),
+        (3, 1, 8),
+        (4, 2, 3),
+        (5, 2, 4),
+        (6, 3, 5),
+        (7, 4, 6),
+        (8, 5, 7),
+        (9, 6, 8),
+        (10, 5, 8),
+    ]
+    # movie -> genres
+    movietogenre = [
+        (1, 1, 1),
+        (2, 2, 1),
+        (3, 3, 1),
+        (4, 4, 1),
+        (5, 5, 2),
+        (6, 6, 2),
+        (7, 7, 3),
+        (8, 8, 3),
+        (9, 8, 1),
+    ]
+    db.bulk_load("person", persons)
+    db.bulk_load("movie", movies)
+    db.bulk_load("genre", genres)
+    db.bulk_load("castinfo", castinfo)
+    db.bulk_load("movietogenre", movietogenre)
+    return db
+
+
+@pytest.fixture()
+def academics_db() -> Database:
+    return build_academics_db()
+
+
+@pytest.fixture()
+def people_db() -> Database:
+    return build_people_db()
+
+
+@pytest.fixture()
+def mini_movies_db() -> Database:
+    return build_mini_movies_db()

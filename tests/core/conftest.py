@@ -1,0 +1,70 @@
+"""Core-test fixtures: αDBs and SquidSystems built over the tiny databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AbductionReadyDatabase,
+    AdbMetadata,
+    DimensionSpec,
+    EntitySpec,
+    SquidConfig,
+    SquidSystem,
+)
+
+from ..conftest import build_academics_db, build_mini_movies_db, build_people_db
+
+
+def mini_movies_metadata() -> AdbMetadata:
+    return AdbMetadata(
+        entities=[
+            EntitySpec("person", "id", "name"),
+            EntitySpec("movie", "id", "title"),
+        ],
+        dimensions=[DimensionSpec("genre", "id", "name")],
+        property_attributes={
+            "person": ["gender", "birth_year"],
+            "movie": ["year"],
+        },
+    )
+
+
+def academics_metadata() -> AdbMetadata:
+    return AdbMetadata(
+        entities=[EntitySpec("academics", "id", "name")],
+        property_attributes={"research": ["interest"]},
+    )
+
+
+def people_metadata() -> AdbMetadata:
+    return AdbMetadata(
+        entities=[EntitySpec("person", "id", "name")],
+        property_attributes={"person": ["gender", "age"]},
+    )
+
+
+@pytest.fixture()
+def mini_adb(mini_movies_db):
+    """αDB over the mini movie database, low τa to suit tiny counts."""
+    return AbductionReadyDatabase.build(
+        mini_movies_db, mini_movies_metadata(), SquidConfig(tau_a=2.0)
+    )
+
+
+@pytest.fixture()
+def mini_squid(mini_adb):
+    return SquidSystem(mini_adb)
+
+
+@pytest.fixture()
+def academics_squid(academics_db):
+    """SQuID over the Figure 1 database with Example 2.1's equal priors."""
+    return SquidSystem.build(
+        academics_db, academics_metadata(), SquidConfig(rho=0.5)
+    )
+
+
+@pytest.fixture()
+def people_adb(people_db):
+    return AbductionReadyDatabase.build(people_db, people_metadata(), SquidConfig())

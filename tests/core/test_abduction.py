@@ -1,0 +1,160 @@
+"""Tests for Algorithm 1: decision math, Theorem 1, Example 2.1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FamilyKind,
+    Filter,
+    PropertyFamily,
+    SemanticProperty,
+    SquidConfig,
+    abduce,
+    brute_force_best_subset,
+)
+from repro.core.abduction import posterior_scores
+from repro.core.priors import filter_prior
+
+
+def make_filter(
+    attribute: str,
+    selectivity: float,
+    theta: float | None = None,
+    coverage: float = 0.05,
+) -> Filter:
+    kind = FamilyKind.DERIVED_DIM if theta is not None else FamilyKind.DIRECT_CATEGORICAL
+    family = PropertyFamily(
+        entity="person",
+        kind=kind,
+        attribute=attribute,
+        derived_table=f"personto{attribute}" if theta is not None else "",
+        derived_entity_col="person_key" if theta is not None else "",
+        derived_value_col="value" if theta is not None else "",
+        column="" if theta is not None else attribute,
+    )
+    prop = SemanticProperty(family=family, value=1, theta=theta)
+    return Filter(prop=prop, selectivity=selectivity, domain_coverage=coverage)
+
+
+class TestDecisionRule:
+    def test_rare_context_included(self):
+        """A highly selective filter beats ψ^|E| immediately."""
+        config = SquidConfig()
+        result = abduce([make_filter("genre", 0.01)], example_count=3, config=config)
+        assert result.decisions[0].included
+
+    def test_common_context_excluded_with_few_examples(self):
+        config = SquidConfig()
+        result = abduce([make_filter("gender", 0.55)], example_count=2, config=config)
+        assert not result.decisions[0].included
+
+    def test_common_context_included_with_many_examples(self):
+        """ψ^|E| decays: enough examples confirm a common intended filter."""
+        config = SquidConfig()
+        filt = make_filter("country", 0.6)
+        few = abduce([filt], example_count=2, config=config)
+        many = abduce([filt], example_count=20, config=config)
+        assert not few.decisions[0].included
+        assert many.decisions[0].included
+
+    def test_tie_excluded_occams_razor(self):
+        config = SquidConfig(rho=0.5, gamma=0.0)
+        # choose ψ so exclude == include exactly: 0.5 = 0.5 * ψ^1 -> ψ=1
+        result = abduce([make_filter("x", 1.0)], example_count=1, config=config)
+        decision = result.decisions[0]
+        assert decision.include_score == pytest.approx(decision.exclude_score)
+        assert not decision.included
+
+    def test_alpha_zero_never_included(self):
+        config = SquidConfig(tau_a=5.0)
+        result = abduce(
+            [make_filter("genre", 0.0001, theta=2.0)], example_count=10, config=config
+        )
+        assert not result.decisions[0].included
+
+    def test_selected_and_rejected_partition(self):
+        config = SquidConfig()
+        filters = [make_filter("a", 0.01), make_filter("b", 0.9)]
+        result = abduce(filters, example_count=2, config=config)
+        assert set(f.prop.family.attribute for f in result.selected) == {"a"}
+        assert set(f.prop.family.attribute for f in result.rejected) == {"b"}
+
+
+class TestExample21:
+    """Example 2.1: Pr(Q2|E) > Pr(Q1|E) under equal priors."""
+
+    def test_posterior_ordering(self):
+        config = SquidConfig(rho=0.5, gamma=0.0)
+        # the semantic context: interest = data management, ψ = 3/7 in the
+        # paper's excerpt; the posterior of including beats excluding
+        filt = make_filter("interest", 3 / 7)
+        include, exclude = posterior_scores(
+            filt, filter_prior(filt, [], config), example_count=2
+        )
+        # include ∝ Pr(Q2|E) contribution = 0.5; exclude ∝ 0.5 * (3/7)^2 ≈ 0.09
+        assert include > exclude
+        assert exclude == pytest.approx(0.5 * (3 / 7) ** 2)
+
+
+class TestTheorem1:
+    """Algorithm 1's greedy decisions match exhaustive search."""
+
+    def test_fixed_instance(self):
+        config = SquidConfig(tau_a=0.0, tau_s=-1.0)
+        filters = [
+            make_filter("a", 0.02),
+            make_filter("b", 0.7),
+            make_filter("genre", 0.05, theta=12.0),
+            make_filter("age", 0.4, coverage=0.8),
+        ]
+        result = abduce(filters, example_count=3, config=config)
+        greedy = tuple(
+            i for i, d in enumerate(result.decisions) if d.included
+        )
+        best, best_score = brute_force_best_subset(filters, 3, config)
+        assert greedy == best
+        assert result.log_posterior() == pytest.approx(
+            best_score - sum(
+                math.log(f.selectivity) if f.selectivity > 0 else -1e9
+                for f in filters
+            )
+        )
+
+    @given(
+        selectivities=st.lists(
+            st.floats(0.001, 1.0, allow_nan=False), min_size=1, max_size=7
+        ),
+        example_count=st.integers(1, 12),
+        rho=st.floats(0.01, 0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, selectivities, example_count, rho):
+        config = SquidConfig(rho=rho, tau_a=0.0, tau_s=-1.0, gamma=0.0)
+        filters = [
+            make_filter(f"attr{i}", s) for i, s in enumerate(selectivities)
+        ]
+        result = abduce(filters, example_count, config)
+        greedy = tuple(i for i, d in enumerate(result.decisions) if d.included)
+        best, _ = brute_force_best_subset(filters, example_count, config)
+        # Theorem 1 guarantees equal posterior; subsets can differ only on
+        # exact ties, which strict-> resolves identically in both paths.
+        assert greedy == best
+
+
+class TestLogPosterior:
+    def test_more_plausible_filterset_scores_higher(self):
+        config = SquidConfig()
+        rare = abduce([make_filter("a", 0.01)], 3, config)
+        common = abduce([make_filter("a", 0.9)], 3, config)
+        assert rare.log_posterior() > common.log_posterior()
+
+    def test_zero_selectivity_guarded(self):
+        config = SquidConfig()
+        result = abduce([make_filter("a", 0.0)], 2, config)
+        assert result.log_posterior() > 0  # -log(psi) floor dominates, finite
+        assert math.isfinite(result.log_posterior())

@@ -1,0 +1,96 @@
+"""Tests for αDB accessors and the entity-lookup stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import lookup_examples
+from repro.core.lookup import ExampleLookupError
+from repro.core.properties import FamilyKind
+
+
+class TestAdbAccessors:
+    def test_families_for_unknown_entity_empty(self, mini_adb):
+        assert mini_adb.families_for("no_such_table") == []
+
+    def test_family_lookup(self, mini_adb):
+        family = mini_adb.family("person", "genre")
+        assert family.kind is FamilyKind.DERIVED_DIM
+        with pytest.raises(KeyError):
+            mini_adb.family("person", "nope")
+
+    def test_entity_count(self, mini_adb):
+        assert mini_adb.entity_count("person") == 6
+        assert mini_adb.entity_count("movie") == 8
+
+    def test_dim_label_round_trip(self, mini_adb):
+        family = mini_adb.family("person", "genre")
+        assert mini_adb.dim_label_of(family, 1) == "Comedy"
+        assert mini_adb.dim_value_for_label(family, "Comedy") == 1
+        assert mini_adb.dim_value_for_label(family, "No Such Genre") is None
+
+    def test_dim_label_of_raw_value_family(self, mini_adb):
+        family = mini_adb.family("person", "movie.year")
+        assert mini_adb.dim_label_of(family, 2003) == "2003"
+
+    def test_entity_properties_direct(self, mini_adb):
+        family = mini_adb.family("person", "gender")
+        assert mini_adb.entity_properties(family, 1) == {"Male": 1.0}
+        assert mini_adb.entity_properties(family, 999) == {}
+
+    def test_entity_properties_derived(self, mini_adb):
+        family = mini_adb.family("person", "genre")
+        props = mini_adb.entity_properties(family, 1)
+        assert props[1] == 3.0  # Jim Carrey: 3 comedies
+
+    def test_association_total(self, mini_adb):
+        family = mini_adb.family("person", "genre")
+        # Jim Carrey: Comedy 3 + Drama 1
+        assert mini_adb.association_total(family, 1) == pytest.approx(4.0)
+
+    def test_size_summary_fields(self, mini_adb):
+        summary = mini_adb.size_summary()
+        assert summary["base_relations"] == 5
+        assert summary["derived_relations"] == len(mini_adb.discovery.recipes)
+        assert summary["derived_rows"] > 0
+        assert summary["families"] == len(mini_adb.discovery.families)
+
+    def test_build_report_totals(self, mini_adb):
+        report = mini_adb.report
+        assert report.total_seconds == pytest.approx(
+            report.discovery_seconds
+            + report.materialize_seconds
+            + report.statistics_seconds
+            + report.inverted_index_seconds
+        )
+
+
+class TestLookup:
+    def test_single_entity_match(self, mini_adb):
+        matches = lookup_examples(mini_adb, ["Jim Carrey", "Eddie Murphy"])
+        assert len(matches) == 1
+        assert matches[0].entity.table == "person"
+        assert matches[0].candidates == [[1], [2]]
+
+    def test_duplicates_collapsed(self, mini_adb):
+        matches = lookup_examples(
+            mini_adb, ["Jim Carrey", "Jim Carrey", "Eddie Murphy"]
+        )
+        assert len(matches[0].candidates) == 2
+
+    def test_no_match_raises(self, mini_adb):
+        with pytest.raises(ExampleLookupError):
+            lookup_examples(mini_adb, ["Jim Carrey", "Nobody At All"])
+
+    def test_empty_raises(self, mini_adb):
+        with pytest.raises(ExampleLookupError):
+            lookup_examples(mini_adb, [])
+
+    def test_case_insensitive(self, mini_adb):
+        matches = lookup_examples(mini_adb, ["jim carrey"])
+        assert matches[0].candidates == [[1]]
+
+    def test_combination_count(self, mini_adb):
+        (match,) = lookup_examples(mini_adb, ["Jim Carrey", "Eddie Murphy"])
+        assert match.combination_count() == 1
+        assert not match.is_ambiguous

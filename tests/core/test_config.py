@@ -1,0 +1,66 @@
+"""Unit tests for SquidConfig validation and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SquidConfig
+
+
+class TestValidation:
+    def test_defaults_match_figure_21(self):
+        config = SquidConfig.default()
+        assert config.rho == 0.1
+        assert config.gamma == 2.0
+        assert config.tau_a == 5.0
+        assert config.tau_s == 2.0
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0, -0.5, 2.0])
+    def test_rho_bounds(self, rho):
+        with pytest.raises(ValueError):
+            SquidConfig(rho=rho)
+
+    def test_gamma_nonnegative(self):
+        with pytest.raises(ValueError):
+            SquidConfig(gamma=-1.0)
+        SquidConfig(gamma=0.0)  # disabling the penalty is allowed
+
+    def test_eta_positive(self):
+        with pytest.raises(ValueError):
+            SquidConfig(eta=0.0)
+
+    def test_tau_a_nonnegative(self):
+        with pytest.raises(ValueError):
+            SquidConfig(tau_a=-1.0)
+
+    def test_depth_restricted(self):
+        with pytest.raises(ValueError):
+            SquidConfig(max_fact_depth=3)
+        SquidConfig(max_fact_depth=1)
+
+    def test_frozen(self):
+        config = SquidConfig()
+        with pytest.raises(AttributeError):
+            config.rho = 0.5  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_optimistic_is_permissive(self):
+        config = SquidConfig.optimistic()
+        assert config.rho > 0.5
+        assert config.gamma == 0.0
+        assert config.tau_a <= 1.0
+
+    def test_case_study_normalizes(self):
+        config = SquidConfig.case_study()
+        assert config.normalize_association
+
+    def test_with_overrides(self):
+        config = SquidConfig().with_overrides(rho=0.5, tau_a=0.0)
+        assert config.rho == 0.5
+        assert config.tau_a == 0.0
+        assert config.gamma == 2.0  # untouched
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            SquidConfig().with_overrides(rho=5.0)

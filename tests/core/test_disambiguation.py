@@ -1,0 +1,136 @@
+"""Tests for entity disambiguation (the paper's Titanic scenario)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AbductionReadyDatabase,
+    AdbMetadata,
+    DimensionSpec,
+    EntitySpec,
+    SquidConfig,
+    SquidSystem,
+    disambiguate,
+    lookup_examples,
+)
+from repro.relational import ColumnDef, ColumnType, Database, ForeignKey, TableSchema
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def titanic_db() -> Database:
+    """Four films named Titanic; two unambiguous 1990s blockbusters.
+
+    Mirrors §6.1.1: year/country information should pin "Titanic" to the
+    1997 film because it is most similar to the other examples.
+    """
+    db = Database("titanic")
+    db.create_table(
+        TableSchema(
+            "country",
+            [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "movie",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("title", TEXT),
+                ColumnDef("year", INT),
+                ColumnDef("country_id", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("country_id", "country", "id")],
+        )
+    )
+    db.bulk_load("country", [(1, "USA"), (2, "Italy"), (3, "Germany")])
+    db.bulk_load(
+        "movie",
+        [
+            (1, "Titanic", 1915, 2),
+            (2, "Titanic", 1943, 3),
+            (3, "Titanic", 1953, 1),
+            (4, "Titanic", 1997, 1),
+            (5, "Pulp Fiction", 1994, 1),
+            (6, "The Matrix", 1999, 1),
+        ],
+    )
+    return db
+
+
+def titanic_metadata() -> AdbMetadata:
+    return AdbMetadata(
+        entities=[EntitySpec("movie", "id", "title")],
+        dimensions=[DimensionSpec("country", "id", "name")],
+        property_attributes={"movie": ["year"]},
+    )
+
+
+@pytest.fixture()
+def titanic_adb():
+    return AbductionReadyDatabase.build(titanic_db(), titanic_metadata(), SquidConfig())
+
+
+class TestTitanicScenario:
+    def test_lookup_reports_ambiguity(self, titanic_adb):
+        (match,) = lookup_examples(
+            titanic_adb, ["Titanic", "Pulp Fiction", "The Matrix"]
+        )
+        assert match.is_ambiguous
+        assert match.combination_count() == 4
+        assert sorted(match.candidates[0]) == [1, 2, 3, 4]
+
+    def test_resolves_to_1997_blockbuster(self, titanic_adb):
+        (match,) = lookup_examples(
+            titanic_adb, ["Titanic", "Pulp Fiction", "The Matrix"]
+        )
+        result = disambiguate(titanic_adb, match)
+        assert result.keys[0] == 4  # the 1997 USA film
+        assert result.keys[1:] == [5, 6]
+
+    def test_disabled_disambiguation_takes_first(self, titanic_adb):
+        (match,) = lookup_examples(
+            titanic_adb, ["Titanic", "Pulp Fiction", "The Matrix"]
+        )
+        config = SquidConfig(disambiguate=False)
+        result = disambiguate(titanic_adb, match, config)
+        assert result.keys[0] == 1  # first candidate, no reasoning
+
+    def test_unambiguous_short_circuit(self, titanic_adb):
+        (match,) = lookup_examples(titanic_adb, ["Pulp Fiction", "The Matrix"])
+        result = disambiguate(titanic_adb, match)
+        assert result.keys == [5, 6]
+        assert result.considered == 1
+
+    def test_greedy_fallback_matches_exhaustive(self, titanic_adb):
+        (match,) = lookup_examples(
+            titanic_adb, ["Titanic", "Pulp Fiction", "The Matrix"]
+        )
+        exhaustive = disambiguate(titanic_adb, match)
+        config = SquidConfig(max_disambiguation_combinations=1)
+        greedy = disambiguate(titanic_adb, match, config)
+        assert greedy.keys == exhaustive.keys
+
+    def test_examples_never_collapse_onto_one_entity(self, titanic_adb):
+        # two distinct example strings resolving to overlapping candidate
+        # sets must map to different entities
+        (match,) = lookup_examples(titanic_adb, ["Titanic", "The Matrix"])
+        result = disambiguate(titanic_adb, match)
+        assert len(set(result.keys)) == 2
+
+
+class TestEndToEndDisambiguation:
+    def test_discover_uses_right_mapping(self, titanic_adb):
+        squid = SquidSystem(titanic_adb)
+        result = squid.discover(["Titanic", "Pulp Fiction", "The Matrix"])
+        assert result.entity_keys == [4, 5, 6]
+        # the shared context is country=USA and the 1994-1999 year range
+        attrs = {
+            d.filt.family.attribute for d in result.abduction.decisions
+        }
+        assert "country" in attrs
+        assert "year" in attrs

@@ -1,0 +1,224 @@
+"""Unit tests for schema-graph property-family discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AdbMetadata,
+    DimensionSpec,
+    EntitySpec,
+    FamilyKind,
+    QualifierSpec,
+    SquidConfig,
+    discover_families,
+)
+from repro.relational import ColumnDef, ColumnType, Database, ForeignKey, TableSchema
+
+from .conftest import academics_metadata, mini_movies_metadata
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def family_map(result, entity):
+    return {
+        fam.attribute: fam for fam in result.families if fam.entity == entity
+    }
+
+
+class TestMiniMovies:
+    def test_fact_tables_discovered(self, mini_movies_db):
+        result = discover_families(mini_movies_db, mini_movies_metadata())
+        assert result.fact_tables == ["castinfo", "movietogenre"]
+
+    def test_person_families(self, mini_movies_db):
+        result = discover_families(mini_movies_db, mini_movies_metadata())
+        fams = family_map(result, "person")
+        assert fams["gender"].kind is FamilyKind.DIRECT_CATEGORICAL
+        assert fams["birth_year"].kind is FamilyKind.DIRECT_NUMERIC
+        assert fams["movie"].kind is FamilyKind.DERIVED_ENTITY
+        assert fams["genre"].kind is FamilyKind.DERIVED_DIM
+        assert fams["movie.year"].kind is FamilyKind.DERIVED_DIM
+
+    def test_movie_families(self, mini_movies_db):
+        result = discover_families(mini_movies_db, mini_movies_metadata())
+        fams = family_map(result, "movie")
+        assert fams["year"].kind is FamilyKind.DIRECT_NUMERIC
+        assert fams["genre"].kind is FamilyKind.FACT_DIM
+        assert fams["person"].kind is FamilyKind.DERIVED_ENTITY
+        assert fams["person.gender"].kind is FamilyKind.DERIVED_DIM
+
+    def test_recipes_named_like_paper(self, mini_movies_db):
+        result = discover_families(mini_movies_db, mini_movies_metadata())
+        names = {recipe.name for recipe in result.recipes}
+        assert "persontogenre" in names  # the paper's Figure 5 relation
+        assert "persontomovie" in names
+        assert "movietoperson" in names
+
+    def test_depth_one_drops_derived_dim(self, mini_movies_db):
+        result = discover_families(
+            mini_movies_db, mini_movies_metadata(), SquidConfig(max_fact_depth=1)
+        )
+        kinds = {fam.kind for fam in result.families}
+        assert FamilyKind.DERIVED_DIM not in kinds
+        assert FamilyKind.DERIVED_ENTITY in kinds
+
+    def test_display_attribute_never_a_property(self, mini_movies_db):
+        metadata = mini_movies_metadata()
+        metadata.property_attributes["person"].append("name")
+        result = discover_families(mini_movies_db, metadata)
+        fams = family_map(result, "person")
+        assert "name" not in fams
+
+    def test_excluded_attribute_respected(self, mini_movies_db):
+        metadata = mini_movies_metadata()
+        metadata.excluded_attributes["person"] = ["gender"]
+        result = discover_families(mini_movies_db, metadata)
+        assert "gender" not in family_map(result, "person")
+
+    def test_derive_properties_false_skips_derived(self, mini_movies_db):
+        metadata = mini_movies_metadata()
+        metadata.entities[0] = EntitySpec("person", "id", "name", derive_properties=False)
+        result = discover_families(mini_movies_db, metadata)
+        person_kinds = {
+            fam.kind for fam in result.families if fam.entity == "person"
+        }
+        assert FamilyKind.DERIVED_ENTITY not in person_kinds
+        assert FamilyKind.DERIVED_DIM not in person_kinds
+
+
+class TestFactAttr:
+    def test_academics_interest(self, academics_db):
+        result = discover_families(academics_db, academics_metadata())
+        fams = family_map(result, "academics")
+        assert fams["research.interest"].kind is FamilyKind.FACT_ATTR
+        assert fams["research.interest"].fact_table == "research"
+        assert fams["research.interest"].fact_entity_col == "aid"
+
+    def test_satellite_table_is_fact_table(self, academics_db):
+        result = discover_families(academics_db, academics_metadata())
+        assert result.fact_tables == ["research"]
+
+
+class TestFkDim:
+    def make_db(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "country",
+                [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "person",
+                [
+                    ColumnDef("id", INT, nullable=False),
+                    ColumnDef("name", TEXT),
+                    ColumnDef("country_id", INT),
+                ],
+                primary_key="id",
+                foreign_keys=[ForeignKey("country_id", "country", "id")],
+            )
+        )
+        db.bulk_load("country", [(1, "USA"), (2, "Canada")])
+        db.bulk_load("person", [(1, "Ann", 1), (2, "Bob", 2)])
+        return db
+
+    def test_fk_dim_family(self):
+        db = self.make_db()
+        metadata = AdbMetadata(
+            entities=[EntitySpec("person", "id", "name")],
+            dimensions=[DimensionSpec("country", "id", "name")],
+        )
+        result = discover_families(db, metadata)
+        fams = family_map(result, "person")
+        assert fams["country"].kind is FamilyKind.FK_DIM
+        assert fams["country"].fk_column == "country_id"
+        assert fams["country"].dim_label == "name"
+
+
+class TestQualifier:
+    def make_db(self):
+        """person/movie/castinfo where castinfo carries a role dimension."""
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "person",
+                [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "movie",
+                [ColumnDef("id", INT, nullable=False), ColumnDef("title", TEXT)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "roletype",
+                [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "castinfo",
+                [
+                    ColumnDef("id", INT, nullable=False),
+                    ColumnDef("person_id", INT),
+                    ColumnDef("movie_id", INT),
+                    ColumnDef("role_id", INT),
+                ],
+                primary_key="id",
+                foreign_keys=[
+                    ForeignKey("person_id", "person", "id"),
+                    ForeignKey("movie_id", "movie", "id"),
+                    ForeignKey("role_id", "roletype", "id"),
+                ],
+            )
+        )
+        db.bulk_load("person", [(1, "Eastwood"), (2, "Actor Two")])
+        db.bulk_load("movie", [(1, "Movie A"), (2, "Movie B")])
+        db.bulk_load("roletype", [(1, "Actor"), (2, "Director")])
+        db.bulk_load(
+            "castinfo",
+            [(1, 1, 1, 1), (2, 1, 1, 2), (3, 1, 2, 2), (4, 2, 1, 1)],
+        )
+        return db
+
+    def metadata(self) -> AdbMetadata:
+        return AdbMetadata(
+            entities=[
+                EntitySpec("person", "id", "name"),
+                EntitySpec("movie", "id", "title"),
+            ],
+            dimensions=[DimensionSpec("roletype", "id", "name")],
+            qualifiers=[QualifierSpec("castinfo", "role_id", "roletype")],
+        )
+
+    def test_qualified_families_created(self):
+        result = discover_families(self.make_db(), self.metadata())
+        fams = family_map(result, "person")
+        assert "movie" in fams  # unqualified
+        assert "movie[Actor]" in fams
+        assert "movie[Director]" in fams
+
+    def test_qualifier_not_an_association_endpoint(self):
+        result = discover_families(self.make_db(), self.metadata())
+        fams = family_map(result, "person")
+        # person->roletype would only arise via the qualifier column
+        assert "roletype" not in fams
+
+    def test_qualified_recipe_filters_rows(self):
+        db = self.make_db()
+        result = discover_families(db, self.metadata())
+        director = next(
+            r for r in result.recipes if r.name == "persontomovie_director"
+        )
+        assert director.qualifier_col == "role_id"
+        assert director.qualifier_value == 2

@@ -1,0 +1,98 @@
+"""Unit tests for αDB metadata validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdbMetadata, DimensionSpec, EntitySpec, QualifierSpec
+from repro.relational.errors import SchemaError
+
+
+def mini_metadata() -> AdbMetadata:
+    return AdbMetadata(
+        entities=[
+            EntitySpec("person", "id", "name"),
+            EntitySpec("movie", "id", "title"),
+        ],
+        dimensions=[DimensionSpec("genre", "id", "name")],
+        property_attributes={
+            "person": ["gender", "birth_year"],
+            "movie": ["year"],
+        },
+    )
+
+
+class TestLookups:
+    def test_entity(self):
+        metadata = mini_metadata()
+        assert metadata.entity("person").display == "name"
+        with pytest.raises(SchemaError):
+            metadata.entity("genre")
+
+    def test_is_entity_and_dimension(self):
+        metadata = mini_metadata()
+        assert metadata.is_entity("movie")
+        assert not metadata.is_entity("genre")
+        assert metadata.is_dimension("genre")
+        assert not metadata.is_dimension("person")
+
+    def test_properties_of(self):
+        metadata = mini_metadata()
+        assert metadata.properties_of("person") == ["gender", "birth_year"]
+        assert metadata.properties_of("unknown") == []
+
+    def test_qualifier_for(self):
+        metadata = mini_metadata()
+        metadata.qualifiers.append(QualifierSpec("castinfo", "role_id", "genre"))
+        assert metadata.qualifier_for("castinfo") is not None
+        assert metadata.qualifier_for("movietogenre") is None
+
+    def test_is_excluded(self):
+        metadata = mini_metadata()
+        metadata.excluded_attributes["person"] = ["gender"]
+        assert metadata.is_excluded("person", "gender")
+        assert not metadata.is_excluded("person", "birth_year")
+
+
+class TestValidation:
+    def test_valid_passes(self, mini_movies_db):
+        mini_metadata().validate(mini_movies_db)
+
+    def test_no_entities_rejected(self, mini_movies_db):
+        with pytest.raises(SchemaError):
+            AdbMetadata().validate(mini_movies_db)
+
+    def test_missing_entity_column(self, mini_movies_db):
+        metadata = AdbMetadata(entities=[EntitySpec("person", "id", "bogus")])
+        with pytest.raises(SchemaError):
+            metadata.validate(mini_movies_db)
+
+    def test_missing_dimension_column(self, mini_movies_db):
+        metadata = mini_metadata()
+        metadata.dimensions[0] = DimensionSpec("genre", "id", "bogus")
+        with pytest.raises(SchemaError):
+            metadata.validate(mini_movies_db)
+
+    def test_missing_property_attribute(self, mini_movies_db):
+        metadata = mini_metadata()
+        metadata.property_attributes["person"] = ["bogus"]
+        with pytest.raises(SchemaError):
+            metadata.validate(mini_movies_db)
+
+    def test_bad_qualifier_column(self, mini_movies_db):
+        metadata = mini_metadata()
+        metadata.qualifiers.append(QualifierSpec("castinfo", "bogus", "genre"))
+        with pytest.raises(SchemaError):
+            metadata.validate(mini_movies_db)
+
+    def test_qualifier_dim_must_be_declared(self, mini_movies_db):
+        metadata = mini_metadata()
+        metadata.qualifiers.append(QualifierSpec("castinfo", "movie_id", "person"))
+        with pytest.raises(SchemaError):
+            metadata.validate(mini_movies_db)
+
+    def test_entity_dimension_overlap_rejected(self, mini_movies_db):
+        metadata = mini_metadata()
+        metadata.dimensions.append(DimensionSpec("person", "id", "name"))
+        with pytest.raises(SchemaError):
+            metadata.validate(mini_movies_db)

@@ -1,0 +1,156 @@
+"""End-to-end SquidSystem tests on the paper's running examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SquidConfig, SquidSystem
+from repro.core.lookup import ExampleLookupError
+
+
+class TestExample11:
+    """Figure 1 / Example 1.1: {Dan Suciu, Sam Madden} -> data management."""
+
+    def test_discovers_interest_filter(self, academics_squid):
+        result = academics_squid.discover(["Dan Suciu", "Sam Madden"])
+        kept = {f.prop.value for f in result.abduction.selected}
+        assert "data management" in kept
+
+    def test_abduced_query_is_q2(self, academics_squid):
+        result = academics_squid.discover(["Dan Suciu", "Sam Madden"])
+        assert "research.interest = 'data management'" in result.sql
+        names = academics_squid.result_values(result)
+        assert sorted(names) == [
+            "Dan Suciu",
+            "Joseph Hellerstein",
+            "Sam Madden",
+        ]
+
+    def test_examples_always_in_result(self, academics_squid):
+        """E ⊆ Q(D): the containment requirement of Definition 2.1."""
+        result = academics_squid.discover(["Dan Suciu", "Sam Madden"])
+        names = set(academics_squid.result_values(result))
+        assert {"Dan Suciu", "Sam Madden"} <= names
+
+
+class TestExample13:
+    """Funny actors: derived genre filter wins over gender (Example 1.3)."""
+
+    def test_comedy_filter_selected(self, mini_squid):
+        result = mini_squid.discover(
+            ["Jim Carrey", "Eddie Murphy"],
+            config=mini_squid.config.with_overrides(rho=0.3),
+        )
+        kept_labels = {f.prop.label for f in result.abduction.selected}
+        assert "Comedy" in kept_labels
+        # gender=Male is coincidental (5 of 6 persons are Male)
+        dropped = {f.prop.value for f in result.abduction.rejected}
+        assert "Male" in dropped
+
+    def test_result_contains_only_comedy_actors(self, mini_squid):
+        result = mini_squid.discover(
+            ["Jim Carrey", "Eddie Murphy"],
+            config=mini_squid.config.with_overrides(rho=0.3),
+        )
+        names = set(mini_squid.result_values(result))
+        assert names == {"Jim Carrey", "Eddie Murphy"}
+
+
+class TestContainmentInvariant:
+    """The abduced query always contains the examples (Lemma 3.1)."""
+
+    @pytest.mark.parametrize(
+        "examples",
+        [
+            ["Jim Carrey"],
+            ["Jim Carrey", "Eddie Murphy"],
+            ["Arnold Schwarzenegger", "Sylvester Stallone"],
+            ["Meryl Streep", "Ewan McGregor"],
+            ["Jim Carrey", "Arnold Schwarzenegger", "Meryl Streep"],
+        ],
+    )
+    def test_examples_subset_of_result(self, mini_squid, examples):
+        result = mini_squid.discover(examples)
+        names = set(mini_squid.result_values(result))
+        assert set(examples) <= names
+
+    @pytest.mark.parametrize(
+        "examples",
+        [
+            ["Bruce Almighty", "Norbit"],
+            ["Predator", "Rocky"],
+            ["The Hours", "Big Fish"],
+        ],
+    )
+    def test_movie_examples_contained(self, mini_squid, examples):
+        result = mini_squid.discover(examples)
+        titles = set(mini_squid.result_values(result))
+        assert set(examples) <= titles
+
+
+class TestBaseQuerySelection:
+    def test_person_examples_pick_person_entity(self, mini_squid):
+        result = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        assert result.entity.table == "person"
+
+    def test_movie_examples_pick_movie_entity(self, mini_squid):
+        result = mini_squid.discover(["Predator", "Rocky"])
+        assert result.entity.table == "movie"
+
+    def test_unknown_example_raises(self, mini_squid):
+        with pytest.raises(ExampleLookupError):
+            mini_squid.discover(["No Such Person"])
+
+    def test_mixed_examples_raise(self, mini_squid):
+        # one person name and one movie title share no column
+        with pytest.raises(ExampleLookupError):
+            mini_squid.discover(["Jim Carrey", "Predator"])
+
+    def test_empty_examples_raise(self, mini_squid):
+        with pytest.raises(ExampleLookupError):
+            mini_squid.discover([])
+
+    def test_too_many_examples_raise(self, mini_squid):
+        config = mini_squid.config.with_overrides(max_example_warn=2)
+        with pytest.raises(ValueError):
+            mini_squid.discover(["a", "b", "c"], config=config)
+
+    def test_duplicate_examples_deduplicated(self, mini_squid):
+        result = mini_squid.discover(["Jim Carrey", "Jim Carrey", "Eddie Murphy"])
+        assert len(result.entity_keys) == 2
+
+
+class TestDiscoveryResultSurface:
+    def test_sql_text_present(self, mini_squid):
+        result = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        assert result.sql.startswith("SELECT DISTINCT person.name")
+        assert result.original_sql.startswith("SELECT DISTINCT person.name")
+
+    def test_explain_mentions_every_decision(self, mini_squid):
+        result = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        text = result.explain()
+        assert text.count("[KEEP]") + text.count("[drop]") == len(
+            result.abduction.decisions
+        )
+
+    def test_timings_populated(self, mini_squid):
+        result = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        assert result.timings.total_seconds > 0.0
+        assert result.timings.context_seconds >= 0.0
+
+    def test_result_keys_matches_values(self, mini_squid):
+        result = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        keys = mini_squid.result_keys(result)
+        values = mini_squid.result_values(result)
+        assert len(keys) == len(set(values))
+
+
+class TestQreMode:
+    def test_optimistic_config_keeps_more_filters(self, mini_squid):
+        default = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        optimistic = mini_squid.discover(
+            ["Jim Carrey", "Eddie Murphy"], config=SquidConfig.optimistic()
+        )
+        assert len(optimistic.abduction.selected) >= len(
+            default.abduction.selected
+        )

@@ -1,0 +1,168 @@
+"""Unit + property tests for selectivity precomputation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FamilyKind, discover_families
+from repro.core.derived import materialize_all
+from repro.core.statistics import (
+    CategoricalStats,
+    DerivedStats,
+    NumericStats,
+    compute_statistics,
+)
+
+from .conftest import mini_movies_metadata
+
+
+@pytest.fixture()
+def mini_stats(mini_movies_db):
+    result = discover_families(mini_movies_db, mini_movies_metadata())
+    materialize_all(mini_movies_db, result.recipes)
+    counts = {"person": 6, "movie": 8}
+    store = compute_statistics(mini_movies_db, result.families, counts)
+    fams = {(f.entity, f.attribute): f for f in result.families}
+    return store, fams
+
+
+class TestCategoricalStats:
+    def test_gender_selectivity(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("person", "gender")])
+        assert stats.selectivity("Male") == pytest.approx(5 / 6)
+        assert stats.selectivity("Female") == pytest.approx(1 / 6)
+        assert stats.selectivity("Other") == 0.0
+
+    def test_domain_and_coverage(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("person", "gender")])
+        assert stats.domain_size == 2
+        assert stats.coverage(["Male"]) == pytest.approx(0.5)
+        assert stats.coverage(["Male", "Female"]) == pytest.approx(1.0)
+
+    def test_selectivity_in_disjunction(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("person", "gender")])
+        assert stats.selectivity_in(["Male", "Female"]) == pytest.approx(1.0)
+
+    def test_empty_relation(self):
+        stats = CategoricalStats(entity_count=0, value_counts={})
+        assert stats.selectivity("x") == 0.0
+        assert stats.coverage(["x"]) == 1.0
+
+
+class TestFactDimStats:
+    def test_distinct_entities_counted_once(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("movie", "genre")])
+        # Comedy movies: Bruce Almighty, Dumb and Dumber, Coming to America,
+        # Norbit, Big Fish = 5 of 8
+        assert stats.selectivity(1) == pytest.approx(5 / 8)
+        # Action: Predator, Rocky
+        assert stats.selectivity(2) == pytest.approx(2 / 8)
+
+
+class TestNumericStats:
+    def test_range_selectivity(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("movie", "year")])
+        assert stats.selectivity(2000, 2010) == pytest.approx(4 / 8)
+
+    def test_prefix_identity(self, mini_stats):
+        """ψ([l,h]) must equal prefix(h) − prefix(l⁻) (the paper's trick)."""
+        store, fams = mini_stats
+        stats = store.get(fams[("movie", "year")])
+        low, high = 1980, 2003
+        direct = stats.selectivity(low, high)
+        via_prefix = stats.prefix_selectivity(high) - stats.prefix_selectivity(
+            low - 1
+        )
+        assert direct == pytest.approx(via_prefix)
+
+    def test_domain_bounds(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("movie", "year")])
+        assert stats.domain_min == 1976
+        assert stats.domain_max == 2007
+
+    def test_coverage(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("movie", "year")])
+        assert stats.coverage(1976, 2007) == pytest.approx(1.0)
+        assert stats.coverage(1976, 1976) == pytest.approx(0.0)
+
+    @given(
+        values=st.lists(st.integers(0, 100), min_size=1, max_size=50),
+        a=st.integers(-10, 110),
+        b=st.integers(-10, 110),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bruteforce(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        stats = NumericStats(
+            entity_count=len(values),
+            sorted_values=np.sort(np.asarray(values, dtype=float)),
+        )
+        expected = sum(1 for v in values if low <= v <= high) / len(values)
+        assert stats.selectivity(low, high) == pytest.approx(expected)
+
+    @given(
+        values=st.lists(st.integers(0, 100), min_size=1, max_size=50),
+        a=st.integers(0, 100),
+        b=st.integers(0, 100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_identity_property(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        stats = NumericStats(
+            entity_count=len(values),
+            sorted_values=np.sort(np.asarray(values, dtype=float)),
+        )
+        direct = stats.selectivity(low, high)
+        via = stats.prefix_selectivity(high) - stats.prefix_selectivity(low - 0.5)
+        assert direct == pytest.approx(via)
+
+
+class TestDerivedStats:
+    def test_theta_threshold_selectivity(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("person", "genre")])
+        # persons with >= 2 Comedy movies: Jim Carrey (3), Eddie Murphy (2)
+        assert stats.selectivity(1, 2.0) == pytest.approx(2 / 6)
+        # persons with >= 1 Comedy movie: Jim, Eddie, Ewan, Meryl (Big Fish)
+        assert stats.selectivity(1, 1.0) == pytest.approx(4 / 6)
+        # nobody has >= 4
+        assert stats.selectivity(1, 4.0) == 0.0
+
+    def test_unknown_value(self, mini_stats):
+        store, fams = mini_stats
+        stats = store.get(fams[("person", "genre")])
+        assert stats.selectivity(999, 1.0) == 0.0
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(1, 10)),
+            min_size=1,
+            max_size=40,
+        ),
+        theta=st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, pairs, theta):
+        """selectivity(v, θ) == |{entities: count(v) >= θ}| / N."""
+        counts: dict = {}
+        for entity, _ in pairs:
+            counts.setdefault(entity, {})
+        for entity, value in pairs:
+            counts[entity][0] = counts[entity].get(0, 0) + 1  # single value 0
+        n = 6
+        strengths = np.sort(
+            np.asarray([c[0] for c in counts.values()], dtype=float)
+        )
+        stats = DerivedStats(entity_count=n, strengths={0: strengths})
+        expected = sum(1 for c in counts.values() if c[0] >= theta) / n
+        assert stats.selectivity(0, float(theta)) == pytest.approx(expected)

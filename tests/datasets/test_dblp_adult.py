@@ -1,0 +1,131 @@
+"""Tests for the DBLP and Adult generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import adult, dblp
+
+
+@pytest.fixture(scope="module")
+def small_dblp():
+    return dblp.generate(dblp.DblpSize.small())
+
+
+@pytest.fixture(scope="module")
+def small_adult():
+    return adult.generate(adult.AdultSize.small())
+
+
+class TestDblp:
+    def test_fourteen_relations(self, small_dblp):
+        assert len(small_dblp.table_names()) == 14
+
+    def test_integrity(self, small_dblp):
+        small_dblp.check_integrity()
+
+    def test_metadata_validates(self, small_dblp):
+        dblp.metadata().validate(small_dblp)
+
+    def test_deterministic(self):
+        a = dblp.generate(dblp.DblpSize.small())
+        b = dblp.generate(dblp.DblpSize.small())
+        assert a.row_counts() == b.row_counts()
+
+    def test_planted_authors_exist(self, small_dblp):
+        names = small_dblp.relation("author").column("name")
+        for name in dblp.PLANTED_AUTHORS:
+            assert names.count(name) == 1
+
+    def test_years_in_range(self, small_dblp):
+        years = small_dblp.relation("publication").column("year")
+        assert min(years) >= 2000 and max(years) <= 2015
+
+    def test_venue_catalogue(self, small_dblp):
+        venues = set(small_dblp.relation("venue").column("name"))
+        assert {"SIGMOD", "VLDB", "PODS"} <= venues
+
+    def test_authorship_multiplicity(self, small_dblp):
+        per_pub = Counter(small_dblp.relation("authortopub").column("pub_id"))
+        assert sum(per_pub.values()) / len(per_pub) > 1.2
+
+    def test_prolific_db_authors_planted(self, small_dblp):
+        venue_ids = dict(
+            zip(
+                small_dblp.relation("venue").column("name"),
+                small_dblp.relation("venue").column("id"),
+            )
+        )
+        pub_venue = dict(
+            zip(
+                small_dblp.relation("publication").column("id"),
+                small_dblp.relation("publication").column("venue_id"),
+            )
+        )
+        sigmod_counts: Counter = Counter()
+        vldb_counts: Counter = Counter()
+        for aid, pid in zip(
+            small_dblp.relation("authortopub").column("author_id"),
+            small_dblp.relation("authortopub").column("pub_id"),
+        ):
+            if pub_venue[pid] == venue_ids["SIGMOD"]:
+                sigmod_counts[aid] += 1
+            if pub_venue[pid] == venue_ids["VLDB"]:
+                vldb_counts[aid] += 1
+        both = [
+            aid
+            for aid in sigmod_counts
+            if sigmod_counts[aid] >= 10 and vldb_counts.get(aid, 0) >= 10
+        ]
+        assert len(both) >= 10  # the DQ2 cohort
+
+
+class TestAdult:
+    def test_single_relation(self, small_adult):
+        assert small_adult.table_names() == ["adult"]
+
+    def test_row_count(self, small_adult):
+        assert len(small_adult.relation("adult")) == adult.AdultSize.small().rows
+
+    def test_unique_names(self, small_adult):
+        names = small_adult.relation("adult").column("name")
+        assert len(set(names)) == len(names)
+
+    def test_deterministic(self):
+        a = adult.generate(adult.AdultSize.small())
+        b = adult.generate(adult.AdultSize.small())
+        assert list(a.relation("adult").rows())[:100] == list(
+            b.relation("adult").rows()
+        )[:100]
+
+    def test_hours_spike_at_40(self, small_adult):
+        hours = small_adult.relation("adult").column("hoursperweek")
+        assert hours.count(40) / len(hours) > 0.3
+
+    def test_capital_gain_mostly_zero(self, small_adult):
+        gains = small_adult.relation("adult").column("capitalgain")
+        assert gains.count(0) / len(gains) > 0.8
+        assert max(gains) > 5000  # heavy tail exists
+
+    def test_native_country_skew(self, small_adult):
+        native = Counter(small_adult.relation("adult").column("nativecountry"))
+        assert native["United-States"] / sum(native.values()) > 0.8
+
+    def test_age_bounds(self, small_adult):
+        ages = small_adult.relation("adult").column("age")
+        assert min(ages) >= 17 and max(ages) <= 90
+
+    def test_replicate_scales_rows(self, small_adult):
+        x3 = adult.replicate(small_adult, 3)
+        assert len(x3.relation("adult")) == 3 * len(small_adult.relation("adult"))
+        names = x3.relation("adult").column("name")
+        assert len(set(names)) == len(names)
+
+    def test_replicate_rejects_bad_factor(self, small_adult):
+        with pytest.raises(ValueError):
+            adult.replicate(small_adult, 0)
+
+    def test_metadata_validates(self, small_adult):
+        adult.metadata().validate(small_adult)

@@ -1,0 +1,151 @@
+"""Tests for the synthetic IMDb generator and its scaled variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import imdb
+
+
+@pytest.fixture(scope="module")
+def small_imdb():
+    return imdb.generate(imdb.ImdbSize.small())
+
+
+class TestSchema:
+    def test_fifteen_relations(self, small_imdb):
+        assert len(small_imdb.table_names()) == 15
+
+    def test_integrity(self, small_imdb):
+        small_imdb.check_integrity()
+
+    def test_metadata_validates(self, small_imdb):
+        imdb.metadata().validate(small_imdb)
+
+    def test_deterministic(self):
+        a = imdb.generate(imdb.ImdbSize.small())
+        b = imdb.generate(imdb.ImdbSize.small())
+        assert a.row_counts() == b.row_counts()
+        assert list(a.relation("person").rows())[:50] == list(
+            b.relation("person").rows()
+        )[:50]
+
+    def test_seed_changes_data(self):
+        base = imdb.ImdbSize.small()
+        other = imdb.ImdbSize(
+            persons=base.persons,
+            movies=base.movies,
+            companies=base.companies,
+            keywords=base.keywords,
+            seed=base.seed + 1,
+        )
+        a = imdb.generate(base)
+        b = imdb.generate(other)
+        assert list(a.relation("person").rows()) != list(b.relation("person").rows())
+
+
+class TestPlantedEntities:
+    @pytest.mark.parametrize("name", imdb.PLANTED_PERSONS)
+    def test_planted_persons_exist_once(self, small_imdb, name):
+        names = small_imdb.relation("person").column("name")
+        assert names.count(name) == 1
+
+    @pytest.mark.parametrize("title", imdb.PLANTED_MOVIES)
+    def test_planted_movies_exist_once(self, small_imdb, title):
+        titles = small_imdb.relation("movie").column("title")
+        assert titles.count(title) == 1
+
+    @pytest.mark.parametrize("company", imdb.PLANTED_COMPANIES)
+    def test_planted_companies_exist(self, small_imdb, company):
+        assert company in small_imdb.relation("company").column("name")
+
+    def test_some_ambiguous_person_names(self, small_imdb):
+        names = small_imdb.relation("person").column("name")
+        assert len(names) > len(set(names))  # Fig. 12 needs duplicates
+
+
+class TestDistributions:
+    def test_country_skew(self, small_imdb):
+        from collections import Counter
+
+        countries = dict(
+            zip(
+                small_imdb.relation("country").column("id"),
+                small_imdb.relation("country").column("name"),
+            )
+        )
+        counts = Counter(
+            countries[cid]
+            for cid in small_imdb.relation("person").column("country_id")
+        )
+        assert counts["USA"] == max(counts.values())
+
+    def test_activity_heavy_tail(self, small_imdb):
+        from collections import Counter
+
+        per_person = Counter(small_imdb.relation("castinfo").column("person_id"))
+        counts = sorted(per_person.values(), reverse=True)
+        # the busiest person works far more than the median one
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_genre_affinity_concentration(self, small_imdb):
+        """Actors' portfolios concentrate on one genre (funny-actor effect)."""
+        from collections import Counter, defaultdict
+
+        movie_genres = defaultdict(list)
+        for mid, gid in zip(
+            small_imdb.relation("movietogenre").column("movie_id"),
+            small_imdb.relation("movietogenre").column("genre_id"),
+        ):
+            movie_genres[mid].append(gid)
+        portfolios = defaultdict(Counter)
+        for pid, mid in zip(
+            small_imdb.relation("castinfo").column("person_id"),
+            small_imdb.relation("castinfo").column("movie_id"),
+        ):
+            for gid in movie_genres[mid]:
+                portfolios[pid][gid] += 1
+        shares = [
+            counter.most_common(1)[0][1] / sum(counter.values())
+            for counter in portfolios.values()
+            if sum(counter.values()) >= 8
+        ]
+        assert shares, "need busy actors to measure"
+        assert sum(shares) / len(shares) > 0.35
+
+
+class TestVariants:
+    def test_downsized_smaller(self, small_imdb):
+        sm = imdb.downsized_variant(small_imdb)
+        assert len(sm.relation("movie")) < len(small_imdb.relation("movie"))
+        assert len(sm.relation("person")) < len(small_imdb.relation("person"))
+        sm.check_integrity()
+
+    def test_downsized_drops_sparse_persons(self, small_imdb):
+        sm = imdb.downsized_variant(small_imdb)
+        from collections import Counter
+
+        per_person = Counter(small_imdb.relation("castinfo").column("person_id"))
+        for pid in sm.relation("person").column("id"):
+            assert per_person.get(pid, 0) >= 2
+
+    def test_bs_doubles_entities(self, small_imdb):
+        bs = imdb.upsized_variant(small_imdb, dense=False)
+        assert len(bs.relation("person")) == 2 * len(small_imdb.relation("person"))
+        assert len(bs.relation("movie")) == 2 * len(small_imdb.relation("movie"))
+        assert len(bs.relation("castinfo")) == 2 * len(
+            small_imdb.relation("castinfo")
+        )
+        bs.check_integrity()
+
+    def test_bd_denser_than_bs(self, small_imdb):
+        bs = imdb.upsized_variant(small_imdb, dense=False)
+        bd = imdb.upsized_variant(small_imdb, dense=True)
+        assert len(bd.relation("castinfo")) == 2 * len(bs.relation("castinfo"))
+        assert len(bd.relation("person")) == len(bs.relation("person"))
+        bd.check_integrity()
+
+    def test_duplicate_names_suffixed(self, small_imdb):
+        bs = imdb.upsized_variant(small_imdb, dense=False)
+        names = bs.relation("person").column("name")
+        assert any(name.endswith(" (II)") for name in names)

@@ -1,0 +1,76 @@
+"""Tests for the deterministic randomness utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.seeds import (
+    clipped_normal,
+    make_rng,
+    sample_unique_names,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42, "x").integers(0, 1000, size=10)
+        b = make_rng(42, "x").integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_streams_decorrelated(self):
+        a = make_rng(42, "persons").integers(0, 1000, size=10)
+        b = make_rng(42, "movies").integers(0, 1000, size=10)
+        assert not (a == b).all()
+
+    def test_no_stream(self):
+        a = make_rng(7).integers(0, 1000, size=5)
+        b = make_rng(7).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = make_rng(1, "wc")
+        picks = weighted_choice(rng, ["a", "b"], [100.0, 1.0], size=200)
+        assert picks.count("a") > picks.count("b")
+
+    def test_single_draw(self):
+        rng = make_rng(1, "wc2")
+        assert weighted_choice(rng, ["only"], [1.0]) == "only"
+
+
+class TestZipfWeights:
+    def test_decreasing(self):
+        weights = zipf_weights(10)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_heavy_tail(self):
+        weights = zipf_weights(100, exponent=1.1)
+        assert weights[0] / weights[-1] > 50
+
+
+class TestClippedNormal:
+    def test_bounds(self):
+        rng = make_rng(3, "cn")
+        values = clipped_normal(rng, 50, 100, 0, 60, size=500)
+        assert values.min() >= 0 and values.max() <= 60
+
+
+class TestSampleUniqueNames:
+    def test_count_and_uniqueness_without_duplicates(self):
+        rng = make_rng(4, "names")
+        names = sample_unique_names(rng, ["A", "B", "C"], ["X", "Y", "Z"], 8)
+        assert len(names) == 8
+        assert len(set(names)) == 8
+
+    def test_duplicate_rate_produces_duplicates(self):
+        rng = make_rng(4, "names2")
+        names = sample_unique_names(
+            rng, ["A", "B", "C", "D"], ["W", "X", "Y", "Z"], 15,
+            duplicate_rate=0.5,
+        )
+        assert len(names) == 15
+        assert len(set(names)) < 15

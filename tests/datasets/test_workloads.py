@@ -1,0 +1,182 @@
+"""Tests for the benchmark workload registries and case studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import adult, case_studies, dblp, imdb
+from repro.workloads import adult_queries, dblp_queries, imdb_queries
+from repro.workloads.registry import Workload, WorkloadRegistry
+
+
+@pytest.fixture(scope="module")
+def small_imdb():
+    return imdb.generate(imdb.ImdbSize.small())
+
+
+@pytest.fixture(scope="module")
+def small_dblp():
+    return dblp.generate(dblp.DblpSize.small())
+
+
+@pytest.fixture(scope="module")
+def small_adult():
+    return adult.generate(adult.AdultSize.small())
+
+
+class TestRegistry:
+    def test_workload_requires_query_or_evaluator(self):
+        with pytest.raises(ValueError):
+            Workload(
+                qid="X",
+                dataset="d",
+                description="",
+                entity_table="t",
+                entity_key="id",
+                display="name",
+            )
+
+    def test_duplicate_ids_rejected(self, small_adult):
+        reg = adult_queries.generate_queries(small_adult, count=3)
+        with pytest.raises(ValueError):
+            WorkloadRegistry("adult", reg.all() + [reg.all()[0]])
+
+    def test_lookup_and_iteration(self, small_adult):
+        reg = adult_queries.generate_queries(small_adult, count=3)
+        assert reg.get("AQ1").qid == "AQ1"
+        assert len(reg) == 3
+        assert [w.qid for w in reg] == reg.ids()
+
+
+class TestImdbWorkloads:
+    def test_sixteen_queries(self):
+        assert len(imdb_queries.build_registry()) == 16
+
+    def test_all_nonempty(self, small_imdb):
+        for workload in imdb_queries.build_registry():
+            assert workload.cardinality(small_imdb) > 0, workload.qid
+
+    def test_iq1_returns_pulp_fiction_cast(self, small_imdb):
+        reg = imdb_queries.build_registry()
+        cast = reg.get("IQ1").ground_truth_keys(small_imdb)
+        assert len(cast) >= 30
+
+    def test_iq2_intersection_semantics(self, small_imdb):
+        reg = imdb_queries.build_registry()
+        trilogy_actors = reg.get("IQ2").ground_truth_keys(small_imdb)
+        single = imdb_queries._iq2_block(
+            "The Lord of the Rings: The Two Towers"
+        )
+        from repro.sql import execute
+
+        two_towers = {r[0] for r in execute(small_imdb, single).rows}
+        assert trilogy_actors <= two_towers
+
+    def test_iq10_evaluator_compound_condition(self, small_imdb):
+        """IQ10's ground truth needs the compound (Russia AND >2010) count."""
+        reg = imdb_queries.build_registry()
+        strict = reg.get("IQ10").ground_truth_keys(small_imdb)
+        assert strict
+        # every member must genuinely have > 10 recent Russian movies
+        evaluated = imdb_queries._iq10_evaluator(small_imdb)
+        assert strict == evaluated
+
+    def test_ground_truth_examples_match_cardinality(self, small_imdb):
+        reg = imdb_queries.build_registry()
+        w = reg.get("IQ4")
+        examples = w.ground_truth_examples(small_imdb)
+        assert len(examples) == w.cardinality(small_imdb)
+
+    def test_reported_shape_counts_present(self):
+        for workload in imdb_queries.build_registry():
+            assert workload.num_joins >= 0
+            assert workload.num_selections >= 0
+
+
+class TestDblpWorkloads:
+    def test_five_queries(self):
+        assert len(dblp_queries.build_registry()) == 5
+
+    def test_all_nonempty(self, small_dblp):
+        for workload in dblp_queries.build_registry():
+            assert workload.cardinality(small_dblp) > 0, workload.qid
+
+    def test_dq4_papers_have_all_three_authors(self, small_dblp):
+        reg = dblp_queries.build_registry()
+        pubs = reg.get("DQ4").ground_truth_keys(small_dblp)
+        author_ids = {
+            name: aid
+            for aid, name in zip(
+                small_dblp.relation("author").column("id"),
+                small_dblp.relation("author").column("name"),
+            )
+        }
+        wanted = {author_ids[n] for n in dblp.PLANTED_AUTHORS}
+        by_pub: dict = {}
+        for aid, pid in zip(
+            small_dblp.relation("authortopub").column("author_id"),
+            small_dblp.relation("authortopub").column("pub_id"),
+        ):
+            by_pub.setdefault(pid, set()).add(aid)
+        for pid in pubs:
+            assert wanted <= by_pub[pid]
+
+
+class TestAdultWorkloads:
+    def test_twenty_queries_in_band(self, small_adult):
+        reg = adult_queries.generate_queries(small_adult, count=20)
+        assert len(reg) == 20
+        for workload in reg:
+            card = workload.cardinality(small_adult)
+            assert 8 <= card <= 1500
+
+    def test_selection_count_range(self, small_adult):
+        reg = adult_queries.generate_queries(small_adult, count=20)
+        for workload in reg:
+            assert workload.num_selections >= 2
+
+    def test_deterministic(self, small_adult):
+        a = adult_queries.generate_queries(small_adult, count=5)
+        b = adult_queries.generate_queries(small_adult, count=5)
+        for wa, wb in zip(a, b):
+            assert wa.query == wb.query
+
+
+class TestCaseStudies:
+    def test_funny_actors(self, small_imdb):
+        study = case_studies.funny_actors(small_imdb, list_size=40)
+        assert study.examples
+        assert study.intent_keys
+        assert study.mask_keys
+        # the list should mostly hit the intent
+        display = dict(
+            zip(
+                small_imdb.relation("person").column("name"),
+                small_imdb.relation("person").column("id"),
+            )
+        )
+        hits = sum(
+            1 for name in study.examples if display.get(name) in study.intent_keys
+        )
+        assert hits / len(study.examples) > 0.7
+
+    def test_scifi_2000s(self, small_imdb):
+        study = case_studies.scifi_2000s_movies(small_imdb, list_size=30)
+        years = dict(
+            zip(
+                small_imdb.relation("movie").column("id"),
+                small_imdb.relation("movie").column("year"),
+            )
+        )
+        for key in study.intent_keys:
+            assert 2000 <= years[key] <= 2009
+
+    def test_prolific_researchers(self, small_dblp):
+        study = case_studies.prolific_db_researchers(small_dblp, list_size=15)
+        assert study.entity_table == "author"
+        assert len(study.examples) == 15
+
+    def test_deterministic(self, small_imdb):
+        a = case_studies.funny_actors(small_imdb, list_size=20)
+        b = case_studies.funny_actors(small_imdb, list_size=20)
+        assert a.examples == b.examples

@@ -1,0 +1,114 @@
+"""Tests for accuracy metrics and example sampling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    accuracy,
+    is_instance_equivalent,
+    masked_accuracy,
+    sample_example_sets,
+)
+
+
+class TestAccuracy:
+    def test_perfect_match(self):
+        score = accuracy({1, 2, 3}, {1, 2, 3})
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f_score == 1.0
+
+    def test_paper_definitions(self):
+        # |Q' ∩ Q| / |Q'| and |Q' ∩ Q| / |Q|
+        score = accuracy({1, 2, 3, 4}, {3, 4, 5})
+        assert score.precision == pytest.approx(2 / 4)
+        assert score.recall == pytest.approx(2 / 3)
+
+    def test_f_score_harmonic_mean(self):
+        score = accuracy({1, 2}, {2, 3})
+        expected = 2 * 0.5 * 0.5 / (0.5 + 0.5)
+        assert score.f_score == pytest.approx(expected)
+
+    def test_disjoint_sets(self):
+        score = accuracy({1}, {2})
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f_score == 0.0
+
+    def test_empty_prediction(self):
+        score = accuracy(set(), {1, 2})
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+
+    def test_both_empty(self):
+        score = accuracy(set(), set())
+        assert score.f_score == 1.0
+
+    def test_accepts_iterables(self):
+        score = accuracy([1, 1, 2], (2, 3))
+        assert score.precision == pytest.approx(1 / 2)
+
+    @given(
+        predicted=st.sets(st.integers(0, 30)),
+        intended=st.sets(st.integers(0, 30)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_property(self, predicted, intended):
+        score = accuracy(predicted, intended)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.f_score <= 1.0
+        low = min(score.precision, score.recall)
+        high = max(score.precision, score.recall)
+        eps = 1e-12
+        assert (
+            low - eps <= score.f_score <= high + eps or score.f_score == 0.0
+        )
+
+
+class TestMaskedAccuracy:
+    def test_mask_restricts_both_sides(self):
+        score = masked_accuracy({1, 2, 9}, {2, 3, 9}, mask={1, 2, 3})
+        # inside the mask: predicted {1,2}, intended {2,3}
+        assert score.precision == pytest.approx(1 / 2)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_none_mask_is_plain_accuracy(self):
+        assert masked_accuracy({1}, {1}, mask=None).f_score == 1.0
+
+
+class TestIeq:
+    def test_equivalence(self):
+        assert is_instance_equivalent([1, 2], {2, 1})
+        assert not is_instance_equivalent([1], {1, 2})
+
+
+class TestSampling:
+    def test_sizes_and_counts(self):
+        values = [f"v{i}" for i in range(50)]
+        sets = sample_example_sets(values, set_size=5, num_sets=7, seed=1)
+        assert len(sets) == 7
+        for examples in sets:
+            assert len(examples) == 5
+            assert len(set(examples)) == 5
+
+    def test_deterministic(self):
+        values = [f"v{i}" for i in range(30)]
+        a = sample_example_sets(values, 5, 3, seed=9)
+        b = sample_example_sets(values, 5, 3, seed=9)
+        assert a == b
+
+    def test_small_ground_truth_returns_full_set(self):
+        values = ["a", "b", "c"]
+        sets = sample_example_sets(values, set_size=10, num_sets=5, seed=0)
+        assert sets == [["a", "b", "c"]]
+
+    def test_empty_values(self):
+        assert sample_example_sets([], 3, 2, seed=0) == []
+
+    def test_duplicates_in_input_ignored(self):
+        sets = sample_example_sets(["a", "a", "b"], 2, 1, seed=0)
+        assert sorted(sets[0]) == ["a", "b"]

@@ -1,0 +1,114 @@
+"""End-to-end property tests for the paper's formal invariants.
+
+* Definition 3.1 (filter validity): every discovered context, applied as a
+  single filter on the base query, contains all examples.
+* Lemma 3.1 (conjunction validity): the conjunction of any subset of the
+  discovered minimal valid filters still contains the examples — in
+  particular the abduced query always does.
+* Definition 3.2 (minimality): shrinking a numeric range filter below the
+  observed extrema, or raising a derived filter's θ, breaks validity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AbductionReadyDatabase,
+    SquidConfig,
+    discover_contexts,
+)
+from repro.core.base_query import build_adb_query
+from repro.sql import Op, Predicate, execute
+
+from ..conftest import build_mini_movies_db
+from ..core.conftest import mini_movies_metadata
+
+
+@pytest.fixture(scope="module")
+def mini_adb():
+    return AbductionReadyDatabase.build(
+        build_mini_movies_db(), mini_movies_metadata(), SquidConfig(tau_a=2.0)
+    )
+
+
+def _entity_keys_for(adb, entity, filters):
+    query = build_adb_query(adb, adb.metadata.entity(entity), filters, select_key=True)
+    return {row[0] for row in execute(adb.db, query).rows}
+
+
+# all subsets of person ids from the mini movie database
+person_sets = st.sets(st.integers(1, 6), min_size=1, max_size=4)
+movie_sets = st.sets(st.integers(1, 8), min_size=1, max_size=4)
+
+
+class TestFilterValidity:
+    @given(keys=person_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_every_person_filter_valid(self, mini_adb, keys):
+        keys = sorted(keys)
+        contexts = discover_contexts(mini_adb, "person", keys)
+        for filt in contexts.filters:
+            result = _entity_keys_for(mini_adb, "person", [filt])
+            assert set(keys) <= result, filt.notation()
+
+    @given(keys=movie_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_every_movie_filter_valid(self, mini_adb, keys):
+        keys = sorted(keys)
+        contexts = discover_contexts(mini_adb, "movie", keys)
+        for filt in contexts.filters:
+            result = _entity_keys_for(mini_adb, "movie", [filt])
+            assert set(keys) <= result, filt.notation()
+
+
+class TestConjunctionValidity:
+    @given(keys=person_sets, mask=st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_any_subset_conjunction_valid(self, mini_adb, keys, mask):
+        keys = sorted(keys)
+        contexts = discover_contexts(mini_adb, "person", keys)
+        subset = [
+            filt
+            for i, filt in enumerate(contexts.filters)
+            if mask & (1 << (i % 8))
+        ]
+        result = _entity_keys_for(mini_adb, "person", subset)
+        assert set(keys) <= result
+
+
+class TestMinimality:
+    def test_numeric_bounds_are_tightest(self, mini_adb):
+        from repro.sql import ColumnRef
+
+        contexts = discover_contexts(mini_adb, "person", [1, 2])
+        (filt,) = [
+            f for f in contexts.filters if f.family.attribute == "birth_year"
+        ]
+        low, high = filt.prop.value
+        entity = mini_adb.metadata.entity("person")
+        base = build_adb_query(mini_adb, entity, [], select_key=True)
+        # shrink either bound: some example must fall out (Definition 3.2)
+        for shrunk in ((low + 1, high), (low, high - 1)):
+            query = base.with_predicates(
+                [Predicate(ColumnRef("person", "birth_year"), Op.BETWEEN, shrunk)]
+            )
+            keys = {row[0] for row in execute(mini_adb.db, query).rows}
+            assert not ({1, 2} <= keys)
+
+    def test_derived_theta_is_tightest(self, mini_adb):
+        contexts = discover_contexts(mini_adb, "person", [1, 2])
+        comedy = [
+            f
+            for f in contexts.filters
+            if f.family.attribute == "genre" and f.prop.label == "Comedy"
+        ]
+        (filt,) = comedy
+        theta = filt.prop.theta
+        # at θ both examples qualify; at θ+1 at least one falls out
+        stats = mini_adb.statistics.get(filt.family)
+        qualifying_at = stats.selectivity(filt.prop.value, theta)
+        qualifying_above = stats.selectivity(filt.prop.value, theta + 1)
+        assert qualifying_at > qualifying_above

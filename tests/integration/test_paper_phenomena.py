@@ -1,0 +1,167 @@
+"""Integration tests for the per-query phenomena §7.3 documents.
+
+These run full SQuID pipelines on the small synthetic IMDb and assert the
+*behavioural* findings of the paper, not exact numbers:
+
+* IQ4  — the common property (USA) is dropped with few examples and
+         confirmed with many (slow precision convergence);
+* IQ6  — Clint Eastwood also acts in most films he directs, so the
+         spurious "acting" association needs examples to disappear (slow
+         recall convergence);
+* IQ10 — the compound intent is outside SQuID's search space: the abduced
+         query is more general than intended (precision < 1 forever);
+* IQ1  — SQuID needs ~2 predicates where TALOS needs orders of magnitude
+         more (§7.5's discussion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import imdb
+from repro.eval import accuracy, accuracy_curve, sample_example_sets
+from repro.sql import count_predicates
+from repro.workloads import imdb_queries
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = imdb.generate(imdb.ImdbSize.small())
+    squid = SquidSystem.build(db, imdb.metadata(), SquidConfig())
+    registry = imdb_queries.build_registry()
+    return db, squid, registry
+
+
+class TestIq4CommonProperty:
+    def test_usa_dropped_with_few_examples(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ4")
+        # with two examples ψ(USA)^2 ≈ 0.22 ≫ ρ: clearly coincidental
+        examples = workload.ground_truth_examples(db)[:2]
+        result = squid.discover(examples)
+        rejected_labels = {f.prop.label for f in result.abduction.rejected}
+        assert "USA" in rejected_labels
+
+    def test_usa_confirmed_with_many_examples(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ4")
+        examples = workload.ground_truth_examples(db)[:15]
+        result = squid.discover(examples)
+        kept_labels = {f.prop.label for f in result.abduction.selected}
+        assert "USA" in kept_labels
+
+
+class TestIq6DirectorActor:
+    def test_acting_association_can_confuse_small_samples(self, setup):
+        """With all-director-and-actor examples, the actor association is
+        discovered; with examples covering director-only films it is not."""
+        db, squid, registry = setup
+        workload = registry.get("IQ6")
+        examples = workload.ground_truth_examples(db)
+        result = squid.discover(examples[:18])
+        # IQ6's full example set includes director-only movies, so the
+        # actor-qualified association cannot be a shared context
+        actor_families = {
+            f.family.attribute
+            for f in result.abduction.selected
+            if "person[Actor]" in f.family.attribute
+        }
+        assert not actor_families
+
+    def test_recall_converges(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ6")
+        points = accuracy_curve(squid, workload, [5, 15], runs_per_size=5)
+        assert points[-1].recall >= points[0].recall - 0.05
+        assert points[-1].recall > 0.9
+
+
+class TestIq10OutsideSearchSpace:
+    def test_never_instance_equivalent(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ10")
+        intended = workload.ground_truth_keys(db)
+        examples = workload.ground_truth_examples(db)
+        config = SquidConfig.optimistic().with_overrides(
+            max_example_warn=len(examples) + 1
+        )
+        result = squid.discover(examples, config=config)
+        predicted = squid.result_keys(result)
+        assert predicted != intended
+        assert intended <= predicted or accuracy(predicted, intended).precision < 1.0
+
+    def test_precision_stays_imperfect(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ10")
+        points = accuracy_curve(squid, workload, [5], runs_per_size=5)
+        assert points and points[0].precision < 1.0
+
+
+class TestIq1PredicateEconomy:
+    def test_squid_close_to_intended(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ1")
+        examples = workload.ground_truth_examples(db)
+        config = SquidConfig.optimistic().with_overrides(
+            max_example_warn=len(examples) + 1
+        )
+        result = squid.discover(examples, config=config)
+        # the paper's Q-for-IQ1 has 4 predicates (3 joins + 1 selection);
+        # SQuID's αDB form stays in that ballpark
+        assert count_predicates(result.query) <= 8
+        predicted = squid.result_keys(result)
+        assert accuracy(predicted, workload.ground_truth_keys(db)).f_score == 1.0
+
+
+class TestPruning:
+    def test_pruned_subset_of_unpruned(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ13")
+        examples = workload.ground_truth_examples(db)
+        base = SquidConfig.optimistic().with_overrides(
+            max_example_warn=len(examples) + 1
+        )
+        pruned = squid.discover(examples, config=base)
+        unpruned = squid.discover(
+            examples, config=base.with_overrides(prune_redundant_filters=False)
+        )
+        assert len(pruned.abduction.selected) >= len(
+            _effective_filters(pruned)
+        )
+        assert len(_effective_filters(pruned)) <= len(
+            _effective_filters(unpruned)
+        )
+
+    def test_pruning_preserves_result_set(self, setup):
+        db, squid, registry = setup
+        workload = registry.get("IQ13")
+        examples = workload.ground_truth_examples(db)
+        base = SquidConfig.optimistic().with_overrides(
+            max_example_warn=len(examples) + 1
+        )
+        pruned = squid.discover(examples, config=base)
+        unpruned = squid.discover(
+            examples, config=base.with_overrides(prune_redundant_filters=False)
+        )
+        assert squid.result_keys(pruned) == squid.result_keys(unpruned)
+
+
+def _effective_filters(result):
+    return [
+        pred for pred in result.query.predicates
+    ]
+
+
+class TestExampleSetContainment:
+    """Definition 2.1's hard requirement E ⊆ Q(D) on real workloads."""
+
+    @pytest.mark.parametrize("qid", ["IQ1", "IQ4", "IQ8", "IQ12", "IQ15"])
+    def test_examples_contained(self, setup, qid):
+        db, squid, registry = setup
+        workload = registry.get(qid)
+        values = workload.ground_truth_examples(db)
+        for examples in sample_example_sets(values, 5, 3, seed=21):
+            result = squid.discover(examples)
+            names = set(map(str, squid.result_values(result)))
+            assert set(examples) <= names

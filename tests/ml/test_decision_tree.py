@@ -1,0 +1,163 @@
+"""Tests for the from-scratch decision tree on mixed features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    FeatureMatrix,
+    encode_categorical,
+    encode_numeric,
+    encode_table,
+)
+
+
+def xor_like_dataset():
+    """y = 1 iff color == 'red' and size <= 5."""
+    colors, sizes, labels = [], [], []
+    rng = np.random.default_rng(3)
+    for _ in range(300):
+        color = "red" if rng.random() < 0.5 else "blue"
+        size = float(rng.integers(0, 11))
+        colors.append(color)
+        sizes.append(size)
+        labels.append(1 if (color == "red" and size <= 5) else 0)
+    X = FeatureMatrix(
+        [encode_categorical("color", colors), encode_numeric("size", sizes)]
+    )
+    return X, np.array(labels)
+
+
+class TestFitPredict:
+    def test_learns_conjunction_exactly(self):
+        X, y = xor_like_dataset()
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_leaf=1,
+                                      min_samples_split=2)
+        tree.fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_pure_node_stops(self):
+        X = FeatureMatrix([encode_numeric("a", [1, 2, 3, 4])])
+        tree = DecisionTreeClassifier().fit(X, [1, 1, 1, 1])
+        assert tree.root is not None and tree.root.is_leaf
+
+    def test_max_depth_zero_gives_stump(self):
+        X, y = xor_like_dataset()
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert tree.root.is_leaf
+
+    def test_predict_proba_sums_to_one(self):
+        X, y = xor_like_dataset()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (X.num_rows, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_empty_dataset_rejected(self):
+        X = FeatureMatrix([encode_numeric("a", [])])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, [])
+
+    def test_shape_mismatch_rejected(self):
+        X = FeatureMatrix([encode_numeric("a", [1, 2])])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, [0])
+
+    def test_nan_routes_right(self):
+        values = [1.0, 2.0, None, 10.0, 11.0, None]
+        labels = [0, 0, 1, 1, 1, 1]
+        X = FeatureMatrix([encode_numeric("a", values)])
+        tree = DecisionTreeClassifier(max_depth=2, min_samples_leaf=1,
+                                      min_samples_split=2).fit(X, labels)
+        predictions = tree.predict(X)
+        # NaN rows take the right branch together with large values
+        assert predictions[2] == predictions[3]
+
+    def test_multiclass(self):
+        values = [1, 2, 3, 11, 12, 13, 21, 22, 23]
+        labels = [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        X = FeatureMatrix([encode_numeric("a", values)])
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_leaf=1,
+                                      min_samples_split=2).fit(X, labels)
+        assert (tree.predict(X) == np.array(labels)).all()
+
+    @given(
+        n=st.integers(20, 80),
+        threshold=st.integers(2, 8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_single_threshold(self, n, threshold, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 11, size=n).astype(float)
+        labels = (values <= threshold).astype(int)
+        if labels.min() == labels.max():
+            return
+        X = FeatureMatrix([encode_numeric("a", list(values))])
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1,
+                                      min_samples_split=2).fit(X, labels)
+        assert (tree.predict(X) == labels).all()
+
+
+class TestStructure:
+    def test_positive_paths_describe_conjunction(self):
+        X, y = xor_like_dataset()
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_leaf=1,
+                                      min_samples_split=2).fit(X, y)
+        paths = tree.positive_paths()
+        assert paths
+        flat = " | ".join(" AND ".join(p) for p in paths)
+        assert "color" in flat and "size" in flat
+
+    def test_node_count_positive(self):
+        X, y = xor_like_dataset()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.node_count() >= 3
+
+    def test_max_features_restricts_candidates(self):
+        X, y = xor_like_dataset()
+        tree = DecisionTreeClassifier(max_depth=4, max_features=1, random_state=0)
+        tree.fit(X, y)
+        assert tree.node_count() >= 1  # fitting succeeds with subsampling
+
+
+class TestEncoding:
+    def test_categorical_codes_stable(self):
+        col = encode_categorical("c", ["a", "b", "a", None])
+        assert col.values.tolist() == [1, 2, 1, 0]
+        assert col.decode(1) == "a"
+        assert col.decode(0) is None
+
+    def test_explicit_categories(self):
+        col = encode_categorical("c", ["x", "zzz"], categories=["x", "y"])
+        assert col.values.tolist() == [1, 0]  # unknown value -> missing
+
+    def test_encode_table_round_trip(self):
+        X = encode_table(
+            [("a", 1.5), ("b", None)],
+            names=["cat", "num"],
+            kinds=["categorical", "numeric"],
+        )
+        assert X.num_rows == 2
+        assert X.column("cat").kind == "categorical"
+        assert np.isnan(X.column("num").values[1])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(
+                [encode_numeric("a", [1, 2]), encode_numeric("b", [1])]
+            )
+
+    def test_take_subsets_rows(self):
+        X = encode_table(
+            [("a", 1.0), ("b", 2.0), ("a", 3.0)],
+            names=["cat", "num"],
+            kinds=["categorical", "numeric"],
+        )
+        sub = X.take(np.array([0, 2]))
+        assert sub.num_rows == 2
+        assert sub.column("num").values.tolist() == [1.0, 3.0]

@@ -1,0 +1,52 @@
+"""Tests for the random forest ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import FeatureMatrix, RandomForestClassifier, encode_numeric
+
+from .test_decision_tree import xor_like_dataset
+
+
+class TestRandomForest:
+    def test_fits_and_predicts(self):
+        X, y = xor_like_dataset()
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        predictions = forest.predict(X)
+        assert (predictions == y).mean() > 0.95
+
+    def test_proba_shape_and_normalization(self):
+        X, y = xor_like_dataset()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (X.num_rows, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = xor_like_dataset()
+        a = RandomForestClassifier(n_estimators=5, random_state=42).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=42).fit(X, y)
+        assert (a.predict(X) == b.predict(X)).all()
+
+    def test_unfitted_raises(self):
+        X, _ = xor_like_dataset()
+        forest = RandomForestClassifier()
+        with pytest.raises(ValueError):
+            forest.predict_proba(X)
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_empty_dataset_rejected(self):
+        X = FeatureMatrix([encode_numeric("a", [])])
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=2).fit(X, [])
+
+    def test_single_class_predicts_it(self):
+        X = FeatureMatrix([encode_numeric("a", [1, 2, 3, 4, 5, 6])])
+        forest = RandomForestClassifier(n_estimators=3, random_state=1)
+        forest.fit(X, [0, 0, 0, 0, 0, 0])
+        assert (forest.predict(X) == 0).all()

@@ -1,0 +1,164 @@
+"""Unit tests for the Database facade: DDL, DML, indexes, integrity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    Database,
+    ForeignKey,
+    IntegrityError,
+    TableSchema,
+    UnknownTableError,
+)
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+class TestDdlDml:
+    def test_create_and_lookup(self, academics_db):
+        rel = academics_db.relation("academics")
+        assert rel.num_rows == 6
+
+    def test_unknown_table(self, academics_db):
+        with pytest.raises(UnknownTableError):
+            academics_db.relation("nope")
+
+    def test_contains(self, academics_db):
+        assert "research" in academics_db
+        assert "nope" not in academics_db
+
+    def test_insert_single(self, academics_db):
+        rid = academics_db.insert("academics", (106, "Mike Stonebraker"))
+        assert academics_db.relation("academics").row(rid) == (106, "Mike Stonebraker")
+
+    def test_drop_table(self, academics_db):
+        academics_db.drop_table("research")
+        assert "research" not in academics_db
+        with pytest.raises(UnknownTableError):
+            academics_db.drop_table("research")
+
+    def test_row_counts_and_total(self, academics_db):
+        counts = academics_db.row_counts()
+        assert counts == {"academics": 6, "research": 8}
+        assert academics_db.total_rows() == 14
+
+    def test_table_names(self, academics_db):
+        assert set(academics_db.table_names()) == {"academics", "research"}
+
+
+class TestIndexCache:
+    def test_hash_index_cached(self, academics_db):
+        idx1 = academics_db.hash_index("research", "interest")
+        idx2 = academics_db.hash_index("research", "interest")
+        assert idx1 is idx2
+
+    def test_hash_index_lookup(self, academics_db):
+        idx = academics_db.hash_index("research", "interest")
+        rows = idx.lookup("data management")
+        aids = {academics_db.relation("research").value(r, "aid") for r in rows}
+        assert aids == {101, 103, 105}
+
+    def test_insert_invalidates_index(self, academics_db):
+        idx = academics_db.hash_index("academics", "name")
+        academics_db.insert("academics", (107, "New Person"))
+        idx2 = academics_db.hash_index("academics", "name")
+        assert idx2 is not idx
+        assert len(idx2.lookup("New Person")) == 1
+
+    def test_sorted_index(self, people_db):
+        idx = people_db.sorted_index("person", "age")
+        assert idx.min_value() == 29
+        assert idx.max_value() == 90
+
+    def test_composite_index(self, academics_db):
+        idx = academics_db.composite_index("research", ["aid", "interest"])
+        assert len(idx.lookup((103, "data management"))) == 1
+        assert idx.lookup((103, "algorithms")) == []
+
+    def test_bulk_load_invalidates(self, academics_db):
+        idx = academics_db.hash_index("research", "aid")
+        academics_db.bulk_load("research", [(9, 100, "complexity")])
+        assert academics_db.hash_index("research", "aid") is not idx
+
+
+class TestIntegrity:
+    def test_consistent_db_passes(self, academics_db):
+        academics_db.check_integrity()
+
+    def test_dangling_fk_detected(self, academics_db):
+        academics_db.insert("research", (99, 999, "phantom topic"))
+        with pytest.raises(IntegrityError):
+            academics_db.check_integrity()
+
+    def test_null_fk_allowed(self, academics_db):
+        academics_db.insert("research", (99, None, "orphan topic"))
+        academics_db.check_integrity()
+
+    def test_fk_to_non_pk_column(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "codes",
+                [ColumnDef("code", TEXT, nullable=False)],
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "uses",
+                [ColumnDef("code", TEXT)],
+                foreign_keys=[ForeignKey("code", "codes", "code")],
+            )
+        )
+        db.bulk_load("codes", [("A",), ("B",)])
+        db.bulk_load("uses", [("A",)])
+        db.check_integrity()
+        db.insert("uses", ("Z",))
+        with pytest.raises(IntegrityError):
+            db.check_integrity()
+
+
+class TestInvertedIndexIntegration:
+    def test_candidate_columns(self, academics_db):
+        from repro.relational import InvertedColumnIndex
+
+        index = InvertedColumnIndex(academics_db)
+        cols = index.candidate_columns(["Dan Suciu", "Sam Madden"])
+        assert cols == [("academics", "name")]
+
+    def test_lookup_case_insensitive(self, academics_db):
+        from repro.relational import InvertedColumnIndex
+
+        index = InvertedColumnIndex(academics_db)
+        postings = index.lookup("dan  SUCIU")
+        assert len(postings) == 1
+        assert postings[0].table == "academics"
+
+    def test_no_common_column(self, academics_db):
+        from repro.relational import InvertedColumnIndex
+
+        index = InvertedColumnIndex(academics_db)
+        assert index.candidate_columns(["Dan Suciu", "algorithms"]) == []
+
+    def test_empty_values(self, academics_db):
+        from repro.relational import InvertedColumnIndex
+
+        index = InvertedColumnIndex(academics_db)
+        assert index.candidate_columns([]) == []
+
+    def test_matches_in(self, academics_db):
+        from repro.relational import InvertedColumnIndex
+
+        index = InvertedColumnIndex(academics_db)
+        rows = index.matches_in("data management", "research", "interest")
+        assert len(rows) == 3
+
+    def test_restricted_tables(self, academics_db):
+        from repro.relational import InvertedColumnIndex
+
+        index = InvertedColumnIndex(academics_db, tables=["academics"])
+        assert index.lookup("algorithms") == []
+        assert len(index.lookup("Dan Suciu")) == 1

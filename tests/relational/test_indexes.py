@@ -1,0 +1,140 @@
+"""Unit tests for hash, sorted, and composite indexes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    CompositeHashIndex,
+    HashIndex,
+    Relation,
+    SortedIndex,
+    TableSchema,
+)
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def int_relation(values) -> Relation:
+    schema = TableSchema("t", [ColumnDef("v", INT)])
+    rel = Relation(schema)
+    rel.extend([(v,) for v in values])
+    return rel
+
+
+class TestHashIndex:
+    def make(self) -> HashIndex:
+        rel = int_relation([5, 3, 5, None, 7, 3])
+        return HashIndex(rel, "v")
+
+    def test_lookup(self):
+        idx = self.make()
+        assert idx.lookup(5) == [0, 2]
+        assert idx.lookup(7) == [4]
+
+    def test_missing_value_empty(self):
+        assert self.make().lookup(99) == []
+
+    def test_null_not_indexed(self):
+        idx = self.make()
+        assert None not in idx
+        assert idx.lookup(None) == []
+
+    def test_lookup_many_dedupes(self):
+        idx = self.make()
+        assert idx.lookup_many([5, 3, 5]) == [0, 2, 1, 5]
+
+    def test_distinct_count(self):
+        assert self.make().distinct_count() == 3
+
+    def test_contains(self):
+        idx = self.make()
+        assert 5 in idx and 99 not in idx
+
+    def test_keys(self):
+        assert set(self.make().keys()) == {3, 5, 7}
+
+
+class TestSortedIndex:
+    def make(self) -> SortedIndex:
+        rel = int_relation([50, 90, 60, 50, None, 29])
+        return SortedIndex(rel, "v")
+
+    def test_full_range(self):
+        idx = self.make()
+        assert sorted(idx.range()) == [0, 1, 2, 3, 5]
+
+    def test_closed_range(self):
+        idx = self.make()
+        assert sorted(idx.range(50, 60)) == [0, 2, 3]
+
+    def test_exclusive_bounds(self):
+        idx = self.make()
+        assert sorted(idx.range(50, 90, low_inclusive=False)) == [1, 2]
+        assert sorted(idx.range(50, 90, high_inclusive=False)) == [0, 2, 3]
+
+    def test_open_ended(self):
+        idx = self.make()
+        assert sorted(idx.range(low=60)) == [1, 2]
+        assert sorted(idx.range(high=50)) == [0, 3, 5]
+
+    def test_count_leq(self):
+        idx = self.make()
+        assert idx.count_leq(28) == 0
+        assert idx.count_leq(29) == 1
+        assert idx.count_leq(50) == 3
+        assert idx.count_leq(1000) == 5
+
+    def test_min_max(self):
+        idx = self.make()
+        assert idx.min_value() == 29
+        assert idx.max_value() == 90
+
+    def test_empty_index(self):
+        idx = SortedIndex(int_relation([]), "v")
+        assert idx.min_value() is None
+        assert idx.max_value() is None
+        assert idx.range(0, 10) == []
+        assert len(idx) == 0
+
+    @given(st.lists(st.integers(-100, 100), max_size=60), st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_range_matches_bruteforce(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        idx = SortedIndex(int_relation(values), "v")
+        expected = sorted(i for i, v in enumerate(values) if low <= v <= high)
+        assert sorted(idx.range(low, high)) == expected
+
+    @given(st.lists(st.integers(-100, 100), max_size=60), st.integers(-150, 150))
+    @settings(max_examples=60, deadline=None)
+    def test_count_leq_matches_bruteforce(self, values, bound):
+        idx = SortedIndex(int_relation(values), "v")
+        assert idx.count_leq(bound) == sum(1 for v in values if v <= bound)
+
+
+class TestCompositeHashIndex:
+    def make(self) -> CompositeHashIndex:
+        schema = TableSchema("t", [ColumnDef("a", INT), ColumnDef("b", TEXT)])
+        rel = Relation(schema)
+        rel.extend([(1, "x"), (1, "y"), (2, "x"), (1, "x"), (None, "x")])
+        return CompositeHashIndex(rel, ["a", "b"])
+
+    def test_lookup(self):
+        idx = self.make()
+        assert idx.lookup((1, "x")) == [0, 3]
+        assert idx.lookup((2, "x")) == [2]
+
+    def test_missing_key(self):
+        assert self.make().lookup((9, "z")) == []
+
+    def test_null_component_not_indexed(self):
+        idx = self.make()
+        assert (None, "x") not in idx
+
+    def test_keys(self):
+        assert set(self.make().keys()) == {(1, "x"), (1, "y"), (2, "x")}

@@ -1,0 +1,122 @@
+"""Unit tests for column-oriented relation storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    IntegrityError,
+    Relation,
+    SchemaError,
+    TableSchema,
+)
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def make_relation() -> Relation:
+    schema = TableSchema(
+        "person",
+        [
+            ColumnDef("id", INT, nullable=False),
+            ColumnDef("name", TEXT),
+            ColumnDef("age", INT),
+        ],
+        primary_key="id",
+    )
+    return Relation(schema)
+
+
+class TestInsert:
+    def test_insert_returns_sequential_row_ids(self):
+        rel = make_relation()
+        assert rel.insert((1, "Ann", 30)) == 0
+        assert rel.insert((2, "Bob", 40)) == 1
+        assert len(rel) == 2
+
+    def test_insert_wrong_arity_rejected(self):
+        rel = make_relation()
+        with pytest.raises(SchemaError):
+            rel.insert((1, "Ann"))
+
+    def test_duplicate_pk_rejected(self):
+        rel = make_relation()
+        rel.insert((1, "Ann", 30))
+        with pytest.raises(IntegrityError):
+            rel.insert((1, "Bob", 40))
+
+    def test_not_null_enforced(self):
+        rel = make_relation()
+        with pytest.raises(IntegrityError):
+            rel.insert((None, "Ann", 30))
+
+    def test_nullable_columns_accept_none(self):
+        rel = make_relation()
+        rel.insert((1, None, None))
+        assert rel.row(0) == (1, None, None)
+
+    def test_insert_dict(self):
+        rel = make_relation()
+        rel.insert_dict({"id": 1, "name": "Ann", "age": 30})
+        assert rel.row_dict(0) == {"id": 1, "name": "Ann", "age": 30}
+
+    def test_insert_dict_missing_nullable_defaults_to_none(self):
+        rel = make_relation()
+        rel.insert_dict({"id": 1})
+        assert rel.row(0) == (1, None, None)
+
+    def test_insert_dict_unknown_column_rejected(self):
+        rel = make_relation()
+        with pytest.raises(SchemaError):
+            rel.insert_dict({"id": 1, "bogus": 2})
+
+    def test_extend(self):
+        rel = make_relation()
+        rel.extend([(1, "Ann", 30), (2, "Bob", 40)])
+        assert rel.num_rows == 2
+
+
+class TestAccess:
+    def make_loaded(self) -> Relation:
+        rel = make_relation()
+        rel.extend([(1, "Ann", 30), (2, "Bob", 40), (3, "Ann", None)])
+        return rel
+
+    def test_column_returns_values_in_order(self):
+        rel = self.make_loaded()
+        assert rel.column("name") == ["Ann", "Bob", "Ann"]
+
+    def test_value(self):
+        rel = self.make_loaded()
+        assert rel.value(1, "age") == 40
+
+    def test_rows_iterates_all(self):
+        rel = self.make_loaded()
+        assert list(rel.rows()) == [(1, "Ann", 30), (2, "Bob", 40), (3, "Ann", None)]
+
+    def test_row_ids(self):
+        assert list(self.make_loaded().row_ids()) == [0, 1, 2]
+
+    def test_lookup_pk(self):
+        rel = self.make_loaded()
+        assert rel.lookup_pk(2) == 1
+        assert rel.lookup_pk(99) is None
+
+    def test_lookup_pk_without_pk_raises(self):
+        schema = TableSchema("t", [ColumnDef("a", INT)])
+        rel = Relation(schema)
+        with pytest.raises(SchemaError):
+            rel.lookup_pk(1)
+
+    def test_distinct_values_skips_nulls_keeps_order(self):
+        rel = self.make_loaded()
+        assert rel.distinct_values("name") == ["Ann", "Bob"]
+        assert rel.distinct_values("age") == [30, 40]
+
+    def test_empty_relation(self):
+        rel = make_relation()
+        assert len(rel) == 0
+        assert list(rel.rows()) == []

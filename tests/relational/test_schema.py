@@ -1,0 +1,169 @@
+"""Unit tests for schema objects and the FK schema graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    DatabaseSchema,
+    ForeignKey,
+    SchemaError,
+    TableSchema,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def person_schema() -> TableSchema:
+    return TableSchema(
+        "person",
+        [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+        primary_key="id",
+    )
+
+
+def castinfo_schema() -> TableSchema:
+    return TableSchema(
+        "castinfo",
+        [
+            ColumnDef("id", INT, nullable=False),
+            ColumnDef("person_id", INT),
+            ColumnDef("movie_id", INT),
+        ],
+        primary_key="id",
+        foreign_keys=[
+            ForeignKey("person_id", "person", "id"),
+            ForeignKey("movie_id", "movie", "id"),
+        ],
+    )
+
+
+def movie_schema() -> TableSchema:
+    return TableSchema(
+        "movie",
+        [ColumnDef("id", INT, nullable=False), ColumnDef("title", TEXT)],
+        primary_key="id",
+    )
+
+
+class TestTableSchema:
+    def test_column_positions(self):
+        schema = person_schema()
+        assert schema.column_position("id") == 0
+        assert schema.column_position("name") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            person_schema().column_position("nope")
+
+    def test_column_type(self):
+        assert person_schema().column_type("name") is TEXT
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnDef("a", INT), ColumnDef("a", INT)])
+
+    def test_bad_table_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("bad name", [ColumnDef("a", INT)])
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("bad name", INT)
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [ColumnDef("a", INT)], primary_key="b")
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema(
+                "t",
+                [ColumnDef("a", INT)],
+                foreign_keys=[ForeignKey("b", "x", "id")],
+            )
+
+    def test_foreign_key_for(self):
+        schema = castinfo_schema()
+        fk = schema.foreign_key_for("person_id")
+        assert fk is not None and fk.ref_table == "person"
+        assert schema.foreign_key_for("id") is None
+
+
+class TestDatabaseSchema:
+    def make_graph(self) -> DatabaseSchema:
+        dbs = DatabaseSchema()
+        dbs.add_table(person_schema())
+        dbs.add_table(movie_schema())
+        dbs.add_table(castinfo_schema())
+        return dbs
+
+    def test_duplicate_table_rejected(self):
+        dbs = self.make_graph()
+        with pytest.raises(SchemaError):
+            dbs.add_table(person_schema())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            self.make_graph().table("nope")
+
+    def test_validate_accepts_consistent_graph(self):
+        self.make_graph().validate()
+
+    def test_validate_rejects_dangling_fk_column(self):
+        dbs = DatabaseSchema()
+        dbs.add_table(person_schema())
+        dbs.add_table(
+            TableSchema(
+                "t",
+                [ColumnDef("pid", INT)],
+                foreign_keys=[ForeignKey("pid", "person", "missing")],
+            )
+        )
+        with pytest.raises(UnknownColumnError):
+            dbs.validate()
+
+    def test_fk_edges_directed_child_to_parent(self):
+        edges = list(self.make_graph().fk_edges())
+        assert ("castinfo", "person_id", "person", "id") in [
+            (e.src_table, e.src_column, e.dst_table, e.dst_column) for e in edges
+        ]
+
+    def test_edges_from_includes_both_directions(self):
+        dbs = self.make_graph()
+        person_edges = dbs.edges_from("person")
+        # person is only referenced, so its edge is a reversed FK edge
+        assert any(e.dst_table == "castinfo" for e in person_edges)
+        cast_edges = dbs.edges_from("castinfo")
+        assert any(e.dst_table == "person" for e in cast_edges)
+        assert any(e.dst_table == "movie" for e in cast_edges)
+
+    def test_edges_between(self):
+        dbs = self.make_graph()
+        edges = dbs.edges_between("person", "castinfo")
+        assert len(edges) == 1
+        assert edges[0].src_column == "id"
+        assert edges[0].dst_column == "person_id"
+        assert dbs.edges_between("person", "movie") == []
+
+    def test_referencing_tables(self):
+        dbs = self.make_graph()
+        refs = dbs.referencing_tables("person")
+        assert [(name, fk.column) for name, fk in refs] == [("castinfo", "person_id")]
+
+    def test_contains(self):
+        dbs = self.make_graph()
+        assert "person" in dbs
+        assert "nope" not in dbs
+
+    def test_fk_edge_reversed(self):
+        dbs = self.make_graph()
+        edge = dbs.edges_between("castinfo", "person")[0]
+        back = edge.reversed()
+        assert back.src_table == "person" and back.dst_table == "castinfo"
+        assert back.reversed() == edge

@@ -1,0 +1,74 @@
+"""Unit tests for column types and value coercion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import ColumnType, TypeCoercionError, coerce_value, normalize_text
+
+
+class TestColumnType:
+    def test_numeric_flags(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.BOOL.is_numeric
+
+    def test_text_flag(self):
+        assert ColumnType.TEXT.is_text
+        assert not ColumnType.INT.is_text
+
+
+class TestCoerceValue:
+    def test_null_passes_through_every_type(self):
+        for ctype in ColumnType:
+            assert coerce_value(None, ctype) is None
+
+    def test_int_accepts_int(self):
+        assert coerce_value(7, ColumnType.INT) == 7
+
+    def test_int_accepts_integral_float(self):
+        assert coerce_value(7.0, ColumnType.INT) == 7
+        assert isinstance(coerce_value(7.0, ColumnType.INT), int)
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(7.5, ColumnType.INT)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(True, ColumnType.INT)
+
+    def test_int_rejects_str(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("7", ColumnType.INT)
+
+    def test_float_accepts_int_and_float(self):
+        assert coerce_value(2, ColumnType.FLOAT) == 2.0
+        assert coerce_value(2.5, ColumnType.FLOAT) == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(False, ColumnType.FLOAT)
+
+    def test_text_accepts_str_only(self):
+        assert coerce_value("abc", ColumnType.TEXT) == "abc"
+        with pytest.raises(TypeCoercionError):
+            coerce_value(3, ColumnType.TEXT)
+
+    def test_bool_accepts_bool_only(self):
+        assert coerce_value(True, ColumnType.BOOL) is True
+        with pytest.raises(TypeCoercionError):
+            coerce_value(1, ColumnType.BOOL)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Jim Carrey") == "jim carrey"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("  Jim   Carrey  ") == "jim carrey"
+
+    def test_idempotent(self):
+        once = normalize_text(" A  B ")
+        assert normalize_text(once) == once

@@ -1,0 +1,158 @@
+"""Unit tests for the query AST: validation and predicate semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import (
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+
+
+def simple_query(**kwargs) -> Query:
+    defaults = dict(
+        select=(ColumnRef("person", "name"),),
+        tables=(TableRef("person"),),
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+class TestTableRef:
+    def test_default_alias_is_name(self):
+        ref = TableRef("person")
+        assert ref.alias == "person"
+        assert not ref.is_aliased
+
+    def test_explicit_alias(self):
+        ref = TableRef("persontogenre", "pg1")
+        assert ref.alias == "pg1"
+        assert ref.is_aliased
+
+
+class TestPredicate:
+    def test_eq(self):
+        pred = Predicate(ColumnRef("p", "gender"), Op.EQ, "Male")
+        assert pred.matches("Male")
+        assert not pred.matches("Female")
+
+    def test_null_never_matches(self):
+        for op, value in [(Op.EQ, 1), (Op.GE, 1), (Op.LE, 1), (Op.BETWEEN, (0, 2))]:
+            assert not Predicate(ColumnRef("p", "a"), op, value).matches(None)
+
+    def test_ge_le(self):
+        ge = Predicate(ColumnRef("p", "age"), Op.GE, 50)
+        le = Predicate(ColumnRef("p", "age"), Op.LE, 50)
+        assert ge.matches(50) and ge.matches(51) and not ge.matches(49)
+        assert le.matches(50) and le.matches(49) and not le.matches(51)
+
+    def test_between_inclusive(self):
+        pred = Predicate(ColumnRef("p", "age"), Op.BETWEEN, (50, 90))
+        assert pred.matches(50) and pred.matches(90) and pred.matches(60)
+        assert not pred.matches(49) and not pred.matches(91)
+
+    def test_between_requires_pair(self):
+        with pytest.raises(ValueError):
+            Predicate(ColumnRef("p", "age"), Op.BETWEEN, 50)
+
+    def test_in_coerces_to_frozenset(self):
+        pred = Predicate(ColumnRef("p", "g"), Op.IN, ["Male", "Female"])
+        assert isinstance(pred.value, frozenset)
+        assert pred.matches("Male") and not pred.matches("Other")
+
+    def test_atom_count(self):
+        assert Predicate(ColumnRef("p", "a"), Op.EQ, 1).atom_count() == 1
+        assert Predicate(ColumnRef("p", "a"), Op.BETWEEN, (0, 1)).atom_count() == 2
+        assert Predicate(ColumnRef("p", "a"), Op.IN, [1, 2, 3]).atom_count() == 3
+
+
+class TestHavingCount:
+    def test_ops(self):
+        assert HavingCount(Op.GE, 3).matches(3)
+        assert not HavingCount(Op.GE, 3).matches(2)
+        assert HavingCount(Op.LE, 3).matches(3)
+        assert HavingCount(Op.EQ, 3).matches(3)
+        assert not HavingCount(Op.EQ, 3).matches(4)
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            HavingCount(Op.BETWEEN, 3)
+
+
+class TestQueryValidation:
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ValueError):
+            Query(
+                select=(ColumnRef("person", "name"),),
+                tables=(TableRef("person"), TableRef("person")),
+            )
+
+    def test_same_table_distinct_aliases_allowed(self):
+        query = Query(
+            select=(ColumnRef("a", "name"),),
+            tables=(TableRef("person", "a"), TableRef("person", "b")),
+        )
+        assert query.alias_map() == {"a": "person", "b": "person"}
+
+    def test_select_unknown_alias_rejected(self):
+        with pytest.raises(ValueError):
+            simple_query(select=(ColumnRef("movie", "title"),))
+
+    def test_join_unknown_alias_rejected(self):
+        with pytest.raises(ValueError):
+            simple_query(
+                joins=(
+                    JoinCondition(
+                        ColumnRef("person", "id"), ColumnRef("castinfo", "pid")
+                    ),
+                )
+            )
+
+    def test_predicate_unknown_alias_rejected(self):
+        with pytest.raises(ValueError):
+            simple_query(
+                predicates=(Predicate(ColumnRef("movie", "year"), Op.EQ, 2000),)
+            )
+
+    def test_having_requires_group_by(self):
+        with pytest.raises(ValueError):
+            simple_query(having=HavingCount(Op.GE, 2))
+
+    def test_with_predicates_copies(self):
+        base = simple_query()
+        pred = Predicate(ColumnRef("person", "name"), Op.EQ, "Ann")
+        derived = base.with_predicates([pred])
+        assert derived.predicates == (pred,)
+        assert base.predicates == ()
+
+
+class TestJoinCondition:
+    def test_touches_and_sides(self):
+        join = JoinCondition(ColumnRef("a", "id"), ColumnRef("b", "aid"))
+        assert join.touches("a") and join.touches("b") and not join.touches("c")
+        assert join.other_side("a") == ColumnRef("b", "aid")
+        assert join.side_of("b") == ColumnRef("b", "aid")
+        with pytest.raises(ValueError):
+            join.other_side("c")
+
+
+class TestIntersectQuery:
+    def test_requires_two_blocks(self):
+        with pytest.raises(ValueError):
+            IntersectQuery((simple_query(),))
+
+    def test_requires_equal_arity(self):
+        q1 = simple_query()
+        q2 = Query(
+            select=(ColumnRef("person", "name"), ColumnRef("person", "name")),
+            tables=(TableRef("person"),),
+        )
+        with pytest.raises(ValueError):
+            IntersectQuery((q1, q2))

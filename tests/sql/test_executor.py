@@ -1,0 +1,322 @@
+"""Integration tests for the SPJ(A, intersect) executor on tiny databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.errors import QueryError
+from repro.sql import (
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+    execute,
+)
+
+
+def col(table, column):
+    return ColumnRef(table, column)
+
+
+class TestSingleTable:
+    def test_project_all(self, people_db):
+        query = Query(select=(col("person", "name"),), tables=(TableRef("person"),))
+        result = execute(people_db, query)
+        assert len(result) == 6
+        assert result.columns == ("person.name",)
+
+    def test_eq_predicate(self, people_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(Predicate(col("person", "gender"), Op.EQ, "Male"),),
+        )
+        assert sorted(execute(people_db, query).single_column()) == [
+            "Clint Eastwood",
+            "Tom Cruise",
+            "Tom Hanks",
+        ]
+
+    def test_between_predicate(self, people_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(Predicate(col("person", "age"), Op.BETWEEN, (50, 90)),),
+        )
+        assert len(execute(people_db, query)) == 5
+
+    def test_conjunction(self, people_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(
+                Predicate(col("person", "gender"), Op.EQ, "Male"),
+                Predicate(col("person", "age"), Op.BETWEEN, (50, 90)),
+            ),
+        )
+        assert len(execute(people_db, query)) == 3
+
+    def test_in_predicate(self, people_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(
+                Predicate(col("person", "age"), Op.IN, frozenset({29, 90})),
+            ),
+        )
+        assert sorted(execute(people_db, query).single_column()) == [
+            "Clint Eastwood",
+            "Emma Stone",
+        ]
+
+    def test_empty_result(self, people_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(Predicate(col("person", "age"), Op.GE, 1000),),
+        )
+        assert len(execute(people_db, query)) == 0
+
+    def test_distinct(self, people_db):
+        query = Query(
+            select=(col("person", "gender"),),
+            tables=(TableRef("person"),),
+        )
+        assert sorted(execute(people_db, query).single_column()) == ["Female", "Male"]
+
+    def test_no_distinct(self, people_db):
+        query = Query(
+            select=(col("person", "gender"),),
+            tables=(TableRef("person"),),
+            distinct=False,
+        )
+        assert len(execute(people_db, query)) == 6
+
+    def test_unknown_column_raises(self, people_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(Predicate(col("person", "bogus"), Op.EQ, 1),),
+        )
+        with pytest.raises(QueryError):
+            execute(people_db, query)
+
+    def test_unknown_table_raises(self, people_db):
+        query = Query(select=(col("movie", "title"),), tables=(TableRef("movie"),))
+        with pytest.raises(QueryError):
+            execute(people_db, query)
+
+
+class TestJoins:
+    def paper_q2(self):
+        """Q2 from Example 1.1: data management academics."""
+        return Query(
+            select=(col("academics", "name"),),
+            tables=(TableRef("academics"), TableRef("research")),
+            joins=(
+                JoinCondition(col("research", "aid"), col("academics", "id")),
+            ),
+            predicates=(
+                Predicate(col("research", "interest"), Op.EQ, "data management"),
+            ),
+        )
+
+    def test_key_fk_join_with_filter(self, academics_db):
+        result = execute(academics_db, self.paper_q2())
+        assert sorted(result.single_column()) == [
+            "Dan Suciu",
+            "Joseph Hellerstein",
+            "Sam Madden",
+        ]
+
+    def test_join_without_filter(self, academics_db):
+        query = Query(
+            select=(col("academics", "name"),),
+            tables=(TableRef("academics"), TableRef("research")),
+            joins=(JoinCondition(col("research", "aid"), col("academics", "id")),),
+        )
+        # every academic has at least one interest; DISTINCT collapses dups
+        assert len(execute(academics_db, query)) == 6
+
+    def test_three_way_join(self, mini_movies_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(
+                TableRef("person"),
+                TableRef("castinfo"),
+                TableRef("movie"),
+            ),
+            joins=(
+                JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                JoinCondition(col("castinfo", "movie_id"), col("movie", "id")),
+            ),
+            predicates=(Predicate(col("movie", "title"), Op.EQ, "Big Fish"),),
+        )
+        assert sorted(execute(mini_movies_db, query).single_column()) == [
+            "Ewan McGregor",
+            "Jim Carrey",
+            "Meryl Streep",
+        ]
+
+    def test_four_way_join_genre(self, mini_movies_db):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(
+                TableRef("person"),
+                TableRef("castinfo"),
+                TableRef("movietogenre"),
+                TableRef("genre"),
+            ),
+            joins=(
+                JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                JoinCondition(
+                    col("castinfo", "movie_id"), col("movietogenre", "movie_id")
+                ),
+                JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+            ),
+            predicates=(Predicate(col("genre", "name"), Op.EQ, "Action"),),
+        )
+        assert sorted(execute(mini_movies_db, query).single_column()) == [
+            "Arnold Schwarzenegger",
+            "Sylvester Stallone",
+        ]
+
+    def test_self_join_with_aliases(self, academics_db):
+        # academics with both data management AND distributed systems
+        query = Query(
+            select=(col("academics", "name"),),
+            tables=(
+                TableRef("academics"),
+                TableRef("research", "r1"),
+                TableRef("research", "r2"),
+            ),
+            joins=(
+                JoinCondition(col("r1", "aid"), col("academics", "id")),
+                JoinCondition(col("r2", "aid"), col("academics", "id")),
+            ),
+            predicates=(
+                Predicate(col("r1", "interest"), Op.EQ, "data management"),
+                Predicate(col("r2", "interest"), Op.EQ, "distributed systems"),
+            ),
+        )
+        assert sorted(execute(academics_db, query).single_column()) == [
+            "Joseph Hellerstein",
+            "Sam Madden",
+        ]
+
+    def test_cross_product_fallback(self, academics_db):
+        query = Query(
+            select=(col("academics", "name"), col("research", "interest")),
+            tables=(TableRef("academics"), TableRef("research")),
+        )
+        assert len(execute(academics_db, query)) == 6 * 5  # distinct pairs
+
+
+class TestAggregation:
+    def test_group_by_having(self, academics_db):
+        # academics with >= 2 research interests
+        query = Query(
+            select=(col("academics", "name"),),
+            tables=(TableRef("academics"), TableRef("research")),
+            joins=(JoinCondition(col("research", "aid"), col("academics", "id")),),
+            group_by=(col("academics", "id"),),
+            having=HavingCount(Op.GE, 2),
+        )
+        assert sorted(execute(academics_db, query).single_column()) == [
+            "Joseph Hellerstein",
+            "Sam Madden",
+        ]
+
+    def test_group_by_having_eq(self, academics_db):
+        query = Query(
+            select=(col("academics", "name"),),
+            tables=(TableRef("academics"), TableRef("research")),
+            joins=(JoinCondition(col("research", "aid"), col("academics", "id")),),
+            group_by=(col("academics", "id"),),
+            having=HavingCount(Op.EQ, 1),
+        )
+        assert len(execute(academics_db, query)) == 4
+
+    def test_group_by_with_predicate(self, mini_movies_db):
+        # persons with >= 2 comedy movies
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(
+                TableRef("person"),
+                TableRef("castinfo"),
+                TableRef("movietogenre"),
+                TableRef("genre"),
+            ),
+            joins=(
+                JoinCondition(col("castinfo", "person_id"), col("person", "id")),
+                JoinCondition(
+                    col("castinfo", "movie_id"), col("movietogenre", "movie_id")
+                ),
+                JoinCondition(col("movietogenre", "genre_id"), col("genre", "id")),
+            ),
+            predicates=(Predicate(col("genre", "name"), Op.EQ, "Comedy"),),
+            group_by=(col("person", "id"),),
+            having=HavingCount(Op.GE, 2),
+        )
+        assert sorted(execute(mini_movies_db, query).single_column()) == [
+            "Eddie Murphy",
+            "Jim Carrey",
+        ]
+
+
+class TestIntersect:
+    def block(self, interest):
+        return Query(
+            select=(col("academics", "name"),),
+            tables=(TableRef("academics"), TableRef("research")),
+            joins=(JoinCondition(col("research", "aid"), col("academics", "id")),),
+            predicates=(Predicate(col("research", "interest"), Op.EQ, interest),),
+        )
+
+    def test_intersection(self, academics_db):
+        query = IntersectQuery(
+            (self.block("data management"), self.block("distributed systems"))
+        )
+        result = execute(academics_db, query)
+        assert sorted(result.single_column()) == [
+            "Joseph Hellerstein",
+            "Sam Madden",
+        ]
+
+    def test_empty_intersection(self, academics_db):
+        query = IntersectQuery(
+            (self.block("algorithms"), self.block("data management"))
+        )
+        assert len(execute(academics_db, query)) == 0
+
+    def test_three_way(self, academics_db):
+        query = IntersectQuery(
+            (
+                self.block("data management"),
+                self.block("distributed systems"),
+                self.block("data management"),
+            )
+        )
+        assert len(execute(academics_db, query)) == 2
+
+
+class TestResultSet:
+    def test_single_column_requires_one(self, academics_db):
+        query = Query(
+            select=(col("academics", "id"), col("academics", "name")),
+            tables=(TableRef("academics"),),
+        )
+        result = execute(academics_db, query)
+        with pytest.raises(QueryError):
+            result.single_column()
+
+    def test_as_set(self, academics_db):
+        query = Query(
+            select=(col("academics", "name"),), tables=(TableRef("academics"),)
+        )
+        result = execute(academics_db, query)
+        assert ("Dan Suciu",) in result.as_set()

@@ -1,0 +1,155 @@
+"""Edge-case tests for the executor: empty inputs, NULLs, degenerate joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import ColumnDef, ColumnType, Database, TableSchema
+from repro.sql import (
+    ColumnRef,
+    HavingCount,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+    execute,
+)
+
+INT = ColumnType.INT
+TEXT = ColumnType.TEXT
+
+
+def make_db(parent_rows, child_rows):
+    db = Database("edge")
+    db.create_table(
+        TableSchema(
+            "parent",
+            [ColumnDef("id", INT, nullable=False), ColumnDef("tag", TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "child",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("parent_id", INT),
+                ColumnDef("score", INT),
+            ],
+            primary_key="id",
+        )
+    )
+    db.bulk_load("parent", parent_rows)
+    db.bulk_load("child", child_rows)
+    return db
+
+
+class TestEmptyInputs:
+    def test_empty_table_scan(self):
+        db = make_db([], [])
+        query = Query(select=(ColumnRef("parent", "id"),), tables=(TableRef("parent"),))
+        assert len(execute(db, query)) == 0
+
+    def test_join_with_empty_side(self):
+        db = make_db([(1, "a")], [])
+        query = Query(
+            select=(ColumnRef("parent", "id"),),
+            tables=(TableRef("parent"), TableRef("child")),
+            joins=(
+                JoinCondition(
+                    ColumnRef("child", "parent_id"), ColumnRef("parent", "id")
+                ),
+            ),
+        )
+        assert len(execute(db, query)) == 0
+
+    def test_group_by_over_empty(self):
+        db = make_db([], [])
+        query = Query(
+            select=(ColumnRef("parent", "id"),),
+            tables=(TableRef("parent"),),
+            group_by=(ColumnRef("parent", "id"),),
+            having=HavingCount(Op.GE, 1),
+        )
+        assert len(execute(db, query)) == 0
+
+
+class TestNullSemantics:
+    def test_null_join_key_never_matches(self):
+        db = make_db([(1, "a")], [(1, None, 5), (2, 1, 7)])
+        query = Query(
+            select=(ColumnRef("child", "id"),),
+            tables=(TableRef("parent"), TableRef("child")),
+            joins=(
+                JoinCondition(
+                    ColumnRef("child", "parent_id"), ColumnRef("parent", "id")
+                ),
+            ),
+        )
+        assert execute(db, query).single_column() == [2]
+
+    def test_null_fails_all_predicates(self):
+        db = make_db([(1, None), (2, "b")], [])
+        query = Query(
+            select=(ColumnRef("parent", "id"),),
+            tables=(TableRef("parent"),),
+            predicates=(Predicate(ColumnRef("parent", "tag"), Op.EQ, "b"),),
+        )
+        assert execute(db, query).single_column() == [2]
+
+    def test_null_fails_range(self):
+        db = make_db([], [(1, 1, None), (2, 1, 5)])
+        query = Query(
+            select=(ColumnRef("child", "id"),),
+            tables=(TableRef("child"),),
+            predicates=(
+                Predicate(ColumnRef("child", "score"), Op.BETWEEN, (0, 10)),
+            ),
+        )
+        assert execute(db, query).single_column() == [2]
+
+
+class TestDegenerateJoins:
+    def test_join_column_to_itself_via_aliases(self):
+        db = make_db([(1, "a"), (2, "a"), (3, "b")], [])
+        # parents sharing a tag (self equi-join on a non-key column)
+        query = Query(
+            select=(ColumnRef("p1", "id"), ColumnRef("p2", "id")),
+            tables=(TableRef("parent", "p1"), TableRef("parent", "p2")),
+            joins=(JoinCondition(ColumnRef("p1", "tag"), ColumnRef("p2", "tag")),),
+        )
+        result = execute(db, query)
+        pairs = set(result.rows)
+        assert (1, 2) in pairs and (2, 1) in pairs and (3, 3) in pairs
+        assert (1, 3) not in pairs
+
+    def test_having_le_counts(self):
+        db = make_db(
+            [(1, "a"), (2, "b")],
+            [(1, 1, 5), (2, 1, 6), (3, 2, 7)],
+        )
+        query = Query(
+            select=(ColumnRef("parent", "id"),),
+            tables=(TableRef("parent"), TableRef("child")),
+            joins=(
+                JoinCondition(
+                    ColumnRef("child", "parent_id"), ColumnRef("parent", "id")
+                ),
+            ),
+            group_by=(ColumnRef("parent", "id"),),
+            having=HavingCount(Op.LE, 1),
+        )
+        assert execute(db, query).single_column() == [2]
+
+    def test_duplicate_join_conditions_execute(self):
+        db = make_db([(1, "a")], [(1, 1, 5)])
+        join = JoinCondition(
+            ColumnRef("child", "parent_id"), ColumnRef("parent", "id")
+        )
+        query = Query(
+            select=(ColumnRef("parent", "id"),),
+            tables=(TableRef("parent"), TableRef("child")),
+            joins=(join, join),
+        )
+        assert execute(db, query).single_column() == [1]

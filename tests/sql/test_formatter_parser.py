@@ -1,0 +1,288 @@
+"""Tests for SQL rendering, predicate counting, and the round-trip parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.errors import QueryError
+from repro.sql import (
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+    count_join_predicates,
+    count_predicates,
+    count_selection_predicates,
+    format_query,
+    format_value,
+    parse_query,
+)
+
+
+def col(table, column):
+    return ColumnRef(table, column)
+
+
+def paper_q2() -> Query:
+    return Query(
+        select=(col("academics", "name"),),
+        tables=(TableRef("academics"), TableRef("research")),
+        joins=(JoinCondition(col("research", "aid"), col("academics", "id")),),
+        predicates=(
+            Predicate(col("research", "interest"), Op.EQ, "data management"),
+        ),
+        distinct=False,
+    )
+
+
+def paper_q5() -> Query:
+    """Q5 on the αDB from Example 2.2."""
+    return Query(
+        select=(col("person", "name"),),
+        tables=(
+            TableRef("person"),
+            TableRef("persontogenre"),
+            TableRef("genre"),
+        ),
+        joins=(
+            JoinCondition(col("person", "id"), col("persontogenre", "person_id")),
+            JoinCondition(col("persontogenre", "genre_id"), col("genre", "id")),
+        ),
+        predicates=(
+            Predicate(col("genre", "name"), Op.EQ, "Comedy"),
+            Predicate(col("persontogenre", "count"), Op.GE, 40),
+        ),
+        distinct=False,
+    )
+
+
+class TestFormatValue:
+    def test_string_quoted_and_escaped(self):
+        assert format_value("Comedy") == "'Comedy'"
+        assert format_value("O'Brien") == "'O''Brien'"
+
+    def test_ints_and_floats(self):
+        assert format_value(40) == "40"
+        assert format_value(2.5) == "2.5"
+        assert format_value(2.0) == "2"
+
+    def test_bools(self):
+        assert format_value(True) == "TRUE"
+        assert format_value(False) == "FALSE"
+
+
+class TestFormatQuery:
+    def test_q2_text(self):
+        text = format_query(paper_q2())
+        assert "SELECT academics.name" in text
+        assert "FROM academics, research" in text
+        assert "research.aid = academics.id" in text
+        assert "research.interest = 'data management'" in text
+
+    def test_q5_text(self):
+        text = format_query(paper_q5())
+        assert "persontogenre.count >= 40" in text
+
+    def test_between_renders_two_atoms(self):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(Predicate(col("person", "age"), Op.BETWEEN, (50, 90)),),
+        )
+        text = format_query(query)
+        assert "person.age >= 50" in text and "person.age <= 90" in text
+
+    def test_group_by_having(self):
+        query = Query(
+            select=(col("person", "name"),),
+            tables=(TableRef("person"), TableRef("castinfo")),
+            joins=(JoinCondition(col("castinfo", "person_id"), col("person", "id")),),
+            group_by=(col("person", "id"),),
+            having=HavingCount(Op.GE, 40),
+        )
+        text = format_query(query)
+        assert "GROUP BY person.id" in text
+        assert "HAVING count(*) >= 40" in text
+
+    def test_alias_rendering(self):
+        query = Query(
+            select=(col("pg1", "count"),),
+            tables=(TableRef("persontogenre", "pg1"),),
+        )
+        assert "FROM persontogenre pg1" in format_query(query)
+
+    def test_intersect_rendering(self):
+        query = IntersectQuery((paper_q2(), paper_q2()))
+        assert "INTERSECT" in format_query(query)
+
+
+class TestCounting:
+    def test_q2_counts(self):
+        assert count_join_predicates(paper_q2()) == 1
+        assert count_selection_predicates(paper_q2()) == 1
+        assert count_predicates(paper_q2()) == 2
+
+    def test_between_counts_two(self):
+        query = Query(
+            select=(col("p", "name"),),
+            tables=(TableRef("person", "p"),),
+            predicates=(Predicate(col("p", "age"), Op.BETWEEN, (1, 2)),),
+        )
+        assert count_selection_predicates(query) == 2
+
+    def test_having_counts_one(self):
+        query = Query(
+            select=(col("p", "name"),),
+            tables=(TableRef("person", "p"),),
+            group_by=(col("p", "id"),),
+            having=HavingCount(Op.GE, 3),
+        )
+        assert count_selection_predicates(query) == 1
+
+    def test_intersect_sums(self):
+        query = IntersectQuery((paper_q2(), paper_q2()))
+        assert count_predicates(query) == 4
+
+
+class TestParser:
+    def test_parse_simple(self):
+        query = parse_query("SELECT person.name FROM person")
+        assert isinstance(query, Query)
+        assert query.select == (col("person", "name"),)
+        assert not query.distinct
+
+    def test_parse_distinct(self):
+        query = parse_query("SELECT DISTINCT name FROM adult")
+        assert query.distinct
+        assert query.select == (col("adult", "name"),)
+
+    def test_parse_unqualified_columns_get_table_alias(self):
+        query = parse_query(
+            "SELECT DISTINCT name FROM adult WHERE age >= 40 AND age <= 44"
+        )
+        assert query.predicates == (
+            Predicate(col("adult", "age"), Op.BETWEEN, (40, 44)),
+        )
+
+    def test_parse_join_vs_predicate(self):
+        query = parse_query(
+            "SELECT academics.name FROM academics, research "
+            "WHERE research.aid = academics.id "
+            "AND research.interest = 'data management'"
+        )
+        assert len(query.joins) == 1
+        assert len(query.predicates) == 1
+
+    def test_parse_alias(self):
+        query = parse_query(
+            "SELECT p.name FROM person p, persontogenre pg "
+            "WHERE p.id = pg.person_id AND pg.count >= 40"
+        )
+        assert query.tables == (TableRef("person", "p"), TableRef("persontogenre", "pg"))
+
+    def test_parse_group_by_having(self):
+        query = parse_query(
+            "SELECT person.name FROM person, castinfo "
+            "WHERE castinfo.person_id = person.id "
+            "GROUP BY person.id HAVING count(*) >= 40"
+        )
+        assert query.group_by == (col("person", "id"),)
+        assert query.having == HavingCount(Op.GE, 40)
+
+    def test_parse_in(self):
+        query = parse_query(
+            "SELECT person.name FROM person WHERE person.gender IN ('Male', 'Female')"
+        )
+        assert query.predicates[0].op is Op.IN
+        assert query.predicates[0].value == frozenset({"Male", "Female"})
+
+    def test_parse_between(self):
+        query = parse_query(
+            "SELECT person.name FROM person WHERE person.age BETWEEN 50 AND 90"
+        )
+        assert query.predicates[0].op is Op.BETWEEN
+        assert query.predicates[0].value == (50, 90)
+
+    def test_parse_intersect(self):
+        query = parse_query(
+            "SELECT a.name FROM academics a INTERSECT SELECT b.name FROM academics b"
+        )
+        assert isinstance(query, IntersectQuery)
+        assert len(query.blocks) == 2
+
+    def test_parse_string_escape(self):
+        query = parse_query(
+            "SELECT person.name FROM person WHERE person.name = 'O''Brien'"
+        )
+        assert query.predicates[0].value == "O'Brien"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            parse_query("SELEKT foo FROM bar")
+        with pytest.raises(QueryError):
+            parse_query("SELECT a.b FROM t WHERE ???")
+
+    def test_parse_rejects_trailing(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT person.name FROM person extra garbage tokens =")
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT person.name FROM person",
+        "SELECT DISTINCT adult.name FROM adult WHERE adult.age >= 40",
+        (
+            "SELECT academics.name FROM academics, research "
+            "WHERE research.aid = academics.id AND research.interest = 'x'"
+        ),
+        (
+            "SELECT person.name FROM person, persontogenre pg1 "
+            "WHERE person.id = pg1.person_id AND pg1.count >= 40"
+        ),
+        (
+            "SELECT person.name FROM person, castinfo "
+            "WHERE castinfo.person_id = person.id "
+            "GROUP BY person.id HAVING count(*) >= 3"
+        ),
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        query = parse_query(text)
+        assert parse_query(format_query(query)) == query
+
+    def test_round_trip_executes_identically(self, academics_db):
+        from repro.sql import execute
+
+        query = paper_q2()
+        reparsed = parse_query(format_query(query))
+        original = execute(academics_db, query)
+        again = execute(academics_db, reparsed)
+        assert original.rows == again.rows
+
+    @given(
+        low=st.integers(-50, 50),
+        span=st.integers(0, 50),
+        name=st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll"), max_codepoint=127),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_predicates(self, low, span, name):
+        query = Query(
+            select=(col("t", "a"),),
+            tables=(TableRef("t"),),
+            predicates=(
+                Predicate(col("t", "a"), Op.BETWEEN, (low, low + span)),
+                Predicate(col("t", "b"), Op.EQ, name),
+            ),
+        )
+        assert parse_query(format_query(query)) == query

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_args(self):
+        args = build_parser().parse_args(
+            ["discover", "--dataset", "imdb", "--examples", "A;B"]
+        )
+        assert args.dataset == "imdb"
+        assert args.examples == "A;B"
+        assert args.profile == "small"
+
+    def test_recommend_flag(self):
+        args = build_parser().parse_args(
+            ["discover", "--dataset", "imdb", "--examples", "A", "--recommend", "3"]
+        )
+        assert args.recommend == 3
+
+
+class TestCommands:
+    def test_workloads_adult(self, capsys):
+        assert main(["workloads", "--dataset", "adult"]) == 0
+        out = capsys.readouterr().out
+        assert "AQ1" in out and "cardinality" in out
+
+    def test_stats_adult(self, capsys):
+        assert main(["stats", "--dataset", "adult"]) == 0
+        out = capsys.readouterr().out
+        assert "derived_relations" in out
+
+    def test_discover_on_adult(self, capsys):
+        code = main(
+            [
+                "discover",
+                "--dataset",
+                "adult",
+                "--examples",
+                "Resident 000001;Resident 000002",
+                "--limit",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "abduced query" in out
+        assert "SELECT" in out
+
+    def test_discover_empty_examples_fails(self, capsys):
+        assert main(["discover", "--dataset", "adult", "--examples", " ; "]) == 2
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["workloads", "--dataset", "nope"])
