@@ -1,0 +1,106 @@
+"""Per-backend end-to-end discovery latency (smoke comparison).
+
+One αDB per dataset is shared across engines; each backend then serves
+the same workload sweep — discover from sampled examples, then
+materialise the abduced query's result keys — with the query-result cache
+disabled so every execution is cold.  The emitted table is the smoke
+signal the CI benchmark job prints; no thresholds are enforced here, but
+the vectorized engine is expected to lead the interpreted one on the
+IMDb/DBLP-scale datasets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.core import SquidSystem
+from repro.core.lookup import ExampleLookupError
+from repro.eval import emit, format_table
+from repro.eval.sampling import sample_example_sets
+from repro.sql import available_backends
+
+NUM_EXAMPLES = 8
+SEED = 23
+
+
+def _sweep(squid: SquidSystem, registry) -> List[float]:
+    """Per-workload end-to-end seconds: discover + materialise keys."""
+    times: List[float] = []
+    for workload in registry:
+        values = workload.ground_truth_examples(squid.adb.db)
+        for examples in sample_example_sets(values, NUM_EXAMPLES, 1, SEED):
+            try:
+                start = time.perf_counter()
+                result = squid.discover(examples)
+                squid.result_keys(result)
+                times.append(time.perf_counter() - start)
+            except ExampleLookupError:
+                continue
+    return times
+
+
+def _compare(adb, registry, dataset: str) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for backend_name in available_backends():
+        squid = SquidSystem(adb, backend=backend_name, cache_size=0)
+        times = _sweep(squid, registry)
+        rows.append(
+            {
+                "dataset": dataset,
+                "backend": backend_name,
+                "runs": len(times),
+                "mean_ms": round(1000 * sum(times) / max(1, len(times)), 2),
+                "total_s": round(sum(times), 3),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="backend")
+def test_backend_discovery_latency(
+    benchmark, imdb_squid, imdb_registry, dblp_squid, dblp_registry
+):
+    def run():
+        rows = _compare(imdb_squid.adb, imdb_registry, "imdb")
+        rows += _compare(dblp_squid.adb, dblp_registry, "dblp")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "backend_latency",
+        format_table(
+            rows, title="Per-backend end-to-end discovery latency (cache off)"
+        ),
+    )
+    by_backend = {(r["dataset"], r["backend"]): r for r in rows}
+    assert all(r["runs"] > 0 for r in rows)
+    for dataset in ("imdb", "dblp"):
+        vec = by_backend[(dataset, "vectorized")]["total_s"]
+        interp = by_backend[(dataset, "interpreted")]["total_s"]
+        print(
+            f"[{dataset}] vectorized {vec}s vs interpreted {interp}s "
+            f"({'faster' if vec < interp else 'slower'})"
+        )
+
+
+@pytest.mark.benchmark(group="backend")
+def test_query_cache_effectiveness(benchmark, imdb_squid, imdb_registry):
+    """Re-running the same workload sweep should be mostly cache hits."""
+
+    def run():
+        squid = SquidSystem(imdb_squid.adb, cache_size=512)
+        _sweep(squid, imdb_registry)
+        cold = squid.cache_stats()["misses"]
+        _sweep(squid, imdb_registry)
+        stats = squid.cache_stats()
+        return {"cold_misses": cold, **stats}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "backend_cache",
+        format_table([stats], title="Query-result cache effectiveness"),
+    )
+    assert stats["hits"] > 0

@@ -20,6 +20,7 @@ from .core.config import SquidConfig
 from .core.recommend import recommend_examples
 from .core.squid import SquidSystem
 from .datasets import adult, dblp, imdb
+from .sql.engine import DEFAULT_BACKEND, available_backends
 from .eval.reporting import format_table
 from .workloads import adult_queries, dblp_queries, imdb_queries
 
@@ -49,7 +50,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     if not examples:
         print("no examples given (use --examples 'A;B;C')", file=sys.stderr)
         return 2
-    config = SquidConfig(rho=args.rho, tau_a=args.tau_a)
+    config = SquidConfig(rho=args.rho, tau_a=args.tau_a, backend=args.backend)
     start = time.perf_counter()
     squid = SquidSystem.build(db, metadata, config)
     build_seconds = time.perf_counter() - start
@@ -59,7 +60,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     discover_seconds = time.perf_counter() - start
 
     print(f"offline αDB build: {build_seconds:.2f}s; discovery: "
-          f"{discover_seconds * 1000:.1f}ms\n")
+          f"{discover_seconds * 1000:.1f}ms "
+          f"[backend: {squid.backend_name}]\n")
     print(result.explain())
     print("\nabduced query (αDB form):")
     print(result.sql)
@@ -125,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--limit", type=int, default=25)
     discover.add_argument("--recommend", type=int, default=0,
                           help="also suggest N further examples")
+    discover.add_argument("--backend", choices=available_backends(),
+                          default=DEFAULT_BACKEND,
+                          help="query execution engine")
     discover.set_defaults(func=_cmd_discover)
 
     workloads = sub.add_parser("workloads", help="list benchmark queries")

@@ -90,7 +90,10 @@ class AbductionReadyDatabase:
         """Run the full offline pipeline over ``database``.
 
         The database is augmented in place with derived relations (as the
-        paper's αDB augments the original database).
+        paper's αDB augments the original database).  Statistics
+        computation runs on the vectorized path: it reads the relation
+        layer's cached numpy column arrays and reduces them with the same
+        kernels the vectorized execution backend uses.
         """
         config = config or SquidConfig()
 

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..sql.engine import DEFAULT_BACKEND, DEFAULT_CACHE_SIZE, available_backends
+
 
 @dataclass(frozen=True)
 class SquidConfig:
@@ -94,6 +96,19 @@ class SquidConfig:
     """Soft cap: above this many examples a ValueError is raised (QBE
     users provide few examples; this guards against misuse)."""
 
+    # --- execution backend -----------------------------------------------
+    backend: str = DEFAULT_BACKEND
+    """Execution backend for αDB queries: ``interpreted`` (the reference
+    row-at-a-time engine), ``vectorized`` (numpy kernels over cached
+    column arrays; the default), or ``sqlite`` (an in-memory SQLite
+    mirror)."""
+
+    query_cache_size: int = DEFAULT_CACHE_SIZE
+    """LRU entries of the shared query-result cache keyed on formatted
+    SQL (0 disables caching).  The Occam's-razor pruning pass and
+    evaluation reruns re-execute identical queries; the cache makes those
+    repeats free."""
+
     def __post_init__(self) -> None:
         if not 0.0 < self.rho < 1.0:
             raise ValueError(f"rho must be in (0, 1), got {self.rho}")
@@ -107,6 +122,15 @@ class SquidConfig:
             raise ValueError(f"outlier_k must be >= 0, got {self.outlier_k}")
         if self.max_fact_depth not in (1, 2):
             raise ValueError("max_fact_depth must be 1 or 2")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {', '.join(available_backends())}, "
+                f"got {self.backend!r}"
+            )
+        if self.query_cache_size < 0:
+            raise ValueError(
+                f"query_cache_size must be >= 0, got {self.query_cache_size}"
+            )
 
     def with_overrides(self, **kwargs) -> "SquidConfig":
         """A copy of this config with selected fields replaced."""

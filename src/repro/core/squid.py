@@ -24,8 +24,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..relational.database import Database
 from ..sql.ast import AnyQuery, Query
-from ..sql.executor import Executor, ResultSet
+from ..sql.engine import CachingBackend, ExecutionBackend, create_backend
 from ..sql.formatter import format_query
+from ..sql.result import ResultSet
 from .abduction import AbductionResult, abduce
 from .adb import AbductionReadyDatabase
 from .base_query import build_adb_query, build_base_query, build_original_query
@@ -57,6 +58,14 @@ class DiscoveryTimings:
             + self.construction_seconds
         )
 
+    def accumulate(self, other: "DiscoveryTimings") -> None:
+        """Add ``other``'s per-stage times (lookup excluded: it is shared
+        across candidate base queries and counted once by the caller)."""
+        self.disambiguation_seconds += other.disambiguation_seconds
+        self.context_seconds += other.context_seconds
+        self.abduction_seconds += other.abduction_seconds
+        self.construction_seconds += other.construction_seconds
+
 
 @dataclass
 class DiscoveryResult:
@@ -77,8 +86,14 @@ class DiscoveryResult:
     """Equivalent SPJAI query over the original schema (Q4 form)."""
 
     timings: DiscoveryTimings
+    """Wall-clock of *this* candidate's pipeline (lookup is shared)."""
+
     disambiguation: Optional[DisambiguationResult] = None
     log_posterior: float = 0.0
+
+    aggregate_timings: Optional[DiscoveryTimings] = None
+    """Set on the winning result only: total time across *all* candidate
+    base queries, including the ones that lost the posterior comparison."""
 
     @property
     def sql(self) -> str:
@@ -107,11 +122,24 @@ class DiscoveryResult:
 
 
 class SquidSystem:
-    """The full system: offline αDB plus the online discovery pipeline."""
+    """The full system: offline αDB plus the online discovery pipeline.
 
-    def __init__(self, adb: AbductionReadyDatabase) -> None:
+    Every query the system issues — pruning probes, result
+    materialisation, evaluation reruns — goes through one pluggable
+    :class:`~repro.sql.engine.ExecutionBackend`, wrapped in the shared
+    query-result cache when the configuration enables it.
+    """
+
+    def __init__(
+        self,
+        adb: AbductionReadyDatabase,
+        backend: Optional[str] = None,
+        cache_size: Optional[int] = None,
+    ) -> None:
         self.adb = adb
-        self._executor = Executor(adb.db)
+        name = backend or adb.config.backend
+        size = adb.config.query_cache_size if cache_size is None else cache_size
+        self._backend = create_backend(name, adb.db, cache_size=size)
 
     # ------------------------------------------------------------------
     # construction
@@ -122,15 +150,26 @@ class SquidSystem:
         database: Database,
         metadata: AdbMetadata,
         config: Optional[SquidConfig] = None,
+        backend: Optional[str] = None,
     ) -> "SquidSystem":
         """Run the offline module and return a ready system."""
         adb = AbductionReadyDatabase.build(database, metadata, config)
-        return cls(adb)
+        return cls(adb, backend=backend)
 
     @property
     def config(self) -> SquidConfig:
         """The active configuration."""
         return self.adb.config
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The active execution backend (possibly cache-wrapped)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the engine executing this system's queries."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # online pipeline
@@ -148,18 +187,23 @@ class SquidSystem:
                 f"{len(examples)} examples provided; QBE expects few "
                 f"(cap: {config.max_example_warn})"
             )
-        timings = DiscoveryTimings()
-
         start = time.perf_counter()
         matches = lookup_examples(self.adb, examples)
-        timings.lookup_seconds = time.perf_counter() - start
+        lookup_seconds = time.perf_counter() - start
 
+        # Each candidate base query gets its own timings (lookup is shared
+        # and attributed to every candidate); the aggregate over all
+        # candidates — including the losers — is reported separately.
+        aggregate = DiscoveryTimings(lookup_seconds=lookup_seconds)
         best: Optional[DiscoveryResult] = None
         for match in matches:
+            timings = DiscoveryTimings(lookup_seconds=lookup_seconds)
             candidate = self._discover_for_match(match, config, timings)
+            aggregate.accumulate(timings)
             if best is None or candidate.log_posterior > best.log_posterior:
                 best = candidate
         assert best is not None
+        best.aggregate_timings = aggregate
         return best
 
     def _discover_for_match(
@@ -212,14 +256,14 @@ class SquidSystem:
         query, so the pass costs O(|ϕ|) executions.
         """
         current = list(selected)
-        baseline = self._executor.execute(
+        baseline = self._backend.execute(
             build_adb_query(self.adb, entity, current, select_key=True)
         ).as_set()
         for filt in sorted(selected, key=lambda f: -f.selectivity):
             if len(current) <= 1:
                 break
             trial = [f for f in current if f is not filt]
-            result = self._executor.execute(
+            result = self._backend.execute(
                 build_adb_query(self.adb, entity, trial, select_key=True)
             ).as_set()
             if result == baseline:
@@ -229,15 +273,27 @@ class SquidSystem:
     # ------------------------------------------------------------------
     # execution helpers
     # ------------------------------------------------------------------
-    def execute(self, query: AnyQuery) -> ResultSet:
-        """Run any query against the αDB."""
-        return self._executor.execute(query)
+    def execute(self, query: AnyQuery, *, cached: bool = True) -> ResultSet:
+        """Run any query against the αDB through the active backend.
+
+        ``cached=False`` bypasses the shared result cache (timing
+        measurements want cold executions).
+        """
+        if not cached and isinstance(self._backend, CachingBackend):
+            return self._backend.execute_uncached(query)
+        return self._backend.execute(query)
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss counters of the query-result cache (None if disabled)."""
+        if isinstance(self._backend, CachingBackend):
+            return self._backend.cache.stats()
+        return None
 
     def result_keys(self, result: DiscoveryResult) -> set:
         """Entity keys returned by the abduced query."""
-        rows = self._executor.execute(result.keyed_query).rows
+        rows = self._backend.execute(result.keyed_query).rows
         return {row[0] for row in rows}
 
     def result_values(self, result: DiscoveryResult) -> List[Any]:
         """Display-attribute values returned by the abduced query."""
-        return self._executor.execute(result.query).single_column()
+        return self._backend.execute(result.query).single_column()

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..relational.database import Database
+from ..sql.engine.kernels import factorize
 from .properties import FamilyKind, PropertyFamily
 
 
@@ -176,24 +177,30 @@ def compute_statistics(
 def _numeric_stats(
     database: Database, family: PropertyFamily, entity_count: int
 ) -> NumericStats:
-    values = [
-        v
-        for v in database.relation(family.entity).column(family.column)
-        if v is not None
-    ]
-    arr = np.sort(np.asarray(values, dtype=float)) if values else np.empty(0)
-    return NumericStats(entity_count=entity_count, sorted_values=arr)
+    arr = database.relation(family.entity).column_array(family.column)
+    values = arr.values[arr.mask]
+    if values.size and values.dtype == object:  # int64-overflow fallback
+        values = np.asarray([float(v) for v in values.tolist()])
+    sorted_values = (
+        np.sort(values.astype(float, copy=False)) if values.size else np.empty(0)
+    )
+    return NumericStats(entity_count=entity_count, sorted_values=sorted_values)
 
 
 def _direct_categorical_stats(
     database: Database, family: PropertyFamily, entity_count: int
 ) -> CategoricalStats:
     column = family.column if family.kind is FamilyKind.DIRECT_CATEGORICAL else family.fk_column
+    arr = database.relation(family.entity).column_array(column)
+    values = arr.values[arr.mask]
     counts: Dict[Any, int] = {}
-    for value in database.relation(family.entity).column(column):
-        if value is None:
-            continue
-        counts[value] = counts.get(value, 0) + 1
+    try:
+        uniq, uniq_counts = np.unique(values, return_counts=True)
+    except TypeError:  # mixed incomparable object values
+        for value in values.tolist():
+            counts[value] = counts.get(value, 0) + 1
+    else:
+        counts = dict(zip(uniq.tolist(), (int(c) for c in uniq_counts)))
     return CategoricalStats(entity_count=entity_count, value_counts=counts)
 
 
@@ -202,21 +209,30 @@ def _fact_dim_stats(
 ) -> CategoricalStats:
     """Entities per associated value: count *distinct* entities."""
     fact = database.relation(family.fact_table)
-    entity_col = fact.column(family.fact_entity_col)
+    entity_arr = fact.column_array(family.fact_entity_col)
     value_column = (
         family.fact_dim_col
         if family.kind is FamilyKind.FACT_DIM
         else family.column
     )
-    dim_col = fact.column(value_column)
-    seen: set = set()
+    dim_arr = fact.column_array(value_column)
+    present = entity_arr.mask & dim_arr.mask
+    entity_codes, entity_uniques = factorize(entity_arr.values, present)
+    dim_codes, dim_uniques = factorize(dim_arr.values, present)
+    kd = len(dim_uniques)
     counts: Dict[Any, int] = {}
-    for rid in fact.row_ids():
-        e, d = entity_col[rid], dim_col[rid]
-        if e is None or d is None or (e, d) in seen:
-            continue
-        seen.add((e, d))
-        counts[d] = counts.get(d, 0) + 1
+    if kd:
+        valid = np.nonzero(present)[0]
+        # Distinct (entity, value) pairs via composite codes, then a
+        # bincount over each pair's value code.
+        composite = entity_codes[valid] * np.int64(kd) + dim_codes[valid]
+        unique_pairs = np.unique(composite)
+        per_value = np.bincount(unique_pairs % kd, minlength=kd)
+        counts = {
+            dim_uniques[code]: int(n)
+            for code, n in enumerate(per_value)
+            if n
+        }
     return CategoricalStats(entity_count=entity_count, value_counts=counts)
 
 
@@ -224,13 +240,20 @@ def _derived_stats(
     database: Database, family: PropertyFamily, entity_count: int
 ) -> DerivedStats:
     relation = database.relation(family.derived_table)
-    value_col = relation.column(family.derived_value_col)
-    count_col = relation.column("count")
-    buckets: Dict[Any, List[float]] = {}
-    for rid in relation.row_ids():
-        buckets.setdefault(value_col[rid], []).append(float(count_col[rid]))
-    strengths = {
-        value: np.sort(np.asarray(thetas, dtype=float))
-        for value, thetas in buckets.items()
-    }
+    value_arr = relation.column_array(family.derived_value_col)
+    count_arr = relation.column_array("count")
+    codes, uniques = factorize(value_arr.values, value_arr.mask)
+    strengths: Dict[Any, np.ndarray] = {}
+    valid = np.nonzero(codes >= 0)[0]
+    if valid.size:
+        theta = count_arr.values[valid].astype(float, copy=False)
+        order = np.argsort(codes[valid], kind="stable")
+        sorted_codes = codes[valid][order]
+        sorted_theta = theta[order]
+        boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+        chunk_starts = np.concatenate(([0], boundaries))
+        for start, chunk in zip(
+            chunk_starts, np.split(sorted_theta, boundaries)
+        ):
+            strengths[uniques[sorted_codes[start]]] = np.sort(chunk)
     return DerivedStats(entity_count=entity_count, strengths=strengths)

@@ -18,7 +18,6 @@ from ..core.lookup import ExampleLookupError
 from ..core.squid import SquidSystem
 from ..relational.database import Database
 from ..sql.counting import count_predicates
-from ..sql.executor import execute
 from ..workloads.registry import Workload, WorkloadRegistry
 from .metrics import Accuracy, accuracy, is_instance_equivalent, masked_accuracy
 from .sampling import sample_example_sets
@@ -151,12 +150,14 @@ def query_runtime_comparison(
             result = squid.discover(example_sets[0])
         except ExampleLookupError:
             continue
+        # Timing comparisons bypass the shared result cache so both sides
+        # measure a cold execution on the system's active backend.
         start = time.perf_counter()
-        squid.execute(result.query)
+        squid.execute(result.query, cached=False)
         abduced_seconds = time.perf_counter() - start
         if workload.query is not None:
             start = time.perf_counter()
-            execute(squid.adb.db, workload.query)
+            squid.execute(workload.query, cached=False)
             actual_seconds = time.perf_counter() - start
         else:
             start = time.perf_counter()

@@ -18,11 +18,12 @@ from .errors import (
 )
 from .indexes import CompositeHashIndex, HashIndex, SortedIndex
 from .inverted import InvertedColumnIndex, Posting
-from .relation import Relation
+from .relation import ColumnArray, Relation, SortedView
 from .schema import ColumnDef, DatabaseSchema, FkEdge, ForeignKey, TableSchema
 from .types import ColumnType, coerce_value, normalize_text
 
 __all__ = [
+    "ColumnArray",
     "ColumnDef",
     "ColumnType",
     "CompositeHashIndex",
@@ -39,6 +40,7 @@ __all__ = [
     "RelationalError",
     "SchemaError",
     "SortedIndex",
+    "SortedView",
     "TableSchema",
     "TypeCoercionError",
     "UnknownColumnError",

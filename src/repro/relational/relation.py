@@ -3,15 +3,52 @@
 A :class:`Relation` stores tuples column-wise in plain Python lists.  This
 keeps single-column scans (selectivity computation, aggregation) cheap and
 lets statistics code hand columns to numpy without a transpose.
+
+For the vectorized execution backend the relation additionally exposes
+cached numpy *array views* of its columns (:meth:`Relation.column_array`,
+:meth:`Relation.sorted_view`).  Views are built lazily on first use and
+invalidated whenever the relation mutates; the ``version`` counter (plus a
+process-unique ``uid``) lets downstream caches — the SQLite backend's
+loaded-table mirror, the shared query-result cache — detect staleness
+without subscribing to mutation events.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .errors import IntegrityError, SchemaError
 from .schema import TableSchema
-from .types import coerce_value
+from .types import ColumnType, coerce_value
+
+_RELATION_UIDS = itertools.count()
+
+
+class ColumnArray(NamedTuple):
+    """A numpy view of one column: values plus a non-NULL mask.
+
+    ``values`` is ``int64``/``float64`` for numeric columns (NULL slots
+    hold a fill value — 0 / NaN — and must be ignored via ``mask``) and
+    ``object`` otherwise.  ``mask[i]`` is True iff row ``i`` is non-NULL.
+    """
+
+    values: np.ndarray
+    mask: np.ndarray
+
+
+class SortedView(NamedTuple):
+    """Non-NULL column values in ascending order, with their row ids.
+
+    The vectorized backend uses this as its "index": equality and range
+    probes become :func:`numpy.searchsorted` calls, and join build sides
+    skip the per-query sort.
+    """
+
+    values: np.ndarray
+    row_ids: np.ndarray
 
 
 class Relation:
@@ -28,6 +65,10 @@ class Relation:
             if schema.primary_key is not None
             else -1
         )
+        self._uid = next(_RELATION_UIDS)
+        self._version = 0
+        self._array_cache: Dict[str, ColumnArray] = {}
+        self._sorted_cache: Dict[str, Optional[SortedView]] = {}
 
     # ------------------------------------------------------------------
     # mutation
@@ -58,6 +99,11 @@ class Relation:
             self._pk_map[key] = rid
         for store, value in zip(self._columns, values):
             store.append(value)
+        self._version += 1
+        if self._array_cache:
+            self._array_cache.clear()
+        if self._sorted_cache:
+            self._sorted_cache.clear()
         return rid
 
     def insert_dict(self, row: Dict[str, Any]) -> int:
@@ -117,6 +163,73 @@ class Relation:
         if self._pk_map is None:
             raise SchemaError(f"{self.schema.name} has no primary key")
         return self._pk_map.get(key)
+
+    # ------------------------------------------------------------------
+    # cached numpy views (vectorized backend substrate)
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> int:
+        """Process-unique id, distinguishing re-created same-name tables."""
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every insert."""
+        return self._version
+
+    def column_array(self, name: str) -> ColumnArray:
+        """Cached numpy view of one column (invalidated on mutation)."""
+        cached = self._array_cache.get(name)
+        if cached is not None:
+            return cached
+        position = self.schema.column_position(name)
+        ctype = self.schema.columns[position].ctype
+        raw = self._columns[position]
+        n = len(raw)
+        mask = np.fromiter((v is not None for v in raw), dtype=bool, count=n)
+        if ctype is ColumnType.INT:
+            try:
+                values = np.fromiter(
+                    (v if v is not None else 0 for v in raw),
+                    dtype=np.int64,
+                    count=n,
+                )
+            except OverflowError:
+                values = np.array(raw, dtype=object)
+        elif ctype is ColumnType.FLOAT:
+            values = np.fromiter(
+                (v if v is not None else np.nan for v in raw),
+                dtype=np.float64,
+                count=n,
+            )
+        else:
+            values = np.empty(n, dtype=object)
+            values[:] = raw
+        view = ColumnArray(values=values, mask=mask)
+        self._array_cache[name] = view
+        return view
+
+    def sorted_view(self, name: str) -> Optional[SortedView]:
+        """Cached ascending view of one column's non-NULL values.
+
+        Returns ``None`` when the column's values do not admit a total
+        order (mixed-type object columns); callers fall back to hash-based
+        strategies in that case.
+        """
+        if name in self._sorted_cache:
+            return self._sorted_cache[name]
+        arr = self.column_array(name)
+        row_ids = np.nonzero(arr.mask)[0]
+        values = arr.values[row_ids]
+        view: Optional[SortedView]
+        try:
+            order = np.argsort(values, kind="stable")
+        except TypeError:
+            view = None
+        else:
+            view = SortedView(values=values[order], row_ids=row_ids[order])
+        self._sorted_cache[name] = view
+        return view
 
     def distinct_values(self, column: str) -> List[Any]:
         """Distinct non-NULL values of a column (stable first-seen order)."""

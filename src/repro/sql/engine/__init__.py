@@ -1,0 +1,83 @@
+"""Pluggable execution backends for the SPJ(A, intersect) query class.
+
+Every query in the system runs through an
+:class:`~repro.sql.engine.base.ExecutionBackend`.  Three engines ship
+behind the one interface:
+
+* ``interpreted`` — the original row-at-a-time hash-join pipeline, kept
+  as the reference implementation;
+* ``vectorized`` — numpy kernels over the relation layer's cached column
+  arrays (the default);
+* ``sqlite``     — compiles the AST to SQL against an in-memory SQLite
+  mirror of the database.
+
+``create_backend`` is the factory; :class:`CachingBackend` layers the
+shared formatted-SQL-keyed result cache over any engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ...relational.database import Database
+from .base import (
+    DEFAULT_CACHE_SIZE,
+    CachingBackend,
+    ExecutionBackend,
+    QueryResultCache,
+    tables_of,
+    validate_query,
+)
+from .interpreted import InterpretedBackend
+from .sqlite import SqliteBackend
+from .vectorized import VectorizedBackend
+
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    InterpretedBackend.name: InterpretedBackend,
+    VectorizedBackend.name: VectorizedBackend,
+    SqliteBackend.name: SqliteBackend,
+}
+
+DEFAULT_BACKEND = VectorizedBackend.name
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def create_backend(
+    name: str, database: Database, *, cache_size: int = 0
+) -> ExecutionBackend:
+    """Instantiate a backend by name, optionally wrapped in a result cache.
+
+    ``cache_size`` > 0 wraps the engine in a :class:`CachingBackend` with
+    that many LRU entries.
+    """
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (available: {', '.join(available_backends())})"
+        ) from None
+    backend = backend_cls(database)
+    if cache_size > 0:
+        return CachingBackend(backend, max_entries=cache_size)
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "CachingBackend",
+    "DEFAULT_BACKEND",
+    "DEFAULT_CACHE_SIZE",
+    "ExecutionBackend",
+    "InterpretedBackend",
+    "QueryResultCache",
+    "SqliteBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "create_backend",
+    "tables_of",
+    "validate_query",
+]

@@ -1,0 +1,173 @@
+"""The execution-backend interface plus the shared query-result cache.
+
+Every query in the system — discovery probes, the Occam's-razor pruning
+pass, evaluation reruns, benchmark workloads — funnels through an
+:class:`ExecutionBackend`.  The interface is deliberately small (execute
+one AST, return a :class:`~repro.sql.result.ResultSet`) so that engines
+with very different substrates (interpreted hash joins, numpy kernels, an
+in-memory SQLite mirror) stay interchangeable.
+
+:class:`CachingBackend` decorates any backend with an LRU result cache
+keyed on the *formatted SQL* of the query, stamped with the versions of
+the relations it reads; a mutation to any referenced table invalidates the
+entry automatically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ...relational.database import Database
+from ...relational.errors import QueryError, UnknownTableError
+from ..ast import AnyQuery, IntersectQuery, Query
+from ..formatter import format_query
+from ..result import ResultSet
+
+# (table name, relation uid, relation version) for every table a query reads.
+CacheStamp = Tuple[Tuple[str, int, int], ...]
+
+#: Default LRU capacity of the shared query-result cache.
+DEFAULT_CACHE_SIZE = 256
+
+
+class ExecutionBackend(ABC):
+    """Executes query ASTs against a :class:`Database`."""
+
+    name: str = "abstract"
+
+    def __init__(self, database: Database) -> None:
+        self.db = database
+
+    @abstractmethod
+    def execute(self, query: AnyQuery) -> ResultSet:
+        """Run ``query`` and return its materialised result."""
+
+    def close(self) -> None:
+        """Release backend-held resources (connections, mirrors)."""
+
+
+def validate_query(database: Database, query: AnyQuery) -> None:
+    """Check that every table/column a query references exists.
+
+    Shared by all backends so that error behaviour is identical regardless
+    of the engine executing the query.
+    """
+    if isinstance(query, IntersectQuery):
+        for block in query.blocks:
+            validate_query(database, block)
+        return
+    alias_map = query.alias_map()
+    for alias, table in alias_map.items():
+        if table not in database:
+            raise QueryError(f"unknown table {table!r} (alias {alias!r})")
+    for pred in query.predicates:
+        schema = database.relation(alias_map[pred.column.table]).schema
+        if not schema.has_column(pred.column.column):
+            raise QueryError(f"unknown column {pred.column}")
+    for join in query.joins:
+        for ref in (join.left, join.right):
+            schema = database.relation(alias_map[ref.table]).schema
+            if not schema.has_column(ref.column):
+                raise QueryError(f"unknown column {ref.column}")
+    for ref in query.select + query.group_by:
+        schema = database.relation(alias_map[ref.table]).schema
+        if not schema.has_column(ref.column):
+            raise QueryError(f"unknown column {ref.column}")
+
+
+def tables_of(query: AnyQuery) -> List[str]:
+    """Sorted distinct base-table names a query reads."""
+    if isinstance(query, IntersectQuery):
+        names = {t.name for block in query.blocks for t in block.tables}
+    else:
+        names = {t.name for t in query.tables}
+    return sorted(names)
+
+
+class QueryResultCache:
+    """A bounded LRU map from (formatted SQL, table versions) to results."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be > 0, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, Tuple[CacheStamp, ResultSet]]" = OrderedDict()
+
+    def get(self, key: str, stamp: CacheStamp) -> Optional[ResultSet]:
+        """Cached result for ``key`` if its stamp is still current."""
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != stamp:
+            self.misses += 1
+            if entry is not None:
+                del self._entries[key]
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry[1]
+
+    def put(self, key: str, stamp: CacheStamp, result: ResultSet) -> None:
+        """Store one result, evicting the least recently used on overflow."""
+        self._entries[key] = (stamp, result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for reporting."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+
+class CachingBackend(ExecutionBackend):
+    """Decorator adding a shared query-result cache to any backend.
+
+    Cached :class:`ResultSet` objects are shared between callers; treat
+    them as immutable.
+    """
+
+    def __init__(
+        self, inner: ExecutionBackend, max_entries: int = DEFAULT_CACHE_SIZE
+    ) -> None:
+        super().__init__(inner.db)
+        self.inner = inner
+        self.name = inner.name
+        self.cache = QueryResultCache(max_entries)
+
+    def _stamp(self, query: AnyQuery) -> CacheStamp:
+        stamp = []
+        for name in tables_of(query):
+            relation = self.db.relation(name)
+            stamp.append((name, relation.uid, relation.version))
+        return tuple(stamp)
+
+    def execute(self, query: AnyQuery) -> ResultSet:
+        key = format_query(query)
+        try:
+            stamp = self._stamp(query)
+        except UnknownTableError:
+            # Let the engine's own validation raise the proper QueryError.
+            return self.inner.execute(query)
+        cached = self.cache.get(key, stamp)
+        if cached is not None:
+            return cached
+        result = self.inner.execute(query)
+        self.cache.put(key, stamp, result)
+        return result
+
+    def execute_uncached(self, query: AnyQuery) -> ResultSet:
+        """Bypass the cache (timing measurements need cold executions)."""
+        return self.inner.execute(query)
+
+    def close(self) -> None:
+        self.cache.clear()
+        self.inner.close()

@@ -1,0 +1,141 @@
+"""Numpy kernels shared by the vectorized backend and the statistics pass.
+
+Three primitives cover everything the SPJ(A) pipeline needs:
+
+* :func:`factorize` — dense integer codes for a value array (grouping,
+  distinct, composite keys);
+* :func:`join_sorted` / :func:`equi_join` — sort/searchsorted equi-joins
+  producing matching (probe, build) index pairs, with a hash fallback for
+  unsortable object columns;
+* :func:`combine_codes` — composite group codes with overflow detection.
+
+All kernels accept the ``object``-dtype arrays the relation layer produces
+for TEXT/BOOL columns and degrade to dict-based Python paths when numpy's
+ordering machinery rejects the values (mixed incomparable types).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def factorize(values: np.ndarray, mask: Optional[np.ndarray] = None) -> Tuple[np.ndarray, List]:
+    """Encode ``values`` as dense int64 codes.
+
+    Returns ``(codes, uniques)`` where ``codes[i]`` indexes into
+    ``uniques`` for rows with ``mask[i]`` True and is ``-1`` for NULL
+    rows.  ``uniques`` holds Python scalars in ascending order when the
+    values are sortable, first-seen order otherwise.
+    """
+    n = len(values)
+    codes = np.full(n, -1, dtype=np.int64)
+    if mask is None:
+        nn = np.arange(n)
+        sub = values
+    else:
+        nn = np.nonzero(mask)[0]
+        sub = values[nn]
+    if nn.size == 0:
+        return codes, []
+    try:
+        uniq, inverse = np.unique(sub, return_inverse=True)
+    except TypeError:
+        seen: dict = {}
+        inv_list = []
+        for value in sub.tolist():
+            code = seen.get(value)
+            if code is None:
+                code = len(seen)
+                seen[value] = code
+            inv_list.append(code)
+        codes[nn] = np.asarray(inv_list, dtype=np.int64)
+        return codes, list(seen)
+    codes[nn] = inverse.astype(np.int64, copy=False)
+    return codes, uniq.tolist()
+
+
+def combine_codes(parts: List[Tuple[np.ndarray, int]]) -> Optional[np.ndarray]:
+    """Merge per-column codes (``-1`` = NULL) into one composite code.
+
+    ``parts`` pairs each code array with its cardinality (number of
+    distinct non-null codes).  NULL becomes its own group per column.
+    Returns ``None`` when the composite key space would overflow int64;
+    callers then fall back to tuple-based grouping.
+    """
+    if not parts:
+        return None
+    bits = sum(np.log2(k + 1) for _, k in parts)
+    if bits > 62:
+        return None
+    combined: Optional[np.ndarray] = None
+    for codes, k in parts:
+        shifted = codes + 1  # NULL (-1) -> 0, real codes -> 1..k
+        combined = shifted if combined is None else combined * (k + 1) + shifted
+    return combined
+
+
+def join_sorted(probe: np.ndarray, sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Match ``probe`` against an ascending key array.
+
+    Returns ``(probe_idx, sorted_pos)``: for every match, the index into
+    ``probe`` and the position within ``sorted_keys``.  Both sides must be
+    NULL-free; dtypes are promoted to a common numeric type first.
+    """
+    if probe.size == 0 or sorted_keys.size == 0:
+        return _EMPTY, _EMPTY
+    if probe.dtype != sorted_keys.dtype and probe.dtype != object and sorted_keys.dtype != object:
+        common = np.result_type(probe.dtype, sorted_keys.dtype)
+        probe = probe.astype(common, copy=False)
+        sorted_keys = sorted_keys.astype(common, copy=False)
+    left = np.searchsorted(sorted_keys, probe, side="left")
+    right = np.searchsorted(sorted_keys, probe, side="right")
+    counts = right - left
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    probe_idx = np.repeat(np.arange(probe.size, dtype=np.int64), counts)
+    starts = np.repeat(left, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return probe_idx, starts + offsets
+
+
+def equi_join(probe: np.ndarray, build: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All matching index pairs between two non-NULL key arrays.
+
+    Returns ``(probe_idx, build_idx)``: parallel int64 arrays such that
+    ``probe[probe_idx[i]] == build[build_idx[i]]`` for every ``i``.
+    Object-dtype (or otherwise unsortable) inputs fall back to a
+    dict-based hash join, whose equality semantics match the interpreted
+    engine's hash indexes.
+    """
+    if probe.size == 0 or build.size == 0:
+        return _EMPTY, _EMPTY
+    if probe.dtype == object or build.dtype == object:
+        return hash_join(probe, build)
+    order = np.argsort(build, kind="stable")
+    probe_idx, sorted_pos = join_sorted(probe, build[order])
+    return probe_idx, order[sorted_pos]
+
+
+def hash_join(probe: np.ndarray, build: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Dict-based equi-join for keys that only support hashing/equality."""
+    buckets: dict = {}
+    for i, key in enumerate(build.tolist()):
+        buckets.setdefault(key, []).append(i)
+    probe_idx: List[int] = []
+    build_idx: List[int] = []
+    for j, key in enumerate(probe.tolist()):
+        hits = buckets.get(key)
+        if hits:
+            probe_idx.extend([j] * len(hits))
+            build_idx.extend(hits)
+    return (
+        np.asarray(probe_idx, dtype=np.int64),
+        np.asarray(build_idx, dtype=np.int64),
+    )

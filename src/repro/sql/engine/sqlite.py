@@ -1,0 +1,239 @@
+"""SQLite execution backend: an in-memory mirror of the αDB.
+
+The backend lazily loads each relation a query touches into an in-memory
+``sqlite3`` database (the standard library's embedded engine — no extra
+dependency) and compiles our SPJ(A, intersect) ASTs to SQLite SQL with
+bound parameters.  Loaded tables are stamped with the source relation's
+``(uid, version)`` and transparently reloaded after mutations, mirroring
+the paper's use of an off-the-shelf RDBMS as the execution substrate.
+
+Semantics notes kept aligned with the reference engine:
+
+* NULL never satisfies a predicate and never joins (plain SQL);
+* BOOL columns are stored as INTEGER 0/1 and converted back to Python
+  bools during result materialisation;
+* DISTINCT / INTERSECT set semantics match, though row *order* may differ
+  from the interpreted engine (callers compare results as sets).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ...relational.relation import Relation
+from ...relational.types import ColumnType
+from ..ast import AnyQuery, IntersectQuery, Op, Query
+from ..result import ResultSet
+from .base import ExecutionBackend, tables_of, validate_query
+
+_AFFINITY = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.BOOL: "INTEGER",
+}
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+def _to_sqlite(value: Any) -> Any:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int) and not _INT64_MIN <= value <= _INT64_MAX:
+        # SQLite cannot bind ints beyond 64 bits; REAL keeps the numeric
+        # comparison semantics the reference engines apply.
+        return float(value)
+    return value
+
+
+def _type_matches(value: Any, ctype: ColumnType) -> bool:
+    """Whether an EQ/IN constant can possibly match a column of ``ctype``.
+
+    Guards against SQLite's type affinity: binding the string ``"3"``
+    against an INTEGER column would be coerced and match numerically,
+    where the reference engine's Python equality never does.
+    """
+    if value is None:
+        return True  # NULL comparison: never matches, but affinity-safe
+    if ctype is ColumnType.TEXT:
+        return isinstance(value, str)
+    # INT/FLOAT/BOOL all compare numerically in Python (True == 1), and
+    # the mirror stores them with numeric affinity, so any numeric
+    # constant (bool included) is representation-faithful.
+    return isinstance(value, (int, float))
+
+
+def _require_comparable(value: Any, ctype: ColumnType) -> None:
+    """Range predicates with a type-mismatched constant must raise.
+
+    The reference engines hit a Python ``TypeError`` when ordering a
+    string against a numeric column (or vice versa); SQLite's affinity
+    would instead silently coerce, diverging from them.
+    """
+    if not _type_matches(value, ctype):
+        raise TypeError(
+            f"cannot order {value!r} against a {ctype.value} column"
+        )
+
+
+class SqliteBackend(ExecutionBackend):
+    """Compiles query ASTs to SQL against an in-memory SQLite mirror."""
+
+    name = "sqlite"
+
+    def __init__(self, database) -> None:
+        super().__init__(database)
+        self._conn = sqlite3.connect(":memory:")
+        self._loaded: Dict[str, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # mirror maintenance
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self, tables: Sequence[str]) -> None:
+        for name in tables:
+            relation = self.db.relation(name)
+            stamp = (relation.uid, relation.version)
+            if self._loaded.get(name) == stamp:
+                continue
+            self._load(name, relation)
+            self._loaded[name] = stamp
+
+    def _load(self, name: str, relation: Relation) -> None:
+        schema = relation.schema
+        self._conn.execute(f"DROP TABLE IF EXISTS {_quote(name)}")
+        columns = ", ".join(
+            f"{_quote(col.name)} {_AFFINITY[col.ctype]}" for col in schema.columns
+        )
+        self._conn.execute(f"CREATE TABLE {_quote(name)} ({columns})")
+        placeholders = ", ".join("?" for _ in schema.columns)
+        stores = [relation.column(col.name) for col in schema.columns]
+        bool_positions = [
+            i for i, col in enumerate(schema.columns) if col.ctype is ColumnType.BOOL
+        ]
+        rows: Any = zip(*stores) if stores else []
+        if bool_positions:
+            rows = (
+                tuple(
+                    _to_sqlite(v) if i in bool_positions else v
+                    for i, v in enumerate(row)
+                )
+                for row in rows
+            )
+        self._conn.executemany(
+            f"INSERT INTO {_quote(name)} VALUES ({placeholders})", rows
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: AnyQuery) -> ResultSet:
+        """Compile to SQLite SQL, run, and convert the rows back."""
+        validate_query(self.db, query)
+        if isinstance(query, IntersectQuery):
+            blocks = query.blocks
+            compiled = [self._compile_block(b) for b in blocks]
+            sql = "\nINTERSECT\n".join(text for text, _ in compiled)
+            params = [p for _, block_params in compiled for p in block_params]
+            first = blocks[0]
+        else:
+            sql, params = self._compile_block(query)
+            first = query
+        self._ensure_loaded(tables_of(query))
+        cursor = self._conn.execute(sql, params)
+        rows = cursor.fetchall()
+        return ResultSet(
+            tuple(str(ref) for ref in first.select),
+            self._convert_rows(first, rows),
+        )
+
+    def _compile_block(self, query: Query) -> Tuple[str, List[Any]]:
+        alias_map = query.alias_map()
+        params: List[Any] = []
+        select_kw = "SELECT DISTINCT" if query.distinct else "SELECT"
+        select = ", ".join(
+            f"{_quote(ref.table)}.{_quote(ref.column)}" for ref in query.select
+        )
+        tables = ", ".join(
+            f"{_quote(t.name)} AS {_quote(t.alias)}" for t in query.tables
+        )
+        lines = [f"{select_kw} {select}", f"FROM {tables}"]
+        conjuncts: List[str] = []
+        for join in query.joins:
+            conjuncts.append(
+                f"{_quote(join.left.table)}.{_quote(join.left.column)} = "
+                f"{_quote(join.right.table)}.{_quote(join.right.column)}"
+            )
+        for pred in query.predicates:
+            col = f"{_quote(pred.column.table)}.{_quote(pred.column.column)}"
+            schema = self.db.relation(alias_map[pred.column.table]).schema
+            ctype = schema.columns[schema.column_position(pred.column.column)].ctype
+            if pred.op is Op.BETWEEN:
+                low, high = pred.value  # type: ignore[misc]
+                _require_comparable(low, ctype)
+                _require_comparable(high, ctype)
+                conjuncts.append(f"{col} BETWEEN ? AND ?")
+                params.extend([_to_sqlite(low), _to_sqlite(high)])
+            elif pred.op is Op.IN:
+                members = [
+                    m
+                    for m in sorted(pred.value, key=repr)  # type: ignore[arg-type]
+                    if _type_matches(m, ctype)
+                ]
+                if not members:
+                    conjuncts.append("1 = 0")
+                    continue
+                marks = ", ".join("?" for _ in members)
+                conjuncts.append(f"{col} IN ({marks})")
+                params.extend(_to_sqlite(m) for m in members)
+            elif pred.op is Op.EQ and not _type_matches(pred.value, ctype):
+                conjuncts.append("1 = 0")
+            else:
+                if pred.op in (Op.GE, Op.LE):
+                    _require_comparable(pred.value, ctype)
+                conjuncts.append(f"{col} {pred.op.value} ?")
+                params.append(_to_sqlite(pred.value))
+        if conjuncts:
+            lines.append("WHERE " + "\n  AND ".join(conjuncts))
+        if query.group_by:
+            group = ", ".join(
+                f"{_quote(ref.table)}.{_quote(ref.column)}" for ref in query.group_by
+            )
+            lines.append(f"GROUP BY {group}")
+        if query.having is not None:
+            op = "=" if query.having.op is Op.EQ else query.having.op.value
+            lines.append(f"HAVING count(*) {op} ?")
+            params.append(int(query.having.value))
+        return "\n".join(lines), params
+
+    def _convert_rows(
+        self, query: Query, rows: List[Tuple[Any, ...]]
+    ) -> List[Tuple[Any, ...]]:
+        """Map SQLite values back to engine types (INTEGER 0/1 -> bool)."""
+        alias_map = query.alias_map()
+        bool_positions = []
+        for i, ref in enumerate(query.select):
+            schema = self.db.relation(alias_map[ref.table]).schema
+            position = schema.column_position(ref.column)
+            if schema.columns[position].ctype is ColumnType.BOOL:
+                bool_positions.append(i)
+        if not bool_positions:
+            return [tuple(row) for row in rows]
+        positions = set(bool_positions)
+        return [
+            tuple(
+                bool(v) if i in positions and v is not None else v
+                for i, v in enumerate(row)
+            )
+            for row in rows
+        ]
+
+    def close(self) -> None:
+        self._conn.close()
+        self._loaded.clear()

@@ -1,367 +1,24 @@
-"""Evaluation of SPJ(A, intersect) queries over the in-memory engine.
+"""Backward-compatible facade over the execution-backend layer.
 
-The executor is a straightforward hash-join pipeline:
-
-1. single-table predicates are pushed down and resolved with hash / sorted
-   indexes where possible;
-2. tables are joined greedily starting from the smallest filtered input,
-   always extending to a table connected by a join condition;
-3. group-by aggregation (``count(*)`` with HAVING) runs over the joined
-   tuples;
-4. projection (+DISTINCT) produces the result.
-
-It favours clarity over planner sophistication, but the index-backed joins
-keep the benchmark datasets (hundreds of thousands of tuples) comfortably
-fast, which is all the reproduction needs.
+The monolithic ``Executor`` of early revisions now lives in
+:mod:`repro.sql.engine.interpreted`; this module keeps the historical
+import surface (``Executor``, ``ResultSet``, ``execute``) working while
+all new code selects an engine through :func:`repro.sql.engine.create_backend`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
-
 from ..relational.database import Database
-from ..relational.errors import QueryError
-from .ast import AnyQuery, ColumnRef, IntersectQuery, JoinCondition, Op, Predicate, Query
+from .ast import AnyQuery
+from .engine.interpreted import InterpretedBackend
+from .result import ResultSet
 
+__all__ = ["Executor", "ResultSet", "execute"]
 
-@dataclass
-class ResultSet:
-    """Materialised query result: column labels and row tuples."""
-
-    columns: Tuple[str, ...]
-    rows: List[Tuple[Any, ...]]
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def as_set(self) -> FrozenSet[Tuple[Any, ...]]:
-        """Rows as a frozenset (for comparison / intersection)."""
-        return frozenset(self.rows)
-
-    def single_column(self) -> List[Any]:
-        """Values of a one-column result."""
-        if len(self.columns) != 1:
-            raise QueryError(f"expected 1 column, result has {len(self.columns)}")
-        return [row[0] for row in self.rows]
-
-
-class Executor:
-    """Executes query ASTs against a :class:`Database`."""
-
-    def __init__(self, database: Database) -> None:
-        self.db = database
-
-    # ------------------------------------------------------------------
-    # public API
-    # ------------------------------------------------------------------
-    def execute(self, query: AnyQuery) -> ResultSet:
-        """Run ``query`` and return its materialised result."""
-        if isinstance(query, IntersectQuery):
-            return self._execute_intersect(query)
-        return self._execute_block(query)
-
-    # ------------------------------------------------------------------
-    # intersection
-    # ------------------------------------------------------------------
-    def _execute_intersect(self, query: IntersectQuery) -> ResultSet:
-        first = self._execute_block(query.blocks[0])
-        surviving: Set[Tuple[Any, ...]] = set(first.rows)
-        for block in query.blocks[1:]:
-            if not surviving:
-                break
-            surviving &= self._execute_block(block).as_set()
-        rows = [row for row in first.rows if row in surviving]
-        # INTERSECT has set semantics: drop duplicates while keeping order.
-        seen: Set[Tuple[Any, ...]] = set()
-        unique_rows = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                unique_rows.append(row)
-        return ResultSet(first.columns, unique_rows)
-
-    # ------------------------------------------------------------------
-    # single block
-    # ------------------------------------------------------------------
-    def _execute_block(self, query: Query) -> ResultSet:
-        alias_map = query.alias_map()
-        order = self._validate(query, alias_map)
-        candidates = self._pushdown(query, alias_map)
-        joined = self._join_all(query, alias_map, candidates)
-        if query.group_by:
-            joined = self._aggregate(query, alias_map, joined)
-        return self._project(query, alias_map, joined)
-
-    def _validate(self, query: Query, alias_map: Dict[str, str]) -> List[str]:
-        for alias, table in alias_map.items():
-            if table not in self.db:
-                raise QueryError(f"unknown table {table!r} (alias {alias!r})")
-        for pred in query.predicates:
-            schema = self.db.relation(alias_map[pred.column.table]).schema
-            if not schema.has_column(pred.column.column):
-                raise QueryError(f"unknown column {pred.column}")
-        for join in query.joins:
-            for ref in (join.left, join.right):
-                schema = self.db.relation(alias_map[ref.table]).schema
-                if not schema.has_column(ref.column):
-                    raise QueryError(f"unknown column {ref.column}")
-        for ref in query.select + query.group_by:
-            schema = self.db.relation(alias_map[ref.table]).schema
-            if not schema.has_column(ref.column):
-                raise QueryError(f"unknown column {ref.column}")
-        return [t.alias for t in query.tables]
-
-    # ------------------------------------------------------------------
-    # predicate pushdown
-    # ------------------------------------------------------------------
-    def _pushdown(
-        self, query: Query, alias_map: Dict[str, str]
-    ) -> Dict[str, Optional[List[int]]]:
-        """Per-alias candidate row ids (``None`` means "all rows")."""
-        by_alias: Dict[str, List[Predicate]] = {}
-        for pred in query.predicates:
-            by_alias.setdefault(pred.column.table, []).append(pred)
-        out: Dict[str, Optional[List[int]]] = {}
-        for alias in alias_map:
-            preds = by_alias.get(alias)
-            out[alias] = None if not preds else self._filter_table(
-                alias_map[alias], preds
-            )
-        return out
-
-    def _filter_table(self, table: str, preds: List[Predicate]) -> List[int]:
-        """Row ids of ``table`` satisfying all of ``preds``."""
-        first, rest = preds[0], preds[1:]
-        rids = self._index_scan(table, first)
-        if not rest:
-            return rids
-        relation = self.db.relation(table)
-        columns = {
-            p.column.column: relation.column(p.column.column) for p in rest
-        }
-        out = []
-        for rid in rids:
-            if all(p.matches(columns[p.column.column][rid]) for p in rest):
-                out.append(rid)
-        return out
-
-    def _index_scan(self, table: str, pred: Predicate) -> List[int]:
-        """Resolve one predicate via the best available index."""
-        column = pred.column.column
-        if pred.op is Op.EQ:
-            return list(self.db.hash_index(table, column).lookup(pred.value))
-        if pred.op is Op.IN:
-            return self.db.hash_index(table, column).lookup_many(
-                sorted(pred.value, key=repr)  # type: ignore[arg-type]
-            )
-        index = self.db.sorted_index(table, column)
-        if pred.op is Op.GE:
-            return index.range(low=pred.value)
-        if pred.op is Op.LE:
-            return index.range(high=pred.value)
-        if pred.op is Op.BETWEEN:
-            low, high = pred.value  # type: ignore[misc]
-            return index.range(low=low, high=high)
-        raise QueryError(f"unsupported op {pred.op!r}")
-
-    # ------------------------------------------------------------------
-    # joins
-    # ------------------------------------------------------------------
-    def _join_all(
-        self,
-        query: Query,
-        alias_map: Dict[str, str],
-        candidates: Dict[str, Optional[List[int]]],
-    ) -> List[Dict[str, int]]:
-        """Join every table; returns bindings alias -> row id."""
-        aliases = list(alias_map)
-        if not aliases:
-            return []
-
-        def estimated_size(alias: str) -> int:
-            cand = candidates[alias]
-            if cand is not None:
-                return len(cand)
-            return len(self.db.relation(alias_map[alias]))
-
-        start = min(aliases, key=estimated_size)
-        cand = candidates[start]
-        rids = cand if cand is not None else list(
-            self.db.relation(alias_map[start]).row_ids()
-        )
-        partials: List[Dict[str, int]] = [{start: rid} for rid in rids]
-        bound = {start}
-        remaining_joins = list(query.joins)
-
-        while len(bound) < len(aliases):
-            next_alias, connecting = self._pick_next(
-                aliases, bound, remaining_joins, estimated_size
-            )
-            if next_alias is None:
-                # Disconnected query graph: fall back to a cross product with
-                # the smallest remaining table (rare; kept for completeness).
-                next_alias = min(
-                    (a for a in aliases if a not in bound), key=estimated_size
-                )
-                connecting = []
-            partials = self._extend(
-                partials, next_alias, alias_map, candidates, connecting
-            )
-            bound.add(next_alias)
-            remaining_joins = [j for j in remaining_joins if j not in connecting]
-            if not partials:
-                break
-
-        # Any join conditions not consumed (e.g. both sides already bound by
-        # other paths / cycles) are applied as residual filters.
-        for join in remaining_joins:
-            partials = self._apply_residual(partials, join, alias_map)
-        return partials
-
-    def _pick_next(
-        self,
-        aliases: Sequence[str],
-        bound: Set[str],
-        joins: Sequence[JoinCondition],
-        estimated_size,
-    ) -> Tuple[Optional[str], List[JoinCondition]]:
-        """Choose the next table connected to the bound set via some join."""
-        best: Optional[str] = None
-        for alias in sorted(
-            (a for a in aliases if a not in bound), key=estimated_size
-        ):
-            connecting = [
-                j
-                for j in joins
-                if j.touches(alias) and j.other_side(alias).table in bound
-            ]
-            if connecting:
-                return alias, connecting
-            if best is None:
-                best = alias
-        return None, []
-
-    def _extend(
-        self,
-        partials: List[Dict[str, int]],
-        alias: str,
-        alias_map: Dict[str, str],
-        candidates: Dict[str, Optional[List[int]]],
-        connecting: List[JoinCondition],
-    ) -> List[Dict[str, int]]:
-        """Extend partial bindings with one more table."""
-        table = alias_map[alias]
-        relation = self.db.relation(table)
-        cand = candidates[alias]
-        if not connecting:
-            rids = cand if cand is not None else list(relation.row_ids())
-            return [
-                dict(partial, **{alias: rid}) for partial in partials for rid in rids
-            ]
-        probe = connecting[0]
-        probe_col = probe.side_of(alias).column
-        other = probe.other_side(alias)
-        other_store = self.db.relation(alias_map[other.table]).column(other.column)
-        index = self.db.hash_index(table, probe_col)
-        allowed = set(cand) if cand is not None else None
-        checks = []
-        for join in connecting[1:]:
-            mine = join.side_of(alias).column
-            theirs = join.other_side(alias)
-            checks.append(
-                (
-                    relation.column(mine),
-                    theirs.table,
-                    self.db.relation(alias_map[theirs.table]).column(theirs.column),
-                )
-            )
-        out: List[Dict[str, int]] = []
-        for partial in partials:
-            key = other_store[partial[other.table]]
-            if key is None:
-                continue
-            for rid in index.lookup(key):
-                if allowed is not None and rid not in allowed:
-                    continue
-                ok = True
-                for mine_store, their_alias, their_store in checks:
-                    if mine_store[rid] != their_store[partial[their_alias]]:
-                        ok = False
-                        break
-                if ok:
-                    extended = dict(partial)
-                    extended[alias] = rid
-                    out.append(extended)
-        return out
-
-    def _apply_residual(
-        self,
-        partials: List[Dict[str, int]],
-        join: JoinCondition,
-        alias_map: Dict[str, str],
-    ) -> List[Dict[str, int]]:
-        left_store = self.db.relation(alias_map[join.left.table]).column(
-            join.left.column
-        )
-        right_store = self.db.relation(alias_map[join.right.table]).column(
-            join.right.column
-        )
-        return [
-            p
-            for p in partials
-            if left_store[p[join.left.table]] == right_store[p[join.right.table]]
-        ]
-
-    # ------------------------------------------------------------------
-    # aggregation & projection
-    # ------------------------------------------------------------------
-    def _aggregate(
-        self,
-        query: Query,
-        alias_map: Dict[str, str],
-        partials: List[Dict[str, int]],
-    ) -> List[Dict[str, int]]:
-        """GROUP BY + HAVING count(*): keep one binding per surviving group."""
-        stores = [
-            (ref.table, self.db.relation(alias_map[ref.table]).column(ref.column))
-            for ref in query.group_by
-        ]
-        groups: Dict[Tuple[Any, ...], Tuple[int, Dict[str, int]]] = {}
-        for partial in partials:
-            key = tuple(store[partial[alias]] for alias, store in stores)
-            count, representative = groups.get(key, (0, partial))
-            groups[key] = (count + 1, representative)
-        having = query.having
-        out = []
-        for count, representative in groups.values():
-            if having is None or having.matches(count):
-                out.append(representative)
-        return out
-
-    def _project(
-        self,
-        query: Query,
-        alias_map: Dict[str, str],
-        partials: List[Dict[str, int]],
-    ) -> ResultSet:
-        stores = [
-            (ref.table, self.db.relation(alias_map[ref.table]).column(ref.column))
-            for ref in query.select
-        ]
-        labels = tuple(str(ref) for ref in query.select)
-        rows: List[Tuple[Any, ...]] = []
-        seen: Set[Tuple[Any, ...]] = set()
-        for partial in partials:
-            row = tuple(store[partial[alias]] for alias, store in stores)
-            if query.distinct:
-                if row in seen:
-                    continue
-                seen.add(row)
-            rows.append(row)
-        return ResultSet(labels, rows)
+#: Historical name of the interpreted reference engine.
+Executor = InterpretedBackend
 
 
 def execute(database: Database, query: AnyQuery) -> ResultSet:
-    """Convenience wrapper: run one query against ``database``."""
-    return Executor(database).execute(query)
+    """Convenience wrapper: run one query on the interpreted engine."""
+    return InterpretedBackend(database).execute(query)

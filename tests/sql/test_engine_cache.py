@@ -1,0 +1,134 @@
+"""Query-result cache and cached relation array views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational import ColumnDef, ColumnType, Database, TableSchema
+from repro.sql import (
+    CachingBackend,
+    ColumnRef,
+    Op,
+    Predicate,
+    Query,
+    QueryResultCache,
+    TableRef,
+    VectorizedBackend,
+    create_backend,
+)
+
+
+def person_query(gender: str) -> Query:
+    return Query(
+        select=(ColumnRef("person", "name"),),
+        tables=(TableRef("person"),),
+        predicates=(Predicate(ColumnRef("person", "gender"), Op.EQ, gender),),
+    )
+
+
+class TestQueryResultCache:
+    def test_lru_eviction(self):
+        cache = QueryResultCache(max_entries=2)
+        stamp = (("t", 0, 0),)
+        cache.put("a", stamp, "ra")
+        cache.put("b", stamp, "rb")
+        assert cache.get("a", stamp) == "ra"  # refresh a
+        cache.put("c", stamp, "rc")  # evicts b
+        assert cache.get("b", stamp) is None
+        assert cache.get("a", stamp) == "ra"
+        assert cache.get("c", stamp) == "rc"
+
+    def test_stale_stamp_misses(self):
+        cache = QueryResultCache()
+        cache.put("q", (("t", 0, 1),), "old")
+        assert cache.get("q", (("t", 0, 2),)) is None
+        assert cache.stats()["entries"] == 0  # stale entry dropped
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(max_entries=0)
+
+
+class TestCachingBackend:
+    def test_hit_returns_same_result(self, people_db):
+        backend = CachingBackend(VectorizedBackend(people_db))
+        first = backend.execute(person_query("Female"))
+        second = backend.execute(person_query("Female"))
+        assert first is second
+        assert backend.cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_mutation_invalidates(self, people_db):
+        backend = CachingBackend(VectorizedBackend(people_db))
+        before = len(backend.execute(person_query("Female")))
+        people_db.insert("person", (100, "Grace Hopper", "Female", 85))
+        after = len(backend.execute(person_query("Female")))
+        assert after == before + 1
+        assert backend.cache.misses == 2
+
+    def test_table_recreation_invalidates(self):
+        db = Database("tmp")
+        schema = TableSchema(
+            "t",
+            [ColumnDef("id", ColumnType.INT, nullable=False),
+             ColumnDef("v", ColumnType.TEXT)],
+            primary_key="id",
+        )
+        db.create_table(schema)
+        db.bulk_load("t", [(1, "x")])
+        backend = CachingBackend(VectorizedBackend(db))
+        query = Query(select=(ColumnRef("t", "v"),), tables=(TableRef("t"),))
+        assert len(backend.execute(query)) == 1
+        # Recreate the table with the same name and same version counter.
+        db.drop_table("t")
+        db.create_table(schema)
+        db.bulk_load("t", [(1, "y"), (2, "z")])
+        assert len(backend.execute(query)) == 2
+
+    def test_create_backend_factory_wraps(self, people_db):
+        backend = create_backend("vectorized", people_db, cache_size=8)
+        assert isinstance(backend, CachingBackend)
+        assert backend.name == "vectorized"
+        with pytest.raises(ValueError):
+            create_backend("no-such-engine", people_db)
+
+
+class TestRelationArrayViews:
+    def test_column_array_types_and_mask(self, people_db):
+        relation = people_db.relation("person")
+        ages = relation.column_array("age")
+        assert ages.values.dtype == np.int64
+        assert bool(ages.mask.all())
+        names = relation.column_array("name")
+        assert names.values.dtype == object
+
+    def test_views_cached_and_invalidated(self, people_db):
+        relation = people_db.relation("person")
+        v0 = relation.version
+        first = relation.column_array("age")
+        assert relation.column_array("age") is first
+        sorted_view = relation.sorted_view("age")
+        assert sorted_view is relation.sorted_view("age")
+        assert list(sorted_view.values) == sorted(
+            v for v in relation.column("age") if v is not None
+        )
+        relation.insert((101, "Alan Turing", "Male", 41))
+        assert relation.version > v0
+        assert relation.column_array("age") is not first
+
+    def test_null_handling(self):
+        db = Database("nulls")
+        db.create_table(
+            TableSchema(
+                "t",
+                [ColumnDef("id", ColumnType.INT, nullable=False),
+                 ColumnDef("x", ColumnType.INT)],
+                primary_key="id",
+            )
+        )
+        db.bulk_load("t", [(1, 5), (2, None), (3, 7)])
+        arr = db.relation("t").column_array("x")
+        assert list(arr.mask) == [True, False, True]
+        view = db.relation("t").sorted_view("x")
+        assert list(view.values) == [5, 7]
+        assert list(view.row_ids) == [0, 2]
