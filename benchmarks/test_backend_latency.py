@@ -1,20 +1,34 @@
-"""Per-backend end-to-end discovery latency (smoke comparison).
+"""Per-backend end-to-end discovery latency (smoke + regression gate).
 
 One αDB per dataset is shared across engines; each backend then serves
 the same workload sweep — discover from sampled examples, then
 materialise the abduced query's result keys — with the query-result cache
 disabled so every execution is cold.  The emitted table is the smoke
-signal the CI benchmark job prints; no thresholds are enforced here, but
-the vectorized engine is expected to lead the interpreted one on the
-IMDb/DBLP-scale datasets.
+signal the CI benchmark job prints.
+
+Setting ``REPRO_BENCH_GATE=1`` (the CI smoke job does) additionally
+enforces the checked-in per-backend baseline
+(``benchmarks/baselines/backend_latency.json``): the run fails when any
+backend's *median* discovery latency regresses beyond ``gate_factor``
+(a deliberately generous 2x — shared-runner noise must not flake the
+gate, only real algorithmic regressions should trip it).  Baselines are
+recorded per profile; profiles without a baseline entry are not gated.
+To re-record after an intentional change, replace the JSON with the
+``medians`` mapping this benchmark emits.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import statistics
 import time
+from pathlib import Path
 from typing import Dict, List
 
 import pytest
+
+from conftest import PROFILE
 
 from repro.core import SquidSystem
 from repro.core.lookup import ExampleLookupError
@@ -24,6 +38,8 @@ from repro.sql import available_backends
 
 NUM_EXAMPLES = 8
 SEED = 23
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "backend_latency.json"
 
 
 def _sweep(squid: SquidSystem, registry) -> List[float]:
@@ -43,6 +59,11 @@ def _sweep(squid: SquidSystem, registry) -> List[float]:
 
 
 def _compare(adb, registry, dataset: str) -> List[Dict[str, object]]:
+    # Untimed warm-up: fault in the αDB's lazy state (hash indexes,
+    # column/sorted views) once, so the alphabetically-first backend does
+    # not absorb the one-time construction cost into its measurements.
+    for backend_name in available_backends():
+        _sweep(SquidSystem(adb, backend=backend_name, cache_size=0), registry)
     rows: List[Dict[str, object]] = []
     for backend_name in available_backends():
         squid = SquidSystem(adb, backend=backend_name, cache_size=0)
@@ -53,10 +74,41 @@ def _compare(adb, registry, dataset: str) -> List[Dict[str, object]]:
                 "backend": backend_name,
                 "runs": len(times),
                 "mean_ms": round(1000 * sum(times) / max(1, len(times)), 2),
+                "median_ms": round(1000 * statistics.median(times), 2)
+                if times
+                else 0.0,
                 "total_s": round(sum(times), 3),
             }
         )
     return rows
+
+
+def _enforce_baseline(rows: List[Dict[str, object]]) -> None:
+    """Fail when a backend's median regresses beyond the gate factor."""
+    if os.environ.get("REPRO_BENCH_GATE") != "1":
+        return
+    baseline = json.loads(BASELINE_PATH.read_text())
+    recorded = baseline.get("profiles", {}).get(PROFILE)
+    if recorded is None:
+        return
+    factor = baseline.get("gate_factor", 2.0)
+    # Sub-millisecond medians swing with runner noise alone; the
+    # absolute slack keeps the gate meaningful only for regressions
+    # large enough to be algorithmic.
+    slack_ms = baseline.get("slack_ms", 2.0)
+    failures = []
+    for row in rows:
+        key = f"{row['dataset']}/{row['backend']}"
+        floor_ms = recorded.get(key)
+        if floor_ms is None:
+            continue
+        allowed = floor_ms * factor + slack_ms
+        if row["median_ms"] > allowed:
+            failures.append(
+                f"{key}: median {row['median_ms']}ms vs baseline "
+                f"{floor_ms}ms (allowed {allowed:.2f}ms)"
+            )
+    assert not failures, "backend latency regression:\n" + "\n".join(failures)
 
 
 @pytest.mark.benchmark(group="backend")
@@ -84,6 +136,11 @@ def test_backend_discovery_latency(
             f"[{dataset}] vectorized {vec}s vs interpreted {interp}s "
             f"({'faster' if vec < interp else 'slower'})"
         )
+    medians = {
+        f"{r['dataset']}/{r['backend']}": r["median_ms"] for r in rows
+    }
+    print(f"medians ({PROFILE}): {json.dumps(medians, sort_keys=True)}")
+    _enforce_baseline(rows)
 
 
 @pytest.mark.benchmark(group="backend")

@@ -1,10 +1,17 @@
 """Command-line interface for the SQuID reproduction.
 
-Three subcommands cover the interactive workflow::
+Four subcommands cover the interactive workflow::
 
     repro-squid discover --dataset imdb --examples "Tom Cruise;Nicole Kidman"
+    repro-squid batch --dataset imdb --input sets.txt --jobs 4 --stats
     repro-squid workloads --dataset dblp
     repro-squid stats --dataset adult
+
+``batch`` reads one example set per line (semicolon-separated values;
+blank lines and ``#`` comments are skipped, ``-`` reads stdin) and
+discovers them all in one :class:`~repro.core.session.DiscoverySession`,
+sharing the warm αDB views and result cache and fanning candidate work
+across ``--jobs`` workers.
 
 (or ``python -m repro.cli ...`` without the console script).
 """
@@ -14,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .core.config import SquidConfig
 from .core.recommend import recommend_examples
@@ -44,19 +51,56 @@ def _build_dataset(name: str, profile: str):
     raise SystemExit(f"unknown dataset {name!r} (choose imdb, dblp, adult)")
 
 
+def _squid_config(args: argparse.Namespace) -> SquidConfig:
+    """Build the run configuration from the shared CLI knobs."""
+    return SquidConfig(
+        rho=args.rho,
+        tau_a=args.tau_a,
+        backend=args.backend,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
+
+
+def _print_run_stats(squid: SquidSystem, session=None) -> None:
+    """The ``--stats`` report: cache, engine routing, session counters."""
+    rows = []
+    cache = squid.cache_stats()
+    if cache is not None:
+        rows += [{"counter": f"cache_{k}", "value": v} for k, v in cache.items()]
+    engine = squid.backend_stats()
+    if engine is not None:
+        rows += [{"counter": f"engine_{k}", "value": v} for k, v in engine.items()]
+    if session is not None:
+        rows += [
+            {"counter": k, "value": v}
+            for k, v in session.stats().items()
+            if not k.startswith(("cache_", "engine_"))
+        ]
+    if rows:
+        print("\n" + format_table(rows, title="run statistics"))
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     db, metadata, _ = _build_dataset(args.dataset, args.profile)
     examples = [part.strip() for part in args.examples.split(";") if part.strip()]
     if not examples:
         print("no examples given (use --examples 'A;B;C')", file=sys.stderr)
         return 2
-    config = SquidConfig(rho=args.rho, tau_a=args.tau_a, backend=args.backend)
+    config = _squid_config(args)
     start = time.perf_counter()
     squid = SquidSystem.build(db, metadata, config)
     build_seconds = time.perf_counter() - start
 
+    session = squid.session() if args.jobs > 1 else None
     start = time.perf_counter()
-    result = squid.discover(examples)
+    if session is not None:
+        outcome = session.discover_many([examples])[0]
+        if outcome.error is not None:
+            raise outcome.error
+        result = outcome.result
+    else:
+        result = squid.discover(examples)
     discover_seconds = time.perf_counter() - start
 
     print(f"offline αDB build: {build_seconds:.2f}s; discovery: "
@@ -80,7 +124,68 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             for rec in suggestions:
                 why = ", ".join(rec.discriminates) or "diversity"
                 print(f"  {rec.display}  [{why}]")
+    if args.show_stats:
+        _print_run_stats(squid, session)
     return 0
+
+
+def _read_example_sets(path: str) -> List[List[str]]:
+    """Parse a batch input file: one semicolon-separated set per line."""
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    sets: List[List[str]] = []
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        examples = [part.strip() for part in line.split(";") if part.strip()]
+        if examples:
+            sets.append(examples)
+    return sets
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    sets = _read_example_sets(args.input)
+    if not sets:
+        print("no example sets in input (one 'A;B;C' line per set)",
+              file=sys.stderr)
+        return 2
+    db, metadata, _ = _build_dataset(args.dataset, args.profile)
+    config = _squid_config(args)
+    start = time.perf_counter()
+    squid = SquidSystem.build(db, metadata, config)
+    build_seconds = time.perf_counter() - start
+
+    session = squid.session()
+    session.warm()
+    outcomes = session.discover_many(sets)
+    wall = session.last_batch_wall_seconds
+    ok = sum(1 for o in outcomes if o.ok)
+    print(
+        f"offline αDB build: {build_seconds:.2f}s; batch of {len(sets)} "
+        f"example sets: {wall * 1000:.1f}ms total "
+        f"({ok} discovered, {len(sets) - ok} failed) "
+        f"[backend: {squid.backend_name}, jobs: {session.jobs}, "
+        f"executor: {session.executor_used or 'sequential'}]\n"
+    )
+    for i, outcome in enumerate(outcomes):
+        label = "; ".join(outcome.examples)
+        if not outcome.ok:
+            print(f"[{i}] {label}\n    ERROR: {outcome.error}")
+            continue
+        result = outcome.result
+        cardinality = len(squid.result_keys(result))
+        print(
+            f"[{i}] {label}  ({outcome.seconds * 1000:.1f}ms, "
+            f"{cardinality} tuples)"
+        )
+        print("    " + result.sql.replace("\n", "\n    "))
+    if args.show_stats:
+        _print_run_stats(squid, session)
+    return 0 if ok else 1
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -117,20 +222,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_run_options(cmd: argparse.ArgumentParser) -> None:
+        """Knobs shared by the single-set and batch discovery commands."""
+        cmd.add_argument("--profile", choices=_PROFILES, default="small")
+        cmd.add_argument("--rho", type=float, default=0.1)
+        cmd.add_argument("--tau-a", dest="tau_a", type=float, default=5.0)
+        cmd.add_argument("--backend", choices=available_backends(),
+                         default=DEFAULT_BACKEND,
+                         help="query execution engine")
+        cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker-pool width for candidate fan-out")
+        cmd.add_argument("--executor", choices=("thread", "process"),
+                         default="thread",
+                         help="worker pool flavour when --jobs > 1")
+        cmd.add_argument("--stats", dest="show_stats", action="store_true",
+                         help="print cache/engine/session counters after "
+                              "discovery")
+
     discover = sub.add_parser("discover", help="abduce a query from examples")
     discover.add_argument("--dataset", required=True)
     discover.add_argument("--examples", required=True,
                           help="semicolon-separated example values")
-    discover.add_argument("--profile", choices=_PROFILES, default="small")
-    discover.add_argument("--rho", type=float, default=0.1)
-    discover.add_argument("--tau-a", dest="tau_a", type=float, default=5.0)
     discover.add_argument("--limit", type=int, default=25)
     discover.add_argument("--recommend", type=int, default=0,
                           help="also suggest N further examples")
-    discover.add_argument("--backend", choices=available_backends(),
-                          default=DEFAULT_BACKEND,
-                          help="query execution engine")
+    add_run_options(discover)
     discover.set_defaults(func=_cmd_discover)
+
+    batch = sub.add_parser(
+        "batch", help="discover many example sets in one shared session"
+    )
+    batch.add_argument("--dataset", required=True)
+    batch.add_argument("--input", required=True,
+                       help="file of example sets, one 'A;B;C' line per set "
+                            "('-' reads stdin)")
+    add_run_options(batch)
+    batch.set_defaults(func=_cmd_batch)
 
     workloads = sub.add_parser("workloads", help="list benchmark queries")
     workloads.add_argument("--dataset", required=True)

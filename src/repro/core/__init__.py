@@ -33,19 +33,35 @@ from .properties import (
     SemanticContext,
     SemanticProperty,
 )
+from .pipeline import (
+    AbductionStage,
+    ConstructionStage,
+    ContextStage,
+    DisambiguationStage,
+    LookupStage,
+    PipelineContext,
+    Stage,
+)
 from .recommend import Recommendation, borderline_decisions, recommend_examples
+from .session import BatchOutcome, DiscoverySession, ProbeCachingAdb
 from .squid import DiscoveryResult, DiscoveryTimings, SquidSystem
 
 __all__ = [
     "AbductionReadyDatabase",
     "AbductionResult",
+    "AbductionStage",
     "AdbBuildReport",
     "AdbMetadata",
+    "BatchOutcome",
+    "ConstructionStage",
     "ContextSet",
+    "ContextStage",
     "DerivedRecipe",
     "DimensionSpec",
     "DisambiguationResult",
+    "DisambiguationStage",
     "DiscoveryResult",
+    "DiscoverySession",
     "DiscoveryTimings",
     "EntityMatch",
     "EntitySpec",
@@ -53,11 +69,15 @@ __all__ = [
     "FamilyKind",
     "Filter",
     "FilterDecision",
+    "LookupStage",
+    "PipelineContext",
     "PriorBreakdown",
+    "ProbeCachingAdb",
     "PropertyFamily",
     "QualifierSpec",
     "Recommendation",
     "SchemaDiscoveryResult",
+    "Stage",
     "SemanticContext",
     "SemanticProperty",
     "SquidConfig",

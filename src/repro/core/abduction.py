@@ -143,7 +143,12 @@ def brute_force_best_subset(
         score = 0.0
         for i, (include, exclude) in enumerate(scored):
             score += log_or_floor(include if i in subset else exclude)
-        if score > best_score + 1e-12:
+        # Exact comparison: the greedy rule includes on any strictly
+        # positive margin, however tiny, so a tolerance here would call
+        # near-ties the greedy path legitimately wins "ties" and disagree
+        # with Algorithm 1 (exact equality still resolves to the smaller,
+        # earlier-enumerated subset, matching ties-are-dropped).
+        if score > best_score:
             best_score = score
             best_subset = subset
     return best_subset, best_score

@@ -220,6 +220,18 @@ class AbductionReadyDatabase:
             for rid in index.lookup(entity_key)
         }
 
+    def entity_properties_many(
+        self, family: PropertyFamily, entity_keys: Sequence[Any]
+    ) -> List[Dict[Any, float]]:
+        """Property values of several entities under one family.
+
+        The batch probe the context stage issues (one per family per
+        example set).  The base implementation just loops; the session's
+        :class:`~repro.core.session.ProbeCachingAdb` overrides it with
+        lookups into a materialised per-family map.
+        """
+        return [self.entity_properties(family, key) for key in entity_keys]
+
     def association_total(self, family: PropertyFamily, entity_key: Any) -> float:
         """Total association mass of an entity within a derived family.
 

@@ -32,6 +32,16 @@ from typing import Optional
 from ..sql.engine import DEFAULT_BACKEND, DEFAULT_CACHE_SIZE, available_backends
 
 
+def validate_fanout(jobs: int, executor: str) -> None:
+    """Validate worker-pool settings (shared by config and sessions)."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
+
+
 @dataclass(frozen=True)
 class SquidConfig:
     """All tunable parameters of the SQuID pipeline."""
@@ -109,6 +119,19 @@ class SquidConfig:
     evaluation reruns re-execute identical queries; the cache makes those
     repeats free."""
 
+    # --- batch discovery / worker fan-out --------------------------------
+    jobs: int = 1
+    """Default worker-pool width of :class:`~repro.core.session.
+    DiscoverySession`: independent (example set × candidate base query)
+    work units fan out across this many workers.  1 keeps the sequential
+    reference path."""
+
+    executor: str = "thread"
+    """Worker pool flavour for ``jobs > 1``: ``thread`` (shared αDB, best
+    when the vectorized kernels dominate) or ``process`` (fork-based,
+    true CPU parallelism; falls back to threads where fork is
+    unavailable)."""
+
     def __post_init__(self) -> None:
         if not 0.0 < self.rho < 1.0:
             raise ValueError(f"rho must be in (0, 1), got {self.rho}")
@@ -131,6 +154,7 @@ class SquidConfig:
             raise ValueError(
                 f"query_cache_size must be >= 0, got {self.query_cache_size}"
             )
+        validate_fanout(self.jobs, self.executor)
 
     def with_overrides(self, **kwargs) -> "SquidConfig":
         """A copy of this config with selected fields replaced."""

@@ -73,7 +73,7 @@ def _family_contexts(
     config: SquidConfig,
 ) -> List[SemanticProperty]:
     """Contexts contributed by a single property family."""
-    per_example = [adb.entity_properties(family, key) for key in keys]
+    per_example = adb.entity_properties_many(family, keys)
     if any(not props for props in per_example):
         # some example lacks the property entirely -> no valid filter here
         return []

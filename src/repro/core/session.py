@@ -1,0 +1,537 @@
+"""Batch discovery sessions: amortise shared work across example sets.
+
+The online pipeline's per-candidate stages (:mod:`repro.core.pipeline`)
+only read the αDB, so many discoveries can share everything that is
+expensive to assemble:
+
+* the relation layer's cached numpy **column/sorted views** (``warm()``
+  pre-builds them once instead of faulting them in per query);
+* the formatted-SQL-keyed **query-result cache** of the system's
+  backend (shared automatically — all work units execute through the
+  same backend instance);
+* the per-entity **property probes** (``adb.entity_properties``) that
+  dominate disambiguation and context discovery: example sets drawn from
+  the same workload overlap heavily in entities, so
+  :class:`ProbeCachingAdb` memoises the probes across the whole session.
+
+On top of the sharing, independent (example set × candidate base query)
+work units fan out across a configurable worker pool: ``jobs=N`` with
+``executor="thread"`` (default; the numpy kernels release the GIL) or
+``executor="process"`` (fork-based, true CPU parallelism; results are
+pickled back).  ``jobs=1`` drives the exact sequential reference path,
+so batch output is identical to calling ``SquidSystem.discover`` in a
+loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .config import SquidConfig, validate_fanout
+from .lookup import ExampleLookupError
+from .pipeline import (
+    LOOKUP_STAGE,
+    DiscoveryResult,
+    DiscoveryTimings,
+    PipelineContext,
+    check_example_count,
+    discover_sequential,
+    run_candidate,
+    select_best,
+)
+from .properties import FamilyKind, PropertyFamily
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .squid import SquidSystem
+
+
+_MISSING = object()
+
+
+def _probe_table(family: PropertyFamily) -> str:
+    """The one relation ``entity_properties`` reads for this family."""
+    if family.kind in (
+        FamilyKind.DIRECT_CATEGORICAL,
+        FamilyKind.DIRECT_NUMERIC,
+        FamilyKind.FK_DIM,
+    ):
+        return family.entity
+    if family.kind in (FamilyKind.FACT_DIM, FamilyKind.FACT_ATTR):
+        return family.fact_table
+    return family.derived_table
+
+
+class ProbeCachingAdb:
+    """Serve an αDB's per-entity point probes from materialised maps.
+
+    ``entity_properties(family, key)`` is the hot probe of the online
+    phase — disambiguation scores profiles with it and context discovery
+    calls it once per (family, example).  The αDB answers each probe
+    through hash-index machinery (index lookup + per-row dict build);
+    over a batch of example sets drawn from one workload the same
+    entities are probed again and again.
+
+    Instead of memoising probe-by-probe, the first probe of a *family*
+    transposes that family's backing relation once — one linear scan
+    building ``entity key -> {value: θ}`` for **every** entity — after
+    which all probes of the family are plain dict hits shared across the
+    whole session.  The scan costs what a handful of individual derived
+    probes cost, and the map's size is bounded by the relation it
+    mirrors.
+
+    Every other attribute transparently proxies to the wrapped αDB.
+    Family maps are stamped with the ``(uid, version)`` of the relation
+    they transpose, so base-data mutations invalidate them exactly like
+    the query-result cache.  Cached dicts are shared between callers;
+    the pipeline treats them as read-only.  Plain dict operations keep
+    the maps safe under the thread executor (worst case: one duplicated
+    scan).
+    """
+
+    _EMPTY: Dict[Any, float] = {}
+
+    def __init__(self, adb) -> None:
+        self._adb = adb
+        self._families: Dict[
+            Tuple[str, str], Tuple[Tuple[int, int], Dict[Any, Dict[Any, float]]]
+        ] = {}
+        self._dim_labels: Dict[str, Tuple[Tuple[int, int], Dict[Any, Any]]] = {}
+        self.hits = 0
+        self.family_scans = 0
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._adb, name)
+
+    @property
+    def wrapped(self):
+        """The underlying :class:`AbductionReadyDatabase`."""
+        return self._adb
+
+    def _family_map(self, family: PropertyFamily) -> Dict[Any, Dict[Any, float]]:
+        # Hot path: no stamp check per probe — staleness is handled at
+        # discovery boundaries by ``revalidate()`` (the pipeline itself
+        # never mutates base data mid-discovery).
+        entry = self._families.get(family.key)
+        if entry is not None:
+            return entry[1]
+        relation = self._adb.db.relation(_probe_table(family))
+        stamp = (relation.uid, relation.version)
+        self.family_scans += 1
+        out: Dict[Any, Dict[Any, float]] = {}
+        if family.kind in (
+            FamilyKind.DIRECT_CATEGORICAL,
+            FamilyKind.DIRECT_NUMERIC,
+            FamilyKind.FK_DIM,
+        ):
+            # Entity keys are the table's primary key (what lookup_pk
+            # resolves); transpose key column -> attribute column.
+            value_column = (
+                family.fk_column
+                if family.kind is FamilyKind.FK_DIM
+                else family.column
+            )
+            keys = relation.column(relation.schema.primary_key)
+            values = relation.column(value_column)
+            for key, value in zip(keys, values):
+                if value is not None:
+                    out[key] = {value: 1.0}
+        elif family.kind in (FamilyKind.FACT_DIM, FamilyKind.FACT_ATTR):
+            value_column = (
+                family.fact_dim_col
+                if family.kind is FamilyKind.FACT_DIM
+                else family.column
+            )
+            keys = relation.column(family.fact_entity_col)
+            values = relation.column(value_column)
+            for key, value in zip(keys, values):
+                if value is not None:
+                    out.setdefault(key, {})[value] = 1.0
+        else:  # derived families: transpose the materialised αDB relation
+            keys = relation.column(family.derived_entity_col)
+            values = relation.column(family.derived_value_col)
+            counts = relation.column("count")
+            for key, value, count in zip(keys, values, counts):
+                out.setdefault(key, {})[value] = float(count)
+        self._families[family.key] = (stamp, out)
+        return out
+
+    def entity_properties(self, family: PropertyFamily, entity_key: Any) -> Dict[Any, float]:
+        self.hits += 1
+        return self._family_map(family).get(entity_key, self._EMPTY)
+
+    def entity_properties_many(
+        self, family: PropertyFamily, entity_keys: Sequence[Any]
+    ) -> List[Dict[Any, float]]:
+        """Batch probe: one map fetch, then plain dict hits per key."""
+        family_map = self._family_map(family)
+        self.hits += len(entity_keys)
+        empty = self._EMPTY
+        return [family_map.get(key, empty) for key in entity_keys]
+
+    def association_total(self, family: PropertyFamily, entity_key: Any) -> float:
+        """Total association mass, served from the materialised map."""
+        return float(sum(self.entity_properties(family, entity_key).values()))
+
+    def dim_label_of(self, family: PropertyFamily, value: Any) -> str:
+        """Human-readable label, via a materialised dimension-label map."""
+        if not family.value_is_ref:
+            return str(value)
+        entry = self._dim_labels.get(family.dim_table)
+        if entry is None:
+            relation = self._adb.db.relation(family.dim_table)
+            labels = dict(
+                zip(
+                    relation.column(relation.schema.primary_key),
+                    relation.column(family.dim_label),
+                )
+            )
+            entry = ((relation.uid, relation.version), labels)
+            self._dim_labels[family.dim_table] = entry
+        label = entry[1].get(value, _MISSING)
+        return str(value) if label is _MISSING else str(label)
+
+    def warm_families(self) -> int:
+        """Materialise every family map up front; returns the count."""
+        count = 0
+        for spec in self._adb.metadata.entities:
+            for family in self._adb.families_for(spec.table):
+                self._family_map(family)
+                count += 1
+        return count
+
+    def revalidate(self) -> int:
+        """Drop family maps whose backing relation changed since the scan.
+
+        Called at every discovery boundary (once per batch / per single
+        discovery), so probes inside a discovery skip the per-call stamp
+        check.  Returns the number of maps dropped.
+        """
+        by_table: Dict[str, Tuple[int, int]] = {}
+
+        def current_stamp(table: str) -> Tuple[int, int]:
+            stamp = by_table.get(table)
+            if stamp is None:
+                relation = self._adb.db.relation(table)
+                stamp = (relation.uid, relation.version)
+                by_table[table] = stamp
+            return stamp
+
+        dropped = 0
+        for key, (stamp, _) in list(self._families.items()):
+            entity, attribute = key
+            family = self._adb.family(entity, attribute)
+            if stamp != current_stamp(_probe_table(family)):
+                del self._families[key]
+                dropped += 1
+        for table, (stamp, _) in list(self._dim_labels.items()):
+            if stamp != current_stamp(table):
+                del self._dim_labels[table]
+                dropped += 1
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Probe/scan counters of the family-map cache.
+
+        ``probe_hits`` is deliberately unlocked (the probe is the online
+        phase's hottest call), so under thread fan-out it is a close
+        approximation, not an exact tally."""
+        return {
+            "probe_hits": self.hits,
+            "probe_family_scans": self.family_scans,
+            "probe_families": len(self._families),
+        }
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one example set within a batch discovery."""
+
+    examples: List[str]
+    result: Optional[DiscoveryResult] = None
+    error: Optional[Exception] = None
+    """An :class:`ExampleLookupError` when no entity attribute contains
+    the whole set; any other failure propagates out of the batch call."""
+
+    seconds: float = 0.0
+    """Per-set discovery cost: measured wall-clock on the sequential
+    (``jobs=1``) path, summed per-stage CPU time under parallel fan-out
+    (where per-set wall-clock is not observable; the batch-level wall is
+    in :meth:`DiscoverySession.stats`)."""
+
+    @property
+    def ok(self) -> bool:
+        """Whether discovery produced a result for this set."""
+        return self.result is not None
+
+
+# Fork-inherited state for the process executor: set in the parent right
+# before the pool is created; children receive it through fork()'s
+# copy-on-write snapshot, so nothing heavyweight is ever pickled.
+# _FORK_LOCK serialises concurrent process-executor batches — the global
+# must not be reassigned between another session's assignment and its
+# workers forking.
+_FORK_STATE: Optional[Tuple[Any, Any, List[List[str]], SquidConfig]] = None
+_FORK_LOCK = threading.Lock()
+_FORK_MATCHES: Dict[int, Any] = {}
+
+
+def _fork_unit(unit: Tuple[int, int]) -> Tuple[int, int, DiscoveryResult]:
+    """Process-pool worker: run one (example set, candidate) unit."""
+    assert _FORK_STATE is not None, "worker forked without session state"
+    adb, backend, sets, config = _FORK_STATE
+    set_idx, cand_idx = unit
+    matches = _FORK_MATCHES.get(set_idx)
+    if matches is None:
+        # Lookup re-runs once per child process per set (cheap: one probe
+        # of the inverted index); candidates then come out identical to
+        # the parent's because lookup is deterministic.
+        ctx = PipelineContext(
+            adb=adb, backend=backend, config=config, examples=sets[set_idx]
+        )
+        LOOKUP_STAGE(ctx)
+        matches = ctx.matches
+        _FORK_MATCHES[set_idx] = matches
+    candidate_ctx = PipelineContext(
+        adb=adb,
+        backend=backend,
+        config=config,
+        examples=sets[set_idx],
+        match=matches[cand_idx],
+    )
+    return set_idx, cand_idx, run_candidate(candidate_ctx)
+
+
+class DiscoverySession:
+    """Discover many example sets in one call over a shared warm αDB.
+
+    Construct directly or via :meth:`SquidSystem.session`.  The session
+    holds no mutable αDB state of its own beyond the probe memo, so one
+    system can serve many concurrent sessions.
+    """
+
+    def __init__(
+        self,
+        system: "SquidSystem",
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+        share_probes: bool = True,
+    ) -> None:
+        self.system = system
+        self.jobs = system.config.jobs if jobs is None else jobs
+        self.executor = executor or system.config.executor
+        validate_fanout(self.jobs, self.executor)
+        self.adb = ProbeCachingAdb(system.adb) if share_probes else system.adb
+        self._backend = system.backend
+        self.executor_used: Optional[str] = None
+        """Pool flavour of the last parallel batch (None before one ran;
+        'process' silently degrades to 'thread' where fork is missing)."""
+
+        self.batches = 0
+        self.sets_discovered = 0
+        self.last_batch_wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # warm-up
+    # ------------------------------------------------------------------
+    def warm(self, tables: Optional[Sequence[str]] = None) -> int:
+        """Pre-build the αDB state discovery would fault in lazily.
+
+        Covers the relation layer's cached column/sorted views and — when
+        probe sharing is on — the per-family probe maps, so batch
+        workloads pay the one-time construction up front instead of
+        inside the first (timed) discovery.  Returns the number of views
+        and maps built or refreshed.  Unsortable object columns simply
+        have no sorted view (``sorted_view`` returns None) and are
+        skipped.
+        """
+        db = self.system.adb.db
+        names = list(tables) if tables is not None else db.table_names()
+        built = 0
+        for name in names:
+            relation = db.relation(name)
+            for col in relation.schema.columns:
+                relation.column_array(col.name)
+                relation.sorted_view(col.name)
+                built += 1
+        if isinstance(self.adb, ProbeCachingAdb):
+            built += self.adb.warm_families()
+        return built
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        examples: Sequence[str],
+        config: Optional[SquidConfig] = None,
+    ) -> DiscoveryResult:
+        """One sequential discovery sharing this session's warm state."""
+        config = config or self.system.config
+        if isinstance(self.adb, ProbeCachingAdb):
+            self.adb.revalidate()
+        return discover_sequential(self.adb, self._backend, examples, config)
+
+    def discover_many(
+        self,
+        example_sets: Sequence[Sequence[str]],
+        config: Optional[SquidConfig] = None,
+    ) -> List[BatchOutcome]:
+        """Discover every example set; one :class:`BatchOutcome` each.
+
+        Output is identical for any ``jobs``/``executor`` setting — the
+        fan-out only changes *where* candidate work units run, never what
+        they compute.  Sets whose examples match no entity attribute come
+        back with ``error`` set instead of failing the whole batch.
+        """
+        config = config or self.system.config
+        sets = [list(s) for s in example_sets]
+        start = time.perf_counter()
+        if isinstance(self.adb, ProbeCachingAdb):
+            self.adb.revalidate()
+        if self.jobs <= 1:
+            outcomes = [self._discover_one(s, config) for s in sets]
+        else:
+            outcomes = self._discover_parallel(sets, config)
+        self.last_batch_wall_seconds = time.perf_counter() - start
+        self.batches += 1
+        self.sets_discovered += sum(1 for o in outcomes if o.ok)
+        return outcomes
+
+    def _discover_one(self, examples: List[str], config: SquidConfig) -> BatchOutcome:
+        outcome = BatchOutcome(examples=examples)
+        try:
+            result = discover_sequential(self.adb, self._backend, examples, config)
+        except ExampleLookupError as exc:
+            outcome.error = exc
+            return outcome
+        outcome.result = result
+        assert result.aggregate_timings is not None
+        outcome.seconds = result.aggregate_timings.wall_seconds
+        return outcome
+
+    def _discover_parallel(
+        self, sets: List[List[str]], config: SquidConfig
+    ) -> List[BatchOutcome]:
+        outcomes = [BatchOutcome(examples=s) for s in sets]
+        contexts: Dict[int, PipelineContext] = {}
+        units: List[Tuple[int, int]] = []
+        # Shared per-set lookup stays in the caller: it is one inverted-
+        # index probe, and doing it up front lets the fan-out see every
+        # unit at once.
+        for i, examples in enumerate(sets):
+            check_example_count(examples, config)
+            ctx = PipelineContext(
+                adb=self.adb, backend=self._backend, config=config, examples=examples
+            )
+            try:
+                LOOKUP_STAGE(ctx)
+            except ExampleLookupError as exc:
+                outcomes[i].error = exc
+                continue
+            assert ctx.matches is not None
+            contexts[i] = ctx
+            units.extend((i, j) for j in range(len(ctx.matches)))
+
+        results = self._fan_out(units, contexts, sets, config)
+
+        for i, ctx in contexts.items():
+            assert ctx.matches is not None
+            candidates = [results[(i, j)] for j in range(len(ctx.matches))]
+            aggregate = DiscoveryTimings(
+                lookup_seconds=ctx.timings.lookup_seconds
+            )
+            for candidate in candidates:
+                aggregate.accumulate(candidate.timings)
+            best = select_best(candidates)
+            best.aggregate_timings = aggregate
+            outcomes[i].result = best
+            outcomes[i].seconds = aggregate.cpu_seconds
+        return outcomes
+
+    def _fan_out(
+        self,
+        units: List[Tuple[int, int]],
+        contexts: Dict[int, PipelineContext],
+        sets: List[List[str]],
+        config: SquidConfig,
+    ) -> Dict[Tuple[int, int], DiscoveryResult]:
+        if (
+            self.executor == "process"
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            self.executor_used = "process"
+            return self._fan_out_processes(units, contexts, sets, config)
+        self.executor_used = "thread"
+        return self._fan_out_threads(units, contexts)
+
+    def _fan_out_threads(
+        self,
+        units: List[Tuple[int, int]],
+        contexts: Dict[int, PipelineContext],
+    ) -> Dict[Tuple[int, int], DiscoveryResult]:
+        results: Dict[Tuple[int, int], DiscoveryResult] = {}
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {}
+            for i, j in units:
+                ctx = contexts[i]
+                assert ctx.matches is not None
+                candidate_ctx = ctx.for_candidate(ctx.matches[j])
+                futures[pool.submit(run_candidate, candidate_ctx)] = (i, j)
+            for future, key in futures.items():
+                results[key] = future.result()
+        return results
+
+    def _fan_out_processes(
+        self,
+        units: List[Tuple[int, int]],
+        contexts: Dict[int, PipelineContext],
+        sets: List[List[str]],
+        config: SquidConfig,
+    ) -> Dict[Tuple[int, int], DiscoveryResult]:
+        global _FORK_STATE
+        mp_context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_STATE = (self.adb, self._backend, sets, config)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=mp_context
+                ) as pool:
+                    results: Dict[Tuple[int, int], DiscoveryResult] = {}
+                    for set_idx, cand_idx, result in pool.map(_fork_unit, units):
+                        # Children re-measure their own lookup; attribute
+                        # the parent's shared lookup time like the thread
+                        # path.
+                        result.timings.lookup_seconds = contexts[
+                            set_idx
+                        ].timings.lookup_seconds
+                        results[(set_idx, cand_idx)] = result
+                    return results
+            finally:
+                _FORK_STATE = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Session counters: probe memo, query cache, engine routing."""
+        out: Dict[str, Any] = {
+            "batches": self.batches,
+            "sets_discovered": self.sets_discovered,
+            "last_batch_wall_seconds": self.last_batch_wall_seconds,
+            "jobs": self.jobs,
+            "executor": self.executor_used or self.executor,
+        }
+        if isinstance(self.adb, ProbeCachingAdb):
+            out.update(self.adb.stats())
+        cache = self.system.cache_stats()
+        if cache is not None:
+            out.update({f"cache_{k}": v for k, v in cache.items()})
+        engine = self.system.backend_stats()
+        if engine is not None:
+            out.update({f"engine_{k}": v for k, v in engine.items()})
+        return out

@@ -10,115 +10,37 @@
 5. query construction (SPJ over the αDB, plus the equivalent SPJAI form
    over the original schema).
 
-When the examples match several entity types (several candidate base
-queries), each base query is abduced and the one with the highest
-unnormalised log posterior wins; valid base queries carry equal priors
-(Section 4.3).
+The stages themselves live in :mod:`repro.core.pipeline`; this facade
+drives them sequentially.  When the examples match several entity types
+(several candidate base queries), each base query is abduced and the one
+with the highest unnormalised log posterior wins; valid base queries
+carry equal priors (Section 4.3).  For batch workloads (many example
+sets, optional worker fan-out) use :meth:`SquidSystem.session` /
+:class:`~repro.core.session.DiscoverySession`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..relational.database import Database
-from ..sql.ast import AnyQuery, Query
+from ..sql.ast import AnyQuery
 from ..sql.engine import CachingBackend, ExecutionBackend, create_backend
-from ..sql.formatter import format_query
 from ..sql.result import ResultSet
-from .abduction import AbductionResult, abduce
 from .adb import AbductionReadyDatabase
-from .base_query import build_adb_query, build_base_query, build_original_query
 from .config import SquidConfig
-from .context import ContextSet, discover_contexts
-from .disambiguation import DisambiguationResult, disambiguate
-from .lookup import EntityMatch, ExampleLookupError, lookup_examples
-from .metadata import AdbMetadata, EntitySpec
+from .metadata import AdbMetadata
+from .pipeline import (
+    DiscoveryResult,
+    DiscoveryTimings,
+    discover_sequential,
+    prune_redundant,
+)
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import DiscoverySession
 
-@dataclass
-class DiscoveryTimings:
-    """Per-stage wall-clock timings of one discovery call."""
-
-    lookup_seconds: float = 0.0
-    disambiguation_seconds: float = 0.0
-    context_seconds: float = 0.0
-    abduction_seconds: float = 0.0
-    construction_seconds: float = 0.0
-
-    @property
-    def total_seconds(self) -> float:
-        """End-to-end query intent discovery time."""
-        return (
-            self.lookup_seconds
-            + self.disambiguation_seconds
-            + self.context_seconds
-            + self.abduction_seconds
-            + self.construction_seconds
-        )
-
-    def accumulate(self, other: "DiscoveryTimings") -> None:
-        """Add ``other``'s per-stage times (lookup excluded: it is shared
-        across candidate base queries and counted once by the caller)."""
-        self.disambiguation_seconds += other.disambiguation_seconds
-        self.context_seconds += other.context_seconds
-        self.abduction_seconds += other.abduction_seconds
-        self.construction_seconds += other.construction_seconds
-
-
-@dataclass
-class DiscoveryResult:
-    """Everything SQuID inferred for one example set."""
-
-    entity: EntitySpec
-    entity_keys: List[Any]
-    contexts: ContextSet
-    abduction: AbductionResult
-    query: Query
-    """The abduced SPJ query over the αDB (Q5 form), selecting the
-    display attribute."""
-
-    keyed_query: Query
-    """Same query additionally projecting the entity key (for metrics)."""
-
-    original_query: AnyQuery
-    """Equivalent SPJAI query over the original schema (Q4 form)."""
-
-    timings: DiscoveryTimings
-    """Wall-clock of *this* candidate's pipeline (lookup is shared)."""
-
-    disambiguation: Optional[DisambiguationResult] = None
-    log_posterior: float = 0.0
-
-    aggregate_timings: Optional[DiscoveryTimings] = None
-    """Set on the winning result only: total time across *all* candidate
-    base queries, including the ones that lost the posterior comparison."""
-
-    @property
-    def sql(self) -> str:
-        """SQL text of the abduced αDB query."""
-        return format_query(self.query)
-
-    @property
-    def original_sql(self) -> str:
-        """SQL text of the original-schema SPJAI rendering."""
-        return format_query(self.original_query)
-
-    def explain(self) -> str:
-        """Human-readable abduction report (filters kept vs dropped)."""
-        lines = [f"entity: {self.entity.table} ({len(self.entity_keys)} examples)"]
-        for decision in self.abduction.decisions:
-            verdict = "KEEP" if decision.included else "drop"
-            filt = decision.filt
-            lines.append(
-                f"  [{verdict}] {filt.notation()} "
-                f"ψ={filt.selectivity:.4f} "
-                f"Pr(φ)={decision.prior.prior:.4f} "
-                f"include={decision.include_score:.3e} "
-                f"exclude={decision.exclude_score:.3e}"
-            )
-        return "\n".join(lines)
+__all__ = ["DiscoveryResult", "DiscoveryTimings", "SquidSystem"]
 
 
 class SquidSystem:
@@ -179,96 +101,33 @@ class SquidSystem:
         examples: Sequence[str],
         config: Optional[SquidConfig] = None,
     ) -> DiscoveryResult:
-        """Abduce the most likely query intent for the given examples."""
+        """Abduce the most likely query intent for the given examples.
+
+        Drives the staged pipeline sequentially: one shared lookup, then
+        the per-candidate stages for every candidate base query, keeping
+        the winner by log posterior.
+        """
         config = config or self.adb.config
-        examples = list(examples)
-        if len(examples) > config.max_example_warn:
-            raise ValueError(
-                f"{len(examples)} examples provided; QBE expects few "
-                f"(cap: {config.max_example_warn})"
-            )
-        start = time.perf_counter()
-        matches = lookup_examples(self.adb, examples)
-        lookup_seconds = time.perf_counter() - start
+        return discover_sequential(self.adb, self._backend, examples, config)
 
-        # Each candidate base query gets its own timings (lookup is shared
-        # and attributed to every candidate); the aggregate over all
-        # candidates — including the losers — is reported separately.
-        aggregate = DiscoveryTimings(lookup_seconds=lookup_seconds)
-        best: Optional[DiscoveryResult] = None
-        for match in matches:
-            timings = DiscoveryTimings(lookup_seconds=lookup_seconds)
-            candidate = self._discover_for_match(match, config, timings)
-            aggregate.accumulate(timings)
-            if best is None or candidate.log_posterior > best.log_posterior:
-                best = candidate
-        assert best is not None
-        best.aggregate_timings = aggregate
-        return best
-
-    def _discover_for_match(
+    def session(
         self,
-        match: EntityMatch,
-        config: SquidConfig,
-        timings: DiscoveryTimings,
-    ) -> DiscoveryResult:
-        start = time.perf_counter()
-        resolution = disambiguate(self.adb, match, config)
-        timings.disambiguation_seconds += time.perf_counter() - start
-        keys = resolution.keys
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+        share_probes: bool = True,
+    ) -> "DiscoverySession":
+        """A batch discovery session over this system (see
+        :class:`~repro.core.session.DiscoverySession`)."""
+        from .session import DiscoverySession
 
-        start = time.perf_counter()
-        contexts = discover_contexts(self.adb, match.entity.table, keys, config)
-        timings.context_seconds += time.perf_counter() - start
-
-        start = time.perf_counter()
-        abduction = abduce(contexts.filters, len(keys), config)
-        timings.abduction_seconds += time.perf_counter() - start
-
-        start = time.perf_counter()
-        selected = abduction.selected
-        if config.prune_redundant_filters and len(selected) > 1:
-            selected = self._prune_redundant(match.entity, selected)
-        query = build_adb_query(self.adb, match.entity, selected)
-        keyed = build_adb_query(self.adb, match.entity, selected, select_key=True)
-        original = build_original_query(self.adb, match.entity, selected)
-        timings.construction_seconds += time.perf_counter() - start
-
-        return DiscoveryResult(
-            entity=match.entity,
-            entity_keys=keys,
-            contexts=contexts,
-            abduction=abduction,
-            query=query,
-            keyed_query=keyed,
-            original_query=original,
-            timings=timings,
-            disambiguation=resolution,
-            log_posterior=abduction.log_posterior(),
+        return DiscoverySession(
+            self, jobs=jobs, executor=executor, share_probes=share_probes
         )
 
     def _prune_redundant(self, entity, selected):
-        """Occam's-razor pass: drop filters that do not change the result.
-
-        Filters are probed most-common-first (descending selectivity): a
-        broad filter subsumed by a sharper one contributes nothing to the
-        result set and only inflates the query.  Each probe is one αDB
-        query, so the pass costs O(|ϕ|) executions.
-        """
-        current = list(selected)
-        baseline = self._backend.execute(
-            build_adb_query(self.adb, entity, current, select_key=True)
-        ).as_set()
-        for filt in sorted(selected, key=lambda f: -f.selectivity):
-            if len(current) <= 1:
-                break
-            trial = [f for f in current if f is not filt]
-            result = self._backend.execute(
-                build_adb_query(self.adb, entity, trial, select_key=True)
-            ).as_set()
-            if result == baseline:
-                current = trial
-        return current
+        """Occam's-razor pruning pass (delegates to the pipeline stage
+        helper; kept as a method for callers probing it directly)."""
+        return prune_redundant(self.adb, self._backend, entity, selected)
 
     # ------------------------------------------------------------------
     # execution helpers
@@ -284,10 +143,20 @@ class SquidSystem:
         return self._backend.execute(query)
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
-        """Hit/miss counters of the query-result cache (None if disabled)."""
+        """Hit/miss/eviction counters of the query-result cache (None if
+        caching is disabled)."""
         if isinstance(self._backend, CachingBackend):
             return self._backend.cache.stats()
         return None
+
+    def backend_stats(self) -> Optional[Dict[str, int]]:
+        """Engine-level counters (e.g. the dispatch backend's per-engine
+        routing decisions); None when the engine keeps none."""
+        backend = self._backend
+        if isinstance(backend, CachingBackend):
+            backend = backend.inner
+        stats = getattr(backend, "stats", None)
+        return stats() if callable(stats) else None
 
     def result_keys(self, result: DiscoveryResult) -> set:
         """Entity keys returned by the abduced query."""

@@ -5,6 +5,14 @@ section and returns plain data structures (lists of row dicts) that the
 benchmark harnesses print and `EXPERIMENTS.md` records.  Keeping the
 drivers here lets the pytest benchmarks, the examples, and ad-hoc scripts
 share one implementation.
+
+The sweep drivers (``accuracy_curve``, ``scalability_curve``,
+``squid_qre``) discover through a shared
+:class:`~repro.core.session.DiscoverySession` instead of looping over
+``SquidSystem.discover``: one warm αDB, one probe memo and one result
+cache serve every example set of the sweep, and a caller-provided
+session (or ``SquidConfig(jobs=N)``) fans candidate work units across
+workers without changing any reported number.
 """
 
 from __future__ import annotations
@@ -15,12 +23,36 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.config import SquidConfig
 from ..core.lookup import ExampleLookupError
+from ..core.session import BatchOutcome, DiscoverySession
 from ..core.squid import SquidSystem
 from ..relational.database import Database
 from ..sql.counting import count_predicates
 from ..workloads.registry import Workload, WorkloadRegistry
 from .metrics import Accuracy, accuracy, is_instance_equivalent, masked_accuracy
 from .sampling import sample_example_sets
+
+
+def _session_for(
+    squid: SquidSystem, session: Optional[DiscoverySession]
+) -> DiscoverySession:
+    """The caller's session, or a fresh one over ``squid`` (warmed)."""
+    if session is not None:
+        return session
+    fresh = DiscoverySession(squid)
+    fresh.warm()
+    return fresh
+
+
+def _raise_unless_lookup_error(outcome: BatchOutcome) -> bool:
+    """True when the outcome holds a result; lookup misses are skipped
+    (matching the historical per-loop ``except ExampleLookupError``),
+    anything else propagates."""
+    if outcome.ok:
+        return True
+    if isinstance(outcome.error, ExampleLookupError):
+        return False
+    assert outcome.error is not None
+    raise outcome.error
 
 
 @dataclass
@@ -62,29 +94,36 @@ def accuracy_curve(
     seed: int = 7,
     mask: Optional[Set[Any]] = None,
     examples_override: Optional[Sequence[str]] = None,
+    session: Optional[DiscoverySession] = None,
 ) -> List[AccuracyPoint]:
-    """Figure 10/13 style curve: accuracy vs number of examples."""
+    """Figure 10/13 style curve: accuracy vs number of examples.
+
+    All example sets of one size discover in one batch; the ground-truth
+    keys are computed once for the whole curve instead of once per run.
+    """
     if examples_override is not None:
         values = list(examples_override)
     else:
         values = workload.ground_truth_examples(squid.adb.db)
+    session = _session_for(squid, session)
+    intended = workload.ground_truth_keys(squid.adb.db)
     points: List[AccuracyPoint] = []
     for size in example_sizes:
         example_sets = sample_example_sets(values, size, runs_per_size, seed)
         if not example_sets:
             continue
+        outcomes = session.discover_many(example_sets, config=config)
         precisions, recalls, fscores, times = [], [], [], []
-        for examples in example_sets:
-            try:
-                score, elapsed, _ = evaluate_once(
-                    squid, workload, examples, config, mask
-                )
-            except ExampleLookupError:
+        for outcome in outcomes:
+            if not _raise_unless_lookup_error(outcome):
                 continue
+            assert outcome.result is not None
+            predicted = squid.result_keys(outcome.result)
+            score = masked_accuracy(predicted, intended, mask)
             precisions.append(score.precision)
             recalls.append(score.recall)
             fscores.append(score.f_score)
-            times.append(elapsed)
+            times.append(outcome.seconds)
         if not times:
             continue
         n = len(times)
@@ -108,20 +147,28 @@ def scalability_curve(
     example_sizes: Sequence[int],
     runs_per_size: int = 3,
     seed: int = 11,
+    session: Optional[DiscoverySession] = None,
 ) -> List[Dict[str, Any]]:
-    """Figure 9 style: mean abduction time vs number of examples."""
+    """Figure 9 style: mean abduction time vs number of examples.
+
+    For each size, every workload's sampled example sets go through one
+    batch discovery, so sorted-view construction and repeated entity
+    probes amortise across the whole registry.
+    """
+    session = _session_for(squid, session)
     rows: List[Dict[str, Any]] = []
     for size in example_sizes:
-        times: List[float] = []
+        example_sets: List[List[str]] = []
         for workload in registry:
             values = workload.ground_truth_examples(squid.adb.db)
-            for examples in sample_example_sets(values, size, runs_per_size, seed):
-                try:
-                    start = time.perf_counter()
-                    squid.discover(examples)
-                    times.append(time.perf_counter() - start)
-                except ExampleLookupError:
-                    continue
+            example_sets.extend(
+                sample_example_sets(values, size, runs_per_size, seed)
+            )
+        times = [
+            outcome.seconds
+            for outcome in session.discover_many(example_sets)
+            if _raise_unless_lookup_error(outcome)
+        ]
         if times:
             rows.append(
                 {
@@ -194,9 +241,15 @@ def squid_qre(
     squid: SquidSystem,
     workload: Workload,
     config: Optional[SquidConfig] = None,
+    session: Optional[DiscoverySession] = None,
 ) -> QreOutcome:
-    """Run SQuID in the closed-world setting: entire output as examples."""
+    """Run SQuID in the closed-world setting: entire output as examples.
+
+    Passing one session across many workloads shares the warm αDB views
+    and probe memo between their (large) whole-output example sets.
+    """
     config = config or SquidConfig.optimistic()
+    session = _session_for(squid, session)
     db = squid.adb.db
     intended = workload.ground_truth_keys(db)
     examples = workload.ground_truth_examples(db)
@@ -212,7 +265,7 @@ def squid_qre(
         max_example_warn=max(config.max_example_warn, len(examples) + 1)
     )
     start = time.perf_counter()
-    result = squid.discover(examples, config=config)
+    result = session.discover(examples, config=config)
     outcome.squid_seconds = time.perf_counter() - start
     predicted = squid.result_keys(result)
     outcome.squid_predicates = count_predicates(result.query)

@@ -1,7 +1,8 @@
 """Query representation and execution for the SPJ(A, intersect) class.
 
 Exports the AST node types, the pluggable execution backends (interpreted,
-vectorized, sqlite) behind :class:`ExecutionBackend`, the paper-style SQL
+vectorized, sqlite, dispatch) behind :class:`ExecutionBackend`, the
+paper-style SQL
 formatter, the predicate-counting metric used in Figs. 14/15, and a small
 parser that round-trips the formatter output.
 """
@@ -26,6 +27,7 @@ from .engine import (
     BACKENDS,
     CachingBackend,
     DEFAULT_BACKEND,
+    DispatchBackend,
     ExecutionBackend,
     InterpretedBackend,
     QueryResultCache,
@@ -44,6 +46,7 @@ __all__ = [
     "CachingBackend",
     "ColumnRef",
     "DEFAULT_BACKEND",
+    "DispatchBackend",
     "ExecutionBackend",
     "Executor",
     "HavingCount",

@@ -9,7 +9,10 @@ behind the one interface:
 * ``vectorized`` — numpy kernels over the relation layer's cached column
   arrays (the default);
 * ``sqlite``     — compiles the AST to SQL against an in-memory SQLite
-  mirror of the database.
+  mirror of the database;
+* ``dispatch``   — cost-based router sending point lookups and tiny
+  queries to the interpreted engine and scans/joins to the vectorized
+  one, using per-table cardinalities.
 
 ``create_backend`` is the factory; :class:`CachingBackend` layers the
 shared formatted-SQL-keyed result cache over any engine.
@@ -28,6 +31,7 @@ from .base import (
     tables_of,
     validate_query,
 )
+from .dispatch import DEFAULT_SMALL_WORK_ROWS, DispatchBackend
 from .interpreted import InterpretedBackend
 from .sqlite import SqliteBackend
 from .vectorized import VectorizedBackend
@@ -36,6 +40,7 @@ BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     InterpretedBackend.name: InterpretedBackend,
     VectorizedBackend.name: VectorizedBackend,
     SqliteBackend.name: SqliteBackend,
+    DispatchBackend.name: DispatchBackend,
 }
 
 DEFAULT_BACKEND = VectorizedBackend.name
@@ -71,6 +76,8 @@ __all__ = [
     "CachingBackend",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_SMALL_WORK_ROWS",
+    "DispatchBackend",
     "ExecutionBackend",
     "InterpretedBackend",
     "QueryResultCache",

@@ -15,6 +15,7 @@ entry automatically.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -87,7 +88,14 @@ def tables_of(query: AnyQuery) -> List[str]:
 
 
 class QueryResultCache:
-    """A bounded LRU map from (formatted SQL, table versions) to results."""
+    """A bounded LRU map from (formatted SQL, table versions) to results.
+
+    Safe for concurrent use: the batch session's worker threads all
+    execute through one shared cache-wrapped backend, so every mutation
+    of the LRU order and the hit/miss/eviction counters runs under one
+    lock (the critical sections are dict operations; the lock is never
+    held across an engine execution).
+    """
 
     def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
         if max_entries <= 0:
@@ -95,37 +103,51 @@ class QueryResultCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Tuple[CacheStamp, ResultSet]]" = OrderedDict()
 
     def get(self, key: str, stamp: CacheStamp) -> Optional[ResultSet]:
         """Cached result for ``key`` if its stamp is still current."""
-        entry = self._entries.get(key)
-        if entry is None or entry[0] != stamp:
-            self.misses += 1
-            if entry is not None:
-                del self._entries[key]
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return entry[1]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != stamp:
+                self.misses += 1
+                if entry is not None:
+                    del self._entries[key]
+                    self.invalidations += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
 
     def put(self, key: str, stamp: CacheStamp, result: ResultSet) -> None:
         """Store one result, evicting the least recently used on overflow."""
-        self._entries[key] = (stamp, result)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (stamp, result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters for reporting."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        """Hit/miss/eviction/invalidation counters for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }
 
 
 class CachingBackend(ExecutionBackend):

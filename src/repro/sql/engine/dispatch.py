@@ -1,0 +1,123 @@
+"""Cost-based backend dispatch: route each query to its best engine.
+
+The interpreted and vectorized engines have opposite sweet spots:
+
+* **interpreted** resolves EQ/IN predicates through hash indexes and
+  never materialises a column — unbeatable for *point lookups* and for
+  tiny relations where numpy's fixed per-kernel overhead (array view
+  construction, mask allocation) dominates the actual work;
+* **vectorized** amortises per-row Python overhead away — the clear
+  winner for *scans, joins and aggregations* over anything sizeable.
+
+:class:`DispatchBackend` picks per query (and, for INTERSECT, per block)
+using the one statistic the αDB already maintains for every relation —
+its cardinality — plus the shape of the predicate set.  The estimated
+rows touched per alias:
+
+* ``1`` when the alias carries an EQ/IN predicate (hash-index probe);
+* ``n / 4`` when it carries only range predicates (sorted-index scan);
+* ``n`` otherwise (full scan or unfiltered join side).
+
+Queries whose summed estimate stays at or below ``small_work_rows``
+route to the interpreted engine, everything else to the vectorized one.
+Both engines share the caller's :class:`~repro.relational.database.
+Database`, so results are identical by the cross-backend equivalence
+suite; dispatch only ever changes *where* a query runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from ...relational.database import Database
+from ..ast import AnyQuery, IntersectQuery, Op, Query
+from ..result import ResultSet, execute_intersect
+from .base import ExecutionBackend
+from .interpreted import InterpretedBackend
+from .vectorized import VectorizedBackend
+
+#: Estimated-rows threshold at or below which the interpreted engine wins.
+DEFAULT_SMALL_WORK_ROWS = 1024
+
+#: Assumed fraction of a relation touched by a sorted-index range scan.
+_RANGE_SCAN_FRACTION = 4
+
+
+class DispatchBackend(ExecutionBackend):
+    """Routes queries between the interpreted and vectorized engines."""
+
+    name = "dispatch"
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        small_work_rows: int = DEFAULT_SMALL_WORK_ROWS,
+    ) -> None:
+        super().__init__(database)
+        self.small_work_rows = small_work_rows
+        self.interpreted = InterpretedBackend(database)
+        self.vectorized = VectorizedBackend(database)
+        self.decisions: Dict[str, int] = {
+            self.interpreted.name: 0,
+            self.vectorized.name: 0,
+        }
+        # Counter increments are read-modify-write; batch sessions share
+        # one dispatch backend across worker threads.
+        self._decision_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def estimated_rows(self, query: Query) -> int:
+        """Rows the engine will plausibly touch, from table cardinalities."""
+        alias_map = query.alias_map()
+        ops_by_alias: Dict[str, set] = {}
+        for pred in query.predicates:
+            ops_by_alias.setdefault(pred.column.table, set()).add(pred.op)
+        total = 0
+        for alias, table in alias_map.items():
+            if table not in self.db:
+                # Unknown table: route to an engine and let its shared
+                # validation raise the proper QueryError.
+                return 0
+            n = len(self.db.relation(table))
+            ops = ops_by_alias.get(alias)
+            if ops and ops & {Op.EQ, Op.IN}:
+                total += 1
+            elif ops:
+                total += max(1, n // _RANGE_SCAN_FRACTION)
+            else:
+                total += n
+        return total
+
+    def choose(self, query: Query) -> ExecutionBackend:
+        """The engine one SPJ(A) block routes to."""
+        if self.estimated_rows(query) <= self.small_work_rows:
+            return self.interpreted
+        return self.vectorized
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, query: AnyQuery) -> ResultSet:
+        """Run ``query``, routing each SPJ(A) block cost-based."""
+        if isinstance(query, IntersectQuery):
+            return execute_intersect(query.blocks, self._execute_block)
+        return self._execute_block(query)
+
+    def _execute_block(self, block: Query) -> ResultSet:
+        engine = self.choose(block)
+        with self._decision_lock:
+            self.decisions[engine.name] += 1
+        return engine.execute(block)
+
+    def stats(self) -> Dict[str, int]:
+        """Per-engine routing decision counters."""
+        with self._decision_lock:
+            return dict(self.decisions)
+
+    def close(self) -> None:
+        self.interpreted.close()
+        self.vectorized.close()

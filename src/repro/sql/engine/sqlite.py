@@ -19,6 +19,7 @@ Semantics notes kept aligned with the reference engine:
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Any, Dict, List, Sequence, Tuple
 
 from ...relational.relation import Relation
@@ -89,7 +90,11 @@ class SqliteBackend(ExecutionBackend):
 
     def __init__(self, database) -> None:
         super().__init__(database)
-        self._conn = sqlite3.connect(":memory:")
+        # One connection serves all threads of a batch session: SQLite
+        # connections are not concurrency-safe, so cross-thread use is
+        # allowed but serialised by ``_lock`` around every execution.
+        self._conn = sqlite3.connect(":memory:", check_same_thread=False)
+        self._lock = threading.Lock()
         self._loaded: Dict[str, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
@@ -145,9 +150,9 @@ class SqliteBackend(ExecutionBackend):
         else:
             sql, params = self._compile_block(query)
             first = query
-        self._ensure_loaded(tables_of(query))
-        cursor = self._conn.execute(sql, params)
-        rows = cursor.fetchall()
+        with self._lock:
+            self._ensure_loaded(tables_of(query))
+            rows = self._conn.execute(sql, params).fetchall()
         return ResultSet(
             tuple(str(ref) for ref in first.select),
             self._convert_rows(first, rows),

@@ -202,7 +202,45 @@ class TestBackendEquivalence:
         }
 
     def test_all_backends_registered(self):
-        assert set(BACKENDS) == {"interpreted", "vectorized", "sqlite"}
+        assert set(BACKENDS) == {
+            "interpreted",
+            "vectorized",
+            "sqlite",
+            "dispatch",
+        }
+
+    def test_dispatch_matches_vectorized(self, mini_movies_db):
+        """The router must be invisible: identical results to the
+        vectorized engine on the whole battery, with both engines
+        actually exercised across it."""
+        from repro.sql.engine.dispatch import DispatchBackend
+        from repro.sql.engine.vectorized import VectorizedBackend
+
+        dispatch = DispatchBackend(mini_movies_db, small_work_rows=8)
+        vectorized = VectorizedBackend(mini_movies_db)
+        for query in suite_queries():
+            assert (
+                dispatch.execute(query).as_set()
+                == vectorized.execute(query).as_set()
+            ), query
+        decisions = dispatch.stats()
+        assert decisions["interpreted"] > 0
+        assert decisions["vectorized"] > 0
+
+    def test_dispatch_routes_point_lookups_to_interpreted(self, people_db):
+        from repro.sql.engine.dispatch import DispatchBackend
+
+        dispatch = DispatchBackend(people_db, small_work_rows=0)
+        point = Query(
+            select=(_ref("person", "name"),),
+            tables=(TableRef("person"),),
+            predicates=(Predicate(_ref("person", "id"), Op.EQ, 1),),
+        )
+        scan = Query(select=(_ref("person", "name"),), tables=(TableRef("person"),))
+        assert dispatch.choose(point).name == "vectorized"  # threshold 0
+        dispatch.small_work_rows = 4
+        assert dispatch.choose(point).name == "interpreted"
+        assert dispatch.choose(scan).name == "vectorized"
 
 
 # ----------------------------------------------------------------------

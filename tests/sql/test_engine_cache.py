@@ -56,7 +56,13 @@ class TestCachingBackend:
         first = backend.execute(person_query("Female"))
         second = backend.execute(person_query("Female"))
         assert first is second
-        assert backend.cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert backend.cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "invalidations": 0,
+            "entries": 1,
+        }
 
     def test_mutation_invalidates(self, people_db):
         backend = CachingBackend(VectorizedBackend(people_db))

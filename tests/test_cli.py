@@ -26,6 +26,26 @@ class TestParser:
         )
         assert args.recommend == 3
 
+    def test_jobs_executor_stats_flags(self):
+        args = build_parser().parse_args(
+            [
+                "discover", "--dataset", "imdb", "--examples", "A",
+                "--jobs", "4", "--executor", "process", "--stats",
+                "--backend", "dispatch",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.executor == "process"
+        assert args.show_stats is True
+        assert args.backend == "dispatch"
+
+    def test_batch_args(self):
+        args = build_parser().parse_args(
+            ["batch", "--dataset", "adult", "--input", "sets.txt", "--jobs", "2"]
+        )
+        assert args.input == "sets.txt"
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_workloads_adult(self, capsys):
@@ -57,6 +77,47 @@ class TestCommands:
 
     def test_discover_empty_examples_fails(self, capsys):
         assert main(["discover", "--dataset", "adult", "--examples", " ; "]) == 2
+
+    def test_discover_with_jobs_and_stats(self, capsys):
+        code = main(
+            [
+                "discover", "--dataset", "adult",
+                "--examples", "Resident 000001;Resident 000002",
+                "--jobs", "2", "--stats", "--limit", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "abduced query" in out
+        assert "run statistics" in out
+
+    def test_batch_subcommand(self, capsys, tmp_path):
+        input_file = tmp_path / "sets.txt"
+        input_file.write_text(
+            "Resident 000001;Resident 000002\n"
+            "# a comment line\n"
+            "\n"
+            "Resident 000003;Resident 000005\n"
+            "nobody-here\n"
+        )
+        code = main(
+            [
+                "batch", "--dataset", "adult", "--input", str(input_file),
+                "--jobs", "2", "--backend", "dispatch", "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch of 3 example sets" in out
+        assert "2 discovered, 1 failed" in out
+        assert out.count("SELECT") == 2
+        assert "ERROR" in out
+        assert "run statistics" in out
+
+    def test_batch_empty_input(self, capsys, tmp_path):
+        input_file = tmp_path / "empty.txt"
+        input_file.write_text("# nothing but comments\n")
+        assert main(["batch", "--dataset", "adult", "--input", str(input_file)]) == 2
 
     def test_unknown_dataset_exits(self):
         with pytest.raises(SystemExit):
