@@ -1,9 +1,10 @@
 """Command-line interface for the SQuID reproduction.
 
-Four subcommands cover the interactive workflow::
+Five subcommands cover the interactive workflow::
 
     repro-squid discover --dataset imdb --examples "Tom Cruise;Nicole Kidman"
     repro-squid batch --dataset imdb --input sets.txt --jobs 4 --stats
+    repro-squid serve --dataset imdb --jobs 4 --mode http --port 8080
     repro-squid workloads --dataset dblp
     repro-squid stats --dataset adult
 
@@ -13,12 +14,19 @@ discovers them all in one :class:`~repro.core.session.DiscoverySession`,
 sharing the warm αDB views and result cache and fanning candidate work
 across ``--jobs`` workers.
 
+``serve`` keeps that warm session resident and answers concurrent
+discovery requests on an asyncio loop — JSON-lines over stdin/stdout by
+default (all logging goes to stderr so stdout stays protocol-clean), or
+a minimal HTTP endpoint with ``--mode http`` (see :mod:`repro.serve` and
+``docs/serving.md``).
+
 (or ``python -m repro.cli ...`` without the console script).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -59,6 +67,7 @@ def _squid_config(args: argparse.Namespace) -> SquidConfig:
         backend=args.backend,
         jobs=args.jobs,
         executor=args.executor,
+        persistent_pool=args.persistent_pool,
     )
 
 
@@ -126,6 +135,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
                 print(f"  {rec.display}  [{why}]")
     if args.show_stats:
         _print_run_stats(squid, session)
+    if session is not None:
+        session.close()
     return 0
 
 
@@ -185,7 +196,48 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("    " + result.sql.replace("\n", "\n    "))
     if args.show_stats:
         _print_run_stats(squid, session)
+    session.close()
     return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async serving loop (stdio JSON-lines or HTTP)."""
+    from .serve import DiscoveryServer, serve_http_forever, serve_stdio
+
+    log = sys.stderr
+    db, metadata, _ = _build_dataset(args.dataset, args.profile)
+    config = _squid_config(args)
+    start = time.perf_counter()
+    squid = SquidSystem.build(db, metadata, config)
+    server = DiscoveryServer(squid, jobs=args.jobs, executor=args.executor)
+    print(
+        f"αDB built and session warmed in {time.perf_counter() - start:.2f}s "
+        f"[backend: {squid.backend_name}, jobs: {server.session.jobs}, "
+        f"executor: {server.session.executor}, mode: {args.mode}]",
+        file=log,
+        flush=True,
+    )
+    try:
+        if args.mode == "http":
+            asyncio.run(serve_http_forever(server, args.host, args.port, log))
+        else:
+            served = asyncio.run(
+                serve_stdio(server, max_pending=args.max_pending)
+            )
+            print(f"served {served} requests", file=log, flush=True)
+    except KeyboardInterrupt:
+        print("interrupted", file=log, flush=True)
+    finally:
+        if args.show_stats:
+            from .eval.reporting import format_table
+
+            rows = [
+                {"counter": key, "value": value}
+                for key, value in server.stats_snapshot().items()
+            ]
+            print(format_table(rows, title="serving statistics"), file=log)
+        server.close()
+    return 0
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -235,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--executor", choices=("thread", "process"),
                          default="thread",
                          help="worker pool flavour when --jobs > 1")
+        cmd.add_argument("--no-persistent-pool", dest="persistent_pool",
+                         action="store_false",
+                         help="use PR 2's throwaway per-batch executors "
+                              "instead of the persistent worker pool")
         cmd.add_argument("--stats", dest="show_stats", action="store_true",
                          help="print cache/engine/session counters after "
                               "discovery")
@@ -258,6 +314,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "('-' reads stdin)")
     add_run_options(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="serve concurrent discovery requests (stdio or HTTP)"
+    )
+    serve.add_argument("--dataset", required=True)
+    serve.add_argument("--mode", choices=("stdio", "http"), default="stdio",
+                       help="JSON-lines over stdin/stdout (default) or a "
+                            "minimal HTTP endpoint")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="HTTP port (0 picks a free one)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="stdio: concurrently admitted requests")
+    add_run_options(serve)
+    serve.set_defaults(func=_cmd_serve, jobs=2)
 
     workloads = sub.add_parser("workloads", help="list benchmark queries")
     workloads.add_argument("--dataset", required=True)

@@ -45,6 +45,13 @@ from .pipeline import (
 from .recommend import Recommendation, borderline_decisions, recommend_examples
 from .session import BatchOutcome, DiscoverySession, ProbeCachingAdb
 from .squid import DiscoveryResult, DiscoveryTimings, SquidSystem
+from .workers import (
+    ForkWorkerPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    create_worker_pool,
+    database_fingerprint,
+)
 
 __all__ = [
     "AbductionReadyDatabase",
@@ -69,6 +76,7 @@ __all__ = [
     "FamilyKind",
     "Filter",
     "FilterDecision",
+    "ForkWorkerPool",
     "LookupStage",
     "PipelineContext",
     "PriorBreakdown",
@@ -82,11 +90,15 @@ __all__ = [
     "SemanticProperty",
     "SquidConfig",
     "SquidSystem",
+    "ThreadWorkerPool",
+    "WorkerPool",
     "abduce",
     "association_strength_impact",
     "borderline_decisions",
     "recommend_examples",
     "brute_force_best_subset",
+    "create_worker_pool",
+    "database_fingerprint",
     "build_adb_query",
     "build_base_query",
     "build_original_query",

@@ -132,6 +132,14 @@ class SquidConfig:
     true CPU parallelism; falls back to threads where fork is
     unavailable)."""
 
+    persistent_pool: bool = True
+    """Keep one :class:`~repro.core.workers.WorkerPool` alive across
+    batches (and the serving tier's concurrent requests): workers start
+    once, inherit the warm αDB, and receive (set × candidate) units
+    worker-affine with the parent's lookup state shipped along.
+    ``False`` restores the per-batch throwaway executors (the PR 2
+    baseline the serving benchmark compares against)."""
+
     def __post_init__(self) -> None:
         if not 0.0 < self.rho < 1.0:
             raise ValueError(f"rho must be in (0, 1), got {self.rho}")

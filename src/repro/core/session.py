@@ -21,10 +21,23 @@ work units fan out across a configurable worker pool: ``jobs=N`` with
 pickled back).  ``jobs=1`` drives the exact sequential reference path,
 so batch output is identical to calling ``SquidSystem.discover`` in a
 loop.
+
+Since PR 3 the fan-out runs on a **persistent**
+:class:`~repro.core.workers.WorkerPool` by default: the pool starts once
+(shipping the warm αDB to forked workers via copy-on-write), is reused
+across batches and concurrent async requests, and schedules every unit
+of one example set onto the same worker with the parent's lookup state
+shipped along — no child ever re-runs lookup.
+``persistent_pool=False`` restores PR 2's throwaway per-batch executors
+(kept as the benchmark baseline).  :meth:`DiscoverySession.
+discover_many_async` exposes the same batch semantics to asyncio callers
+— the serving tier (:mod:`repro.serve`) drives many concurrent requests
+through one session.
 """
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import threading
 import time
@@ -45,6 +58,12 @@ from .pipeline import (
     select_best,
 )
 from .properties import FamilyKind, PropertyFamily
+from .workers import (
+    ForkWorkerPool,
+    WorkerPool,
+    create_worker_pool,
+    database_fingerprint,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .squid import SquidSystem
@@ -320,6 +339,7 @@ class DiscoverySession:
         jobs: Optional[int] = None,
         executor: Optional[str] = None,
         share_probes: bool = True,
+        persistent_pool: Optional[bool] = None,
     ) -> None:
         self.system = system
         self.jobs = system.config.jobs if jobs is None else jobs
@@ -327,6 +347,11 @@ class DiscoverySession:
         validate_fanout(self.jobs, self.executor)
         self.adb = ProbeCachingAdb(system.adb) if share_probes else system.adb
         self._backend = system.backend
+        self.persistent_pool = (
+            system.config.persistent_pool
+            if persistent_pool is None
+            else persistent_pool
+        )
         self.executor_used: Optional[str] = None
         """Pool flavour of the last parallel batch (None before one ran;
         'process' silently degrades to 'thread' where fork is missing)."""
@@ -334,6 +359,14 @@ class DiscoverySession:
         self.batches = 0
         self.sets_discovered = 0
         self.last_batch_wall_seconds = 0.0
+        self.pool_starts = 0
+        self.pool_restarts = 0
+
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._reval_lock = threading.Lock()
+        self._async_executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # warm-up
@@ -363,6 +396,73 @@ class DiscoverySession:
         return built
 
     # ------------------------------------------------------------------
+    # persistent worker pool
+    # ------------------------------------------------------------------
+    def start_pool(self) -> Optional[WorkerPool]:
+        """Start the persistent pool now (idempotent; None when unused).
+
+        Called implicitly by the first parallel batch; call it explicitly
+        after :meth:`warm` so forked workers inherit the warm state in
+        their copy-on-write snapshot (the serving tier does exactly
+        that: warm → start_pool → accept requests)."""
+        if self.jobs <= 1 or not self.persistent_pool:
+            return None
+        return self._ensure_pool()
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._pool_lock:
+            pool = self._pool
+            if (
+                pool is not None
+                and not pool.closed
+                and isinstance(pool, ForkWorkerPool)
+                and pool.fingerprint != database_fingerprint(self.system.adb.db)
+            ):
+                # Forked workers hold a copy-on-write snapshot; base-data
+                # mutations leave them stale, so restart on a new stamp.
+                pool.close()
+                pool = None
+                self.pool_restarts += 1
+            if pool is None or pool.closed:
+                pool = create_worker_pool(
+                    self.adb, self._backend, self.jobs, self.executor
+                )
+                pool.start()
+                self.pool_starts += 1
+                self._pool = pool
+            return pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool and the async offload executor.
+
+        The session stays usable for sequential discovery afterwards; a
+        later parallel batch simply starts a fresh pool."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            executor, self._async_executor = self._async_executor, None
+        if pool is not None:
+            pool.close()
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "DiscoverySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _offload_executor(self) -> ThreadPoolExecutor:
+        """Bounded executor for the async path's blocking fragments
+        (revalidation, lookup, and whole sequential discoveries)."""
+        with self._pool_lock:
+            if self._async_executor is None:
+                self._async_executor = ThreadPoolExecutor(
+                    max_workers=max(2, self.jobs),
+                    thread_name_prefix="repro-session-async",
+                )
+            return self._async_executor
+
+    # ------------------------------------------------------------------
     # discovery
     # ------------------------------------------------------------------
     def discover(
@@ -372,8 +472,7 @@ class DiscoverySession:
     ) -> DiscoveryResult:
         """One sequential discovery sharing this session's warm state."""
         config = config or self.system.config
-        if isinstance(self.adb, ProbeCachingAdb):
-            self.adb.revalidate()
+        self._revalidate_probes()
         return discover_sequential(self.adb, self._backend, examples, config)
 
     def discover_many(
@@ -391,16 +490,23 @@ class DiscoverySession:
         config = config or self.system.config
         sets = [list(s) for s in example_sets]
         start = time.perf_counter()
-        if isinstance(self.adb, ProbeCachingAdb):
-            self.adb.revalidate()
+        self._revalidate_probes()
         if self.jobs <= 1:
             outcomes = [self._discover_one(s, config) for s in sets]
         else:
             outcomes = self._discover_parallel(sets, config)
         self.last_batch_wall_seconds = time.perf_counter() - start
-        self.batches += 1
-        self.sets_discovered += sum(1 for o in outcomes if o.ok)
+        with self._counter_lock:
+            self.batches += 1
+            self.sets_discovered += sum(1 for o in outcomes if o.ok)
         return outcomes
+
+    def _revalidate_probes(self) -> None:
+        """Probe-map revalidation at a discovery boundary (thread-safe:
+        concurrent async requests all hit this)."""
+        if isinstance(self.adb, ProbeCachingAdb):
+            with self._reval_lock:
+                self.adb.revalidate()
 
     def _discover_one(self, examples: List[str], config: SquidConfig) -> BatchOutcome:
         outcome = BatchOutcome(examples=examples)
@@ -460,6 +566,10 @@ class DiscoverySession:
         sets: List[List[str]],
         config: SquidConfig,
     ) -> Dict[Tuple[int, int], DiscoveryResult]:
+        if self.persistent_pool:
+            pool = self._ensure_pool()
+            self.executor_used = pool.kind
+            return self._fan_out_pool(pool, units, contexts, sets, config)
         if (
             self.executor == "process"
             and "fork" in multiprocessing.get_all_start_methods()
@@ -468,6 +578,35 @@ class DiscoverySession:
             return self._fan_out_processes(units, contexts, sets, config)
         self.executor_used = "thread"
         return self._fan_out_threads(units, contexts)
+
+    def _fan_out_pool(
+        self,
+        pool: WorkerPool,
+        units: List[Tuple[int, int]],
+        contexts: Dict[int, PipelineContext],
+        sets: List[List[str]],
+        config: SquidConfig,
+    ) -> Dict[Tuple[int, int], DiscoveryResult]:
+        tokens = {i: pool.new_token() for i in contexts}
+        futures = {}
+        for i, j in units:
+            ctx = contexts[i]
+            assert ctx.matches is not None
+            futures[(i, j)] = pool.submit_unit(
+                tokens[i], sets[i], j, config, ctx.matches
+            )
+        results: Dict[Tuple[int, int], DiscoveryResult] = {}
+        try:
+            for (i, j), future in futures.items():
+                result = future.result()
+                # Workers never re-run lookup; attribute the parent's
+                # shared lookup time like every other fan-out path.
+                result.timings.lookup_seconds = contexts[i].timings.lookup_seconds
+                results[(i, j)] = result
+        finally:
+            pool.forget(list(tokens.values()))
+        pool.batches_served += 1
+        return results
 
     def _fan_out_threads(
         self,
@@ -515,6 +654,108 @@ class DiscoverySession:
                 _FORK_STATE = None
 
     # ------------------------------------------------------------------
+    # async discovery (the serving path)
+    # ------------------------------------------------------------------
+    async def discover_async(
+        self,
+        examples: Sequence[str],
+        config: Optional[SquidConfig] = None,
+    ) -> BatchOutcome:
+        """One discovery as a coroutine; safe to run many concurrently.
+
+        The blocking fragments (probe revalidation, the shared lookup,
+        and — when no pool is active — the whole sequential discovery)
+        run on a bounded offload executor; candidate units go through the
+        persistent worker pool, whose futures await natively.  Results
+        are identical to :meth:`discover_many`: the async path changes
+        *where* units run, never what they compute.
+        """
+        config = config or self.system.config
+        examples = list(examples)
+        loop = asyncio.get_running_loop()
+        outcome = BatchOutcome(examples=examples)
+        if self.jobs <= 1 or not self.persistent_pool:
+            def run_sequential() -> BatchOutcome:
+                self._revalidate_probes()
+                return self._discover_one(examples, config)
+
+            outcome = await loop.run_in_executor(
+                self._offload_executor(), run_sequential
+            )
+            self._count_outcomes([outcome])
+            return outcome
+
+        def prepare() -> PipelineContext:
+            self._revalidate_probes()
+            check_example_count(examples, config)
+            ctx = PipelineContext(
+                adb=self.adb,
+                backend=self._backend,
+                config=config,
+                examples=examples,
+            )
+            LOOKUP_STAGE(ctx)
+            return ctx
+
+        try:
+            ctx = await loop.run_in_executor(self._offload_executor(), prepare)
+        except ExampleLookupError as exc:
+            outcome.error = exc
+            self._count_outcomes([outcome])
+            return outcome
+        assert ctx.matches is not None
+        pool = self._ensure_pool()
+        self.executor_used = pool.kind
+        token = pool.new_token()
+        try:
+            candidates = list(
+                await asyncio.gather(
+                    *(
+                        asyncio.wrap_future(
+                            pool.submit_unit(
+                                token, examples, j, config, ctx.matches
+                            )
+                        )
+                        for j in range(len(ctx.matches))
+                    )
+                )
+            )
+        finally:
+            pool.forget([token])
+        aggregate = DiscoveryTimings(lookup_seconds=ctx.timings.lookup_seconds)
+        for candidate in candidates:
+            candidate.timings.lookup_seconds = ctx.timings.lookup_seconds
+            aggregate.accumulate(candidate.timings)
+        best = select_best(candidates)
+        best.aggregate_timings = aggregate
+        outcome.result = best
+        outcome.seconds = aggregate.cpu_seconds
+        self._count_outcomes([outcome])
+        return outcome
+
+    async def discover_many_async(
+        self,
+        example_sets: Sequence[Sequence[str]],
+        config: Optional[SquidConfig] = None,
+    ) -> List[BatchOutcome]:
+        """Discover every example set concurrently; same output order and
+        same :class:`BatchOutcome` semantics as :meth:`discover_many`."""
+        start = time.perf_counter()
+        outcomes = list(
+            await asyncio.gather(
+                *(self.discover_async(s, config) for s in example_sets)
+            )
+        )
+        self.last_batch_wall_seconds = time.perf_counter() - start
+        with self._counter_lock:
+            self.batches += 1
+        return outcomes
+
+    def _count_outcomes(self, outcomes: Sequence[BatchOutcome]) -> None:
+        with self._counter_lock:
+            self.sets_discovered += sum(1 for o in outcomes if o.ok)
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -528,6 +769,12 @@ class DiscoverySession:
         }
         if isinstance(self.adb, ProbeCachingAdb):
             out.update(self.adb.stats())
+        with self._pool_lock:
+            pool = self._pool
+        if pool is not None:
+            out.update(pool.stats())
+            out["pool_starts"] = self.pool_starts
+            out["pool_restarts"] = self.pool_restarts
         cache = self.system.cache_stats()
         if cache is not None:
             out.update({f"cache_{k}": v for k, v in cache.items()})

@@ -115,13 +115,18 @@ class SquidSystem:
         jobs: Optional[int] = None,
         executor: Optional[str] = None,
         share_probes: bool = True,
+        persistent_pool: Optional[bool] = None,
     ) -> "DiscoverySession":
         """A batch discovery session over this system (see
         :class:`~repro.core.session.DiscoverySession`)."""
         from .session import DiscoverySession
 
         return DiscoverySession(
-            self, jobs=jobs, executor=executor, share_probes=share_probes
+            self,
+            jobs=jobs,
+            executor=executor,
+            share_probes=share_probes,
+            persistent_pool=persistent_pool,
         )
 
     def _prune_redundant(self, entity, selected):

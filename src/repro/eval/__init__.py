@@ -1,6 +1,13 @@
 """Evaluation harness: metrics, example sampling, per-figure runners."""
 
-from .metrics import Accuracy, accuracy, is_instance_equivalent, masked_accuracy
+from .metrics import (
+    Accuracy,
+    accuracy,
+    is_instance_equivalent,
+    latency_summary,
+    masked_accuracy,
+    percentile,
+)
 from .reporting import emit, format_table, results_dir
 from .runner import (
     AccuracyPoint,
@@ -25,7 +32,9 @@ __all__ = [
     "evaluate_once",
     "format_table",
     "is_instance_equivalent",
+    "latency_summary",
     "masked_accuracy",
+    "percentile",
     "query_runtime_comparison",
     "results_dir",
     "sample_example_sets",

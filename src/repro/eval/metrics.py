@@ -69,3 +69,41 @@ def masked_accuracy(
 def is_instance_equivalent(predicted: Iterable[Any], intended: Iterable[Any]) -> bool:
     """IEQ test (Section 7.5): exact result-set equality (f-score = 1)."""
     return set(predicted) == set(intended)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Tiny, dependency-free sibling of ``numpy.percentile`` for the
+    serving tier's latency reports (which must not drag numpy into the
+    request path).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * (q / 100.0)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def latency_summary(seconds: Iterable[float]) -> dict:
+    """count/mean/p50/p95/max of a latency sample, in milliseconds.
+
+    Shared by the serving stats endpoint and the serving benchmark so
+    both report identical quantile definitions.
+    """
+    sample = [s for s in seconds]
+    if not sample:
+        return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0,
+                "max_ms": 0.0}
+    return {
+        "count": len(sample),
+        "mean_ms": round(1000.0 * sum(sample) / len(sample), 3),
+        "p50_ms": round(1000.0 * percentile(sample, 50), 3),
+        "p95_ms": round(1000.0 * percentile(sample, 95), 3),
+        "max_ms": round(1000.0 * max(sample), 3),
+    }

@@ -34,13 +34,18 @@ from .sampling import sample_example_sets
 
 def _session_for(
     squid: SquidSystem, session: Optional[DiscoverySession]
-) -> DiscoverySession:
-    """The caller's session, or a fresh one over ``squid`` (warmed)."""
+) -> tuple[DiscoverySession, bool]:
+    """(session, owned): the caller's session, or a fresh warmed one.
+
+    ``owned`` tells the driver it must ``close()`` the session on the
+    way out — with the persistent worker pool a started session holds
+    real resources (forked workers, a collector thread), so drivers must
+    not leak the sessions they create themselves."""
     if session is not None:
-        return session
+        return session, False
     fresh = DiscoverySession(squid)
     fresh.warm()
-    return fresh
+    return fresh, True
 
 
 def _raise_unless_lookup_error(outcome: BatchOutcome) -> bool:
@@ -105,40 +110,46 @@ def accuracy_curve(
         values = list(examples_override)
     else:
         values = workload.ground_truth_examples(squid.adb.db)
-    session = _session_for(squid, session)
-    intended = workload.ground_truth_keys(squid.adb.db)
-    points: List[AccuracyPoint] = []
-    for size in example_sizes:
-        example_sets = sample_example_sets(values, size, runs_per_size, seed)
-        if not example_sets:
-            continue
-        outcomes = session.discover_many(example_sets, config=config)
-        precisions, recalls, fscores, times = [], [], [], []
-        for outcome in outcomes:
-            if not _raise_unless_lookup_error(outcome):
-                continue
-            assert outcome.result is not None
-            predicted = squid.result_keys(outcome.result)
-            score = masked_accuracy(predicted, intended, mask)
-            precisions.append(score.precision)
-            recalls.append(score.recall)
-            fscores.append(score.f_score)
-            times.append(outcome.seconds)
-        if not times:
-            continue
-        n = len(times)
-        points.append(
-            AccuracyPoint(
-                qid=workload.qid,
-                num_examples=size,
-                precision=sum(precisions) / n,
-                recall=sum(recalls) / n,
-                f_score=sum(fscores) / n,
-                seconds=sum(times) / n,
-                runs=n,
+    session, owned = _session_for(squid, session)
+    try:
+        intended = workload.ground_truth_keys(squid.adb.db)
+        points: List[AccuracyPoint] = []
+        for size in example_sizes:
+            example_sets = sample_example_sets(
+                values, size, runs_per_size, seed
             )
-        )
-    return points
+            if not example_sets:
+                continue
+            outcomes = session.discover_many(example_sets, config=config)
+            precisions, recalls, fscores, times = [], [], [], []
+            for outcome in outcomes:
+                if not _raise_unless_lookup_error(outcome):
+                    continue
+                assert outcome.result is not None
+                predicted = squid.result_keys(outcome.result)
+                score = masked_accuracy(predicted, intended, mask)
+                precisions.append(score.precision)
+                recalls.append(score.recall)
+                fscores.append(score.f_score)
+                times.append(outcome.seconds)
+            if not times:
+                continue
+            n = len(times)
+            points.append(
+                AccuracyPoint(
+                    qid=workload.qid,
+                    num_examples=size,
+                    precision=sum(precisions) / n,
+                    recall=sum(recalls) / n,
+                    f_score=sum(fscores) / n,
+                    seconds=sum(times) / n,
+                    runs=n,
+                )
+            )
+        return points
+    finally:
+        if owned:
+            session.close()
 
 
 def scalability_curve(
@@ -155,29 +166,33 @@ def scalability_curve(
     batch discovery, so sorted-view construction and repeated entity
     probes amortise across the whole registry.
     """
-    session = _session_for(squid, session)
-    rows: List[Dict[str, Any]] = []
-    for size in example_sizes:
-        example_sets: List[List[str]] = []
-        for workload in registry:
-            values = workload.ground_truth_examples(squid.adb.db)
-            example_sets.extend(
-                sample_example_sets(values, size, runs_per_size, seed)
-            )
-        times = [
-            outcome.seconds
-            for outcome in session.discover_many(example_sets)
-            if _raise_unless_lookup_error(outcome)
-        ]
-        if times:
-            rows.append(
-                {
-                    "num_examples": size,
-                    "mean_seconds": sum(times) / len(times),
-                    "runs": len(times),
-                }
-            )
-    return rows
+    session, owned = _session_for(squid, session)
+    try:
+        rows: List[Dict[str, Any]] = []
+        for size in example_sizes:
+            example_sets: List[List[str]] = []
+            for workload in registry:
+                values = workload.ground_truth_examples(squid.adb.db)
+                example_sets.extend(
+                    sample_example_sets(values, size, runs_per_size, seed)
+                )
+            times = [
+                outcome.seconds
+                for outcome in session.discover_many(example_sets)
+                if _raise_unless_lookup_error(outcome)
+            ]
+            if times:
+                rows.append(
+                    {
+                        "num_examples": size,
+                        "mean_seconds": sum(times) / len(times),
+                        "runs": len(times),
+                    }
+                )
+        return rows
+    finally:
+        if owned:
+            session.close()
 
 
 def query_runtime_comparison(
@@ -249,29 +264,35 @@ def squid_qre(
     and probe memo between their (large) whole-output example sets.
     """
     config = config or SquidConfig.optimistic()
-    session = _session_for(squid, session)
-    db = squid.adb.db
-    intended = workload.ground_truth_keys(db)
-    examples = workload.ground_truth_examples(db)
-    actual_preds = (
-        count_predicates(workload.query) if workload.query is not None else 0
-    )
-    outcome = QreOutcome(
-        qid=workload.qid,
-        cardinality=len(intended),
-        actual_predicates=actual_preds,
-    )
-    config = config.with_overrides(
-        max_example_warn=max(config.max_example_warn, len(examples) + 1)
-    )
-    start = time.perf_counter()
-    result = session.discover(examples, config=config)
-    outcome.squid_seconds = time.perf_counter() - start
-    predicted = squid.result_keys(result)
-    outcome.squid_predicates = count_predicates(result.query)
-    outcome.squid_f_score = accuracy(predicted, intended).f_score
-    outcome.squid_ieq = is_instance_equivalent(predicted, intended)
-    return outcome
+    session, owned = _session_for(squid, session)
+    try:
+        db = squid.adb.db
+        intended = workload.ground_truth_keys(db)
+        examples = workload.ground_truth_examples(db)
+        actual_preds = (
+            count_predicates(workload.query)
+            if workload.query is not None
+            else 0
+        )
+        outcome = QreOutcome(
+            qid=workload.qid,
+            cardinality=len(intended),
+            actual_predicates=actual_preds,
+        )
+        config = config.with_overrides(
+            max_example_warn=max(config.max_example_warn, len(examples) + 1)
+        )
+        start = time.perf_counter()
+        result = session.discover(examples, config=config)
+        outcome.squid_seconds = time.perf_counter() - start
+        predicted = squid.result_keys(result)
+        outcome.squid_predicates = count_predicates(result.query)
+        outcome.squid_f_score = accuracy(predicted, intended).f_score
+        outcome.squid_ieq = is_instance_equivalent(predicted, intended)
+        return outcome
+    finally:
+        if owned:
+            session.close()
 
 
 def dataset_statistics(databases: Dict[str, Database]) -> List[Dict[str, Any]]:

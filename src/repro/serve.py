@@ -1,0 +1,410 @@
+"""Async serving layer: concurrent query-intent discovery requests.
+
+The paper frames SQuID as an interactive system — abduction must answer
+"in real time" while a user is typing examples.  This module is the
+process that does so for *many* users at once:
+
+* :class:`DiscoveryServer` owns one warm
+  :class:`~repro.core.session.DiscoverySession` (probe maps + column
+  views prebuilt, persistent worker pool started) and an
+  :class:`~repro.sql.engine.AsyncExecutionBackend` for result
+  materialisation, and turns JSON requests into JSON responses on an
+  asyncio event loop;
+* :func:`serve_stdio` speaks JSON-lines over stdin/stdout (one request
+  object per line, one response object per line — trivially scriptable
+  and what the ``repro-squid serve`` CLI runs by default);
+* :func:`start_http_server` exposes the same handler over a minimal
+  HTTP/1.1 endpoint (``POST /discover``, ``GET /stats``,
+  ``GET /healthz``) built on ``asyncio.start_server`` — no web framework
+  required.
+
+Responses are deterministic: the payload (entity, SQL, sorted result
+rows) is byte-identical whether a request is served alone, among eight
+concurrent ones, or by the sequential reference loop
+(:func:`sequential_response`); only the advisory ``seconds`` timing
+field varies, which is why it lives outside the deterministic payload
+comparison (tests strip it).
+
+Request schema (all fields except ``examples`` optional)::
+
+    {"id": 7, "examples": ["Tom Cruise", "Nicole Kidman"], "limit": 25}
+
+``examples`` may also be a single ``"A;B;C"`` string, mirroring the CLI.
+``limit`` truncates the returned ``rows`` (the full cardinality is
+always reported as ``row_count``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, TextIO
+
+from .core.config import SquidConfig
+from .core.lookup import ExampleLookupError
+from .core.session import DiscoverySession
+from .core.squid import SquidSystem
+from .eval.metrics import latency_summary
+from .sql.engine import AsyncExecutionBackend
+
+#: Default cap on concurrently admitted stdio requests: enough to keep
+#: every pool worker busy without unbounded task growth on a fast pipe.
+DEFAULT_MAX_PENDING = 64
+
+#: Latency samples retained for the stats report (ring buffer).
+STATS_WINDOW = 4096
+
+
+def parse_limit(raw: Any) -> Optional[int]:
+    """Normalise a request's optional ``limit`` field (None = no cap)."""
+    if raw is None:
+        return None
+    limit = int(raw)
+    if limit < 0:
+        raise ValueError(f"'limit' must be >= 0, got {limit}")
+    return limit
+
+
+def parse_examples(raw: Any) -> List[str]:
+    """Normalise a request's ``examples`` field (list or ``"A;B"``)."""
+    if isinstance(raw, str):
+        parts = raw.split(";")
+    elif isinstance(raw, (list, tuple)):
+        parts = [str(part) for part in raw]
+    else:
+        raise ValueError("'examples' must be a list or a 'A;B;C' string")
+    examples = [part.strip() for part in parts if str(part).strip()]
+    if not examples:
+        raise ValueError("no examples provided")
+    return examples
+
+
+def encode_response(response: Dict[str, Any]) -> str:
+    """Canonical JSON encoding (sorted keys, no whitespace) — the byte
+    form the equivalence tests and benchmark compare."""
+    return json.dumps(response, sort_keys=True, separators=(",", ":"))
+
+
+class ServerStats:
+    """Per-request timing counters (thread-safe enough: appends only)."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.requests = 0
+        self.errors = 0
+        self._latencies: Deque[float] = deque(maxlen=STATS_WINDOW)
+
+    def record(self, seconds: float, ok: bool) -> None:
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        self._latencies.append(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+        }
+        out.update(latency_summary(list(self._latencies)))
+        return out
+
+
+def _result_payload(
+    request_id: Any,
+    result,
+    values: Sequence[Any],
+    limit: Optional[int],
+) -> Dict[str, Any]:
+    """The deterministic response body shared by async and sequential
+    paths — any divergence here would break byte-identity."""
+    rows = sorted(map(str, values))
+    return {
+        "id": request_id,
+        "ok": True,
+        "entity": result.entity.table,
+        "sql": result.sql,
+        "original_sql": result.original_sql,
+        "row_count": len(rows),
+        "rows": rows if limit is None else rows[:limit],
+    }
+
+
+def _error_payload(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": f"{type(exc).__name__}: {exc}",
+    }
+
+
+class DiscoveryServer:
+    """One warm discovery session behind an async request handler."""
+
+    def __init__(
+        self,
+        system: SquidSystem,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+        config: Optional[SquidConfig] = None,
+        warm: bool = True,
+    ) -> None:
+        self.system = system
+        self.config = config or system.config
+        self.session: DiscoverySession = system.session(
+            jobs=jobs, executor=executor
+        )
+        self.async_backend = AsyncExecutionBackend(
+            system.backend, max_workers=max(2, self.session.jobs)
+        )
+        self.stats = ServerStats()
+        if warm:
+            self.warm()
+
+    def warm(self) -> None:
+        """Prebuild column/sorted views and probe maps, then start the
+        pool so forked workers inherit all of it copy-on-write."""
+        self.session.warm()
+        self.session.start_pool()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request → one response dict (never raises)."""
+        start = time.perf_counter()
+        request_id = request.get("id")
+        try:
+            limit = parse_limit(request.get("limit"))
+            examples = parse_examples(request.get("examples"))
+            outcome = await self.session.discover_async(examples, self.config)
+            if outcome.error is not None:
+                response = _error_payload(request_id, outcome.error)
+            else:
+                result = outcome.result
+                assert result is not None
+                values = (
+                    await self.async_backend.execute(result.query)
+                ).single_column()
+                response = _result_payload(request_id, result, values, limit)
+        except Exception as exc:
+            response = _error_payload(request_id, exc)
+        seconds = time.perf_counter() - start
+        self.stats.record(seconds, bool(response.get("ok")))
+        response["seconds"] = round(seconds, 6)
+        return response
+
+    async def handle_line(self, line: str) -> Dict[str, Any]:
+        """One JSON-lines request string → response dict."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            self.stats.record(0.0, False)
+            return _error_payload(None, exc)
+        return await self.handle(request)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Server timing stats merged with session/pool/cache counters."""
+        out = self.stats.snapshot()
+        out.update(self.session.stats())
+        out.update(self.async_backend.stats())
+        return out
+
+    def close(self) -> None:
+        self.session.close()
+        self.async_backend.close()
+
+
+def sequential_response(
+    system: SquidSystem,
+    request: Dict[str, Any],
+    config: Optional[SquidConfig] = None,
+) -> Dict[str, Any]:
+    """The sequential reference: what one blocking ``discover`` call
+    would answer.  The serving equivalence suite requires the async
+    concurrent payloads to match this byte for byte (minus ``seconds``).
+    """
+    request_id = request.get("id")
+    try:
+        limit = parse_limit(request.get("limit"))
+        examples = parse_examples(request.get("examples"))
+        result = system.discover(examples, config)
+        values = system.backend.execute(result.query).single_column()
+        return _result_payload(request_id, result, values, limit)
+    except (ExampleLookupError, ValueError) as exc:
+        return _error_payload(request_id, exc)
+
+
+# ----------------------------------------------------------------------
+# stdin/stdout JSON-lines loop
+# ----------------------------------------------------------------------
+async def serve_stdio(
+    server: DiscoveryServer,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+    max_pending: int = DEFAULT_MAX_PENDING,
+) -> int:
+    """Serve JSON-lines until EOF; returns the number of responses.
+
+    Requests are admitted concurrently (bounded by ``max_pending``) and
+    responses are written as each finishes — out of input order under
+    concurrency, which is why every response echoes the request ``id``.
+    Blank lines and ``#`` comments are skipped, mirroring the batch-file
+    format.
+    """
+    if max_pending < 1:
+        raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    loop = asyncio.get_running_loop()
+    admission = asyncio.Semaphore(max_pending)
+    write_lock = asyncio.Lock()
+    pending: set = set()
+    responses = 0
+
+    async def run_one(line: str) -> None:
+        nonlocal responses
+        try:
+            response = await server.handle_line(line)
+            async with write_lock:
+                stdout.write(encode_response(response) + "\n")
+                stdout.flush()
+                responses += 1
+        finally:
+            admission.release()
+
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        await admission.acquire()
+        task = asyncio.ensure_future(run_one(line))
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+    if pending:
+        await asyncio.gather(*pending)
+    return responses
+
+
+# ----------------------------------------------------------------------
+# minimal HTTP endpoint
+# ----------------------------------------------------------------------
+_MAX_BODY_BYTES = 1 << 20
+
+
+def _http_response(
+    status: str, body: Dict[str, Any], *, content_type: str = "application/json"
+) -> bytes:
+    payload = encode_response(body).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+async def _handle_http_connection(
+    server: DiscoveryServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        request_line = (await reader.readline()).decode("ascii", "replace")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("ascii", "replace")
+            if header in ("\r\n", "\n", ""):
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                    if content_length < 0:
+                        raise ValueError(content_length)
+                except ValueError:
+                    writer.write(
+                        _http_response(
+                            "400 Bad Request",
+                            {"ok": False, "error": "bad Content-Length"},
+                        )
+                    )
+                    return
+        if content_length > _MAX_BODY_BYTES:
+            writer.write(
+                _http_response(
+                    "413 Payload Too Large",
+                    {"ok": False, "error": "body too large"},
+                )
+            )
+            return
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        if method == "POST" and path == "/discover":
+            response = await server.handle_line(body.decode("utf-8", "replace"))
+            writer.write(_http_response("200 OK", response))
+        elif method == "GET" and path == "/stats":
+            writer.write(_http_response("200 OK", server.stats_snapshot()))
+        elif method == "GET" and path == "/healthz":
+            writer.write(_http_response("200 OK", {"ok": True}))
+        elif path in ("/discover", "/stats", "/healthz"):
+            writer.write(
+                _http_response(
+                    "405 Method Not Allowed",
+                    {"ok": False, "error": f"{method} not allowed on {path}"},
+                )
+            )
+        else:
+            writer.write(
+                _http_response(
+                    "404 Not Found", {"ok": False, "error": f"no route {path}"}
+                )
+            )
+    except (asyncio.IncompleteReadError, ConnectionError):
+        pass
+    finally:
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+async def start_http_server(
+    server: DiscoveryServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the HTTP endpoint; ``port=0`` picks a free port (inspect
+    ``result.sockets[0].getsockname()[1]``)."""
+
+    async def handler(reader, writer):
+        await _handle_http_connection(server, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+async def serve_http_forever(
+    server: DiscoveryServer, host: str, port: int, log: TextIO
+) -> None:
+    http_server = await start_http_server(server, host, port)
+    bound = http_server.sockets[0].getsockname()
+    print(f"listening on http://{bound[0]}:{bound[1]}", file=log, flush=True)
+    async with http_server:
+        await http_server.serve_forever()

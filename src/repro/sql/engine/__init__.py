@@ -15,7 +15,10 @@ behind the one interface:
   one, using per-table cardinalities.
 
 ``create_backend`` is the factory; :class:`CachingBackend` layers the
-shared formatted-SQL-keyed result cache over any engine.
+shared formatted-SQL-keyed result cache over any engine, and
+:class:`AsyncExecutionBackend` adapts any engine to asyncio callers
+(bounded executor + single-flight coalescing of concurrent identical
+queries — the serving tier's execution path).
 """
 
 from __future__ import annotations
@@ -30,6 +33,11 @@ from .base import (
     QueryResultCache,
     tables_of,
     validate_query,
+)
+from .async_backend import (
+    DEFAULT_ASYNC_WORKERS,
+    AsyncExecutionBackend,
+    create_async_backend,
 )
 from .dispatch import DEFAULT_SMALL_WORK_ROWS, DispatchBackend
 from .interpreted import InterpretedBackend
@@ -72,8 +80,10 @@ def create_backend(
 
 
 __all__ = [
+    "AsyncExecutionBackend",
     "BACKENDS",
     "CachingBackend",
+    "DEFAULT_ASYNC_WORKERS",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_SMALL_WORK_ROWS",
@@ -84,6 +94,7 @@ __all__ = [
     "SqliteBackend",
     "VectorizedBackend",
     "available_backends",
+    "create_async_backend",
     "create_backend",
     "tables_of",
     "validate_query",

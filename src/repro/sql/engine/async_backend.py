@@ -1,0 +1,165 @@
+"""Async adapter over any synchronous execution backend.
+
+The discovery pipeline's stages execute queries synchronously (they run
+on worker threads or forked workers), but the serving tier
+(:mod:`repro.serve`) lives on an asyncio event loop and must never block
+it on an engine execution.  :class:`AsyncExecutionBackend` bridges the
+two worlds:
+
+* every ``execute`` call runs the wrapped engine on a **bounded**
+  ``ThreadPoolExecutor`` (``max_workers`` is the concurrency ceiling —
+  requests beyond it queue inside the executor instead of piling
+  threads);
+* concurrent awaiters of the *same* query (same formatted SQL) coalesce
+  into a **single flight**: one engine execution serves them all.  The
+  shared :class:`~repro.sql.engine.base.QueryResultCache` cannot do this
+  on its own — at the moment both requests arrive the result is not
+  cached yet, so both would miss and execute.  Single-flight closes that
+  window, which matters under serving load where many concurrent
+  discoveries probe identical αDB queries.
+
+Await-safety notes: the underlying result cache guards its LRU state
+with a plain ``threading.Lock`` that is never held across an engine
+execution (let alone an ``await``), so calling it from executor threads
+while the event loop runs is safe.  The single-flight table itself is
+only ever touched from the event loop thread, so it needs no lock at
+all — but it *is* keyed per running loop, so two loops (e.g. tests
+running ``asyncio.run`` back to back) never share futures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ast import AnyQuery
+from ..formatter import format_query
+from ..result import ResultSet
+from .base import ExecutionBackend
+
+#: Default width of the adapter's executor: enough to keep a handful of
+#: concurrent requests executing without letting one burst spawn an
+#: unbounded thread herd.
+DEFAULT_ASYNC_WORKERS = 4
+
+
+class _LeaderCancelled(RuntimeError):
+    """The flight leader's task was cancelled mid-execution; followers
+    catch this and re-execute instead of inheriting the cancellation."""
+
+
+class AsyncExecutionBackend:
+    """Awaitable facade over a synchronous :class:`ExecutionBackend`.
+
+    Not an :class:`ExecutionBackend` subclass on purpose: its ``execute``
+    is a coroutine, and letting it masquerade as the sync interface would
+    hand un-awaited coroutines to code expecting a :class:`ResultSet`.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        max_workers: int = DEFAULT_ASYNC_WORKERS,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.inner = inner
+        self.name = inner.name
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-async-exec"
+        )
+        # (loop id, formatted SQL) -> in-flight future.  Keyed per loop so
+        # consecutive asyncio.run() calls never see a stale loop's future.
+        self._inflight: Dict[Tuple[int, str], "asyncio.Future[ResultSet]"] = {}
+        self.single_flight_hits = 0
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def execute(self, query: AnyQuery) -> ResultSet:
+        """Run ``query`` off-loop; coalesce concurrent identical queries."""
+        loop = asyncio.get_running_loop()
+        key = (id(loop), format_query(query))
+        while True:
+            pending = self._inflight.get(key)
+            if pending is None:
+                break
+            self.single_flight_hits += 1
+            try:
+                # shield: cancelling *this* awaiter must not cancel the
+                # shared flight other awaiters ride on (our own
+                # CancelledError still propagates, as it should).
+                return await asyncio.shield(pending)
+            except _LeaderCancelled:
+                # The flight's leader was cancelled, not us — loop and
+                # either join the next leader or become it.
+                continue
+        future: "asyncio.Future[ResultSet]" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self.inner.execute, query
+            )
+            self.executions += 1
+        except BaseException as exc:
+            if not future.cancelled():
+                # A cancelled leader must not poison its followers with
+                # CancelledError (they were not cancelled) — hand them a
+                # retryable marker instead.
+                if isinstance(exc, asyncio.CancelledError):
+                    future.set_exception(
+                        _LeaderCancelled("single-flight leader cancelled")
+                    )
+                else:
+                    future.set_exception(exc)
+                # Followers re-raise through the future; stop the "never
+                # retrieved" warning for the flight leader's copy.
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)
+
+    async def execute_many(
+        self, queries: Sequence[AnyQuery]
+    ) -> List[ResultSet]:
+        """Run several queries concurrently (bounded by the executor)."""
+        return list(await asyncio.gather(*(self.execute(q) for q in queries)))
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Adapter counters: engine executions vs coalesced awaiters."""
+        return {
+            "async_executions": self.executions,
+            "async_single_flight_hits": self.single_flight_hits,
+            "async_inflight": len(self._inflight),
+            "async_workers": self.max_workers,
+        }
+
+    def close(self, *, close_inner: bool = False) -> None:
+        """Shut the executor down (optionally closing the wrapped engine).
+
+        The wrapped engine is usually owned by a :class:`~repro.core.
+        squid.SquidSystem` that outlives this adapter, hence the opt-in.
+        """
+        self._executor.shutdown(wait=True)
+        if close_inner:
+            self.inner.close()
+
+
+def create_async_backend(
+    inner: ExecutionBackend, max_workers: Optional[int] = None
+) -> AsyncExecutionBackend:
+    """Factory mirroring :func:`repro.sql.engine.create_backend`."""
+    return AsyncExecutionBackend(
+        inner,
+        DEFAULT_ASYNC_WORKERS if max_workers is None else max_workers,
+    )

@@ -14,19 +14,53 @@ Semantics notes kept aligned with the reference engine:
   bools during result materialisation;
 * DISTINCT / INTERSECT set semantics match, though row *order* may differ
   from the interpreted engine (callers compare results as sets).
+
+SQLite refuses joins of more than 64 tables ("at most 64 tables in a
+join"), a limit QRE-style abduced queries exceed easily — the optimistic
+configuration keeps every coincidental filter, and each derived filter
+appends an αDB relation alias.  Blocks wider than
+:data:`MAX_JOIN_TABLES` therefore compile to **chained CTEs**: the
+FROM list is split into narrow chunks, each CTE joins the previous CTE
+with the next chunk (projecting every column later stages still need as
+``alias__column``), predicates are applied in the chunk that owns their
+alias, and the final stage applies DISTINCT / GROUP BY / HAVING.
+Intermediate dedup depends on the block: plain-DISTINCT finals let every
+stage ``SELECT DISTINCT`` (rows agreeing on all carried columns are
+interchangeable, which bounds the join-multiplicity blow-up), while
+GROUP BY / HAVING ``count(*)`` blocks keep every stage bag-valued so row
+multiplicity is preserved exactly.
 """
 
 from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Any, Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from ...relational.relation import Relation
 from ...relational.types import ColumnType
-from ..ast import AnyQuery, IntersectQuery, Op, Query
+from ..ast import AnyQuery, ColumnRef, IntersectQuery, Op, Query
 from ..result import ResultSet
 from .base import ExecutionBackend, tables_of, validate_query
+
+#: Widest FROM list compiled as a single join; sqlite3's hard limit is
+#: 64 tables, kept with headroom.
+MAX_JOIN_TABLES = 60
+
+#: Join width per chained-CTE stage.  Deliberately much narrower than
+#: the hard limit: each stage deduplicates (when the block allows it)
+#: before the next joins on top, so narrow stages bound the worst-case
+#: intermediate multiplicity blow-up that one maximal-width join would
+#: have to enumerate in full.
+CHAIN_STAGE_TABLES = 16
+
+#: ``AS MATERIALIZED`` needs SQLite >= 3.35 (2021); older runtimes fall
+#: back to the LIMIT clause added per-CTE, which equally prohibits the
+#: flattener from folding stages back into one over-wide join.
+_MATERIALIZED = (
+    "MATERIALIZED " if sqlite3.sqlite_version_info >= (3, 35, 0) else ""
+)
 
 _AFFINITY = {
     ColumnType.INT: "INTEGER",
@@ -81,6 +115,18 @@ def _require_comparable(value: Any, ctype: ColumnType) -> None:
         raise TypeError(
             f"cannot order {value!r} against a {ctype.value} column"
         )
+
+
+@dataclass
+class _CompiledBlock:
+    """One compiled SPJ(A) block: optional CTE chain plus final SELECT.
+
+    ``params`` binds the final SELECT only; each CTE carries its own (the
+    statement assembler concatenates them in textual order)."""
+
+    select_sql: str
+    params: List[Any]
+    ctes: List[Tuple[str, str, List[Any]]] = field(default_factory=list)
 
 
 class SqliteBackend(ExecutionBackend):
@@ -143,13 +189,28 @@ class SqliteBackend(ExecutionBackend):
         validate_query(self.db, query)
         if isinstance(query, IntersectQuery):
             blocks = query.blocks
-            compiled = [self._compile_block(b) for b in blocks]
-            sql = "\nINTERSECT\n".join(text for text, _ in compiled)
-            params = [p for _, block_params in compiled for p in block_params]
+            compiled = [
+                self._compile_block(b, cte_prefix=f"b{i}_")
+                for i, b in enumerate(blocks)
+            ]
             first = blocks[0]
         else:
-            sql, params = self._compile_block(query)
+            compiled = [self._compile_block(query)]
             first = query
+        ctes = [cte for block in compiled for cte in block.ctes]
+        sql = ""
+        if ctes:
+            # MATERIALIZED stops the query flattener from inlining the
+            # chain back into one >64-table join (the whole point of it).
+            sql = "WITH " + ",\n".join(
+                f"{_quote(name)} AS {_MATERIALIZED}(\n{body}\n)"
+                for name, body, _ in ctes
+            ) + "\n"
+        sql += "\nINTERSECT\n".join(block.select_sql for block in compiled)
+        # Bound parameters must follow textual order: every CTE body
+        # precedes every block's final SELECT in the emitted statement.
+        params = [p for _, _, cte_params in ctes for p in cte_params]
+        params += [p for block in compiled for p in block.params]
         with self._lock:
             self._ensure_loaded(tables_of(query))
             rows = self._conn.execute(sql, params).fetchall()
@@ -158,7 +219,45 @@ class SqliteBackend(ExecutionBackend):
             self._convert_rows(first, rows),
         )
 
-    def _compile_block(self, query: Query) -> Tuple[str, List[Any]]:
+    def _column_type(self, alias_map: Dict[str, str], ref: ColumnRef) -> ColumnType:
+        schema = self.db.relation(alias_map[ref.table]).schema
+        return schema.columns[schema.column_position(ref.column)].ctype
+
+    def _predicate_conjunct(
+        self, col: str, pred, ctype: ColumnType, params: List[Any]
+    ) -> str:
+        """One WHERE conjunct for ``pred`` over the rendered column ``col``
+        (shared by the flat and chained-CTE compilers so the affinity
+        guards stay identical)."""
+        if pred.op is Op.BETWEEN:
+            low, high = pred.value  # type: ignore[misc]
+            _require_comparable(low, ctype)
+            _require_comparable(high, ctype)
+            params.extend([_to_sqlite(low), _to_sqlite(high)])
+            return f"{col} BETWEEN ? AND ?"
+        if pred.op is Op.IN:
+            members = [
+                m
+                for m in sorted(pred.value, key=repr)  # type: ignore[arg-type]
+                if _type_matches(m, ctype)
+            ]
+            if not members:
+                return "1 = 0"
+            marks = ", ".join("?" for _ in members)
+            params.extend(_to_sqlite(m) for m in members)
+            return f"{col} IN ({marks})"
+        if pred.op is Op.EQ and not _type_matches(pred.value, ctype):
+            return "1 = 0"
+        if pred.op in (Op.GE, Op.LE):
+            _require_comparable(pred.value, ctype)
+        params.append(_to_sqlite(pred.value))
+        return f"{col} {pred.op.value} ?"
+
+    def _compile_block(
+        self, query: Query, cte_prefix: str = ""
+    ) -> "_CompiledBlock":
+        if len(query.tables) > MAX_JOIN_TABLES:
+            return self._compile_chained(query, cte_prefix)
         alias_map = query.alias_map()
         params: List[Any] = []
         select_kw = "SELECT DISTINCT" if query.distinct else "SELECT"
@@ -177,33 +276,11 @@ class SqliteBackend(ExecutionBackend):
             )
         for pred in query.predicates:
             col = f"{_quote(pred.column.table)}.{_quote(pred.column.column)}"
-            schema = self.db.relation(alias_map[pred.column.table]).schema
-            ctype = schema.columns[schema.column_position(pred.column.column)].ctype
-            if pred.op is Op.BETWEEN:
-                low, high = pred.value  # type: ignore[misc]
-                _require_comparable(low, ctype)
-                _require_comparable(high, ctype)
-                conjuncts.append(f"{col} BETWEEN ? AND ?")
-                params.extend([_to_sqlite(low), _to_sqlite(high)])
-            elif pred.op is Op.IN:
-                members = [
-                    m
-                    for m in sorted(pred.value, key=repr)  # type: ignore[arg-type]
-                    if _type_matches(m, ctype)
-                ]
-                if not members:
-                    conjuncts.append("1 = 0")
-                    continue
-                marks = ", ".join("?" for _ in members)
-                conjuncts.append(f"{col} IN ({marks})")
-                params.extend(_to_sqlite(m) for m in members)
-            elif pred.op is Op.EQ and not _type_matches(pred.value, ctype):
-                conjuncts.append("1 = 0")
-            else:
-                if pred.op in (Op.GE, Op.LE):
-                    _require_comparable(pred.value, ctype)
-                conjuncts.append(f"{col} {pred.op.value} ?")
-                params.append(_to_sqlite(pred.value))
+            conjuncts.append(
+                self._predicate_conjunct(
+                    col, pred, self._column_type(alias_map, pred.column), params
+                )
+            )
         if conjuncts:
             lines.append("WHERE " + "\n  AND ".join(conjuncts))
         if query.group_by:
@@ -215,7 +292,134 @@ class SqliteBackend(ExecutionBackend):
             op = "=" if query.having.op is Op.EQ else query.having.op.value
             lines.append(f"HAVING count(*) {op} ?")
             params.append(int(query.having.value))
-        return "\n".join(lines), params
+        return _CompiledBlock(select_sql="\n".join(lines), params=params)
+
+    def _compile_chained(
+        self, query: Query, cte_prefix: str = ""
+    ) -> "_CompiledBlock":
+        """Compile a too-wide block as chained CTEs (see module docs).
+
+        The FROM list is chunked in declaration order; the abduced star
+        shape (every filter alias joins back to the entity table, which
+        comes first) guarantees each chunk's joins can reach everything
+        they reference — earlier aliases travel forward through the
+        previous CTE's projection as ``alias__column``.
+        """
+        alias_map = query.alias_map()
+        aliases = [t.alias for t in query.tables]
+        table_of = {t.alias: t.name for t in query.tables}
+        # First chunk is a plain join; later chunks spend one slot on the
+        # previous CTE.
+        chunk_width = CHAIN_STAGE_TABLES - 1
+        chunks = [aliases[:CHAIN_STAGE_TABLES]]
+        rest = aliases[CHAIN_STAGE_TABLES:]
+        chunks += [
+            rest[i : i + chunk_width] for i in range(0, len(rest), chunk_width)
+        ]
+        chunk_of = {
+            alias: k for k, chunk in enumerate(chunks) for alias in chunk
+        }
+        # Columns each alias must carry forward: whatever any join, the
+        # projection, or the grouping references (predicates are applied
+        # inside the owning chunk and never need forwarding).
+        carried: Dict[str, Set[str]] = {alias: set() for alias in aliases}
+        for join in query.joins:
+            carried[join.left.table].add(join.left.column)
+            carried[join.right.table].add(join.right.column)
+        for ref in query.select + query.group_by:
+            carried[ref.table].add(ref.column)
+        # A join belongs to the first chunk where both sides exist.
+        joins_in: Dict[int, List[Any]] = {}
+        for join in query.joins:
+            stage = max(chunk_of[join.left.table], chunk_of[join.right.table])
+            joins_in.setdefault(stage, []).append(join)
+        preds_in: Dict[int, List[Any]] = {}
+        for pred in query.predicates:
+            preds_in.setdefault(chunk_of[pred.column.table], []).append(pred)
+
+        # When the final SELECT is a plain DISTINCT (the abduced Q5 shape
+        # — the only query family wide enough to get here), rows agreeing
+        # on every carried column are interchangeable downstream, so each
+        # stage may deduplicate.  That keeps the chain linear where the
+        # raw join multiplicities would explode combinatorially.  With
+        # GROUP BY / HAVING count(*) multiplicity is semantics, so the
+        # stages must stay bag-valued.
+        dedup = query.distinct and not query.group_by and query.having is None
+
+        def cte_name(k: int) -> str:
+            return f"{cte_prefix}stage{k}"
+
+        def forwarded(ref: ColumnRef) -> str:
+            return f"{ref.table}__{ref.column}"
+
+        ctes: List[Tuple[str, str, List[Any]]] = []
+        for k, chunk in enumerate(chunks):
+            in_chunk = set(chunk)
+
+            def render(ref: ColumnRef) -> str:
+                if ref.table in in_chunk:
+                    return f"{_quote(ref.table)}.{_quote(ref.column)}"
+                return f"{_quote(cte_name(k - 1))}.{_quote(forwarded(ref))}"
+
+            params: List[Any] = []
+            from_parts = []
+            if k > 0:
+                from_parts.append(_quote(cte_name(k - 1)))
+            from_parts += [
+                f"{_quote(table_of[alias])} AS {_quote(alias)}"
+                for alias in chunk
+            ]
+            conjuncts = [
+                f"{render(join.left)} = {render(join.right)}"
+                for join in joins_in.get(k, [])
+            ]
+            for pred in preds_in.get(k, []):
+                conjuncts.append(
+                    self._predicate_conjunct(
+                        render(pred.column),
+                        pred,
+                        self._column_type(alias_map, pred.column),
+                        params,
+                    )
+                )
+            # Project every carried column of every alias seen so far.
+            projection = []
+            for alias in aliases:
+                if chunk_of[alias] > k:
+                    continue
+                for column in sorted(carried[alias]):
+                    ref = ColumnRef(alias, column)
+                    projection.append(
+                        f"{render(ref)} AS {_quote(forwarded(ref))}"
+                    )
+            select_kw = "SELECT DISTINCT" if dedup else "SELECT"
+            lines = [f"{select_kw} " + ", ".join(projection)]
+            lines.append("FROM " + ", ".join(from_parts))
+            if conjuncts:
+                lines.append("WHERE " + "\n  AND ".join(conjuncts))
+            if not _MATERIALIZED:  # pragma: no cover - old-SQLite fallback
+                lines.append("LIMIT -1")
+            ctes.append((cte_name(k), "\n".join(lines), params))
+
+        last = _quote(cte_name(len(chunks) - 1))
+        select_kw = "SELECT DISTINCT" if query.distinct else "SELECT"
+        select = ", ".join(
+            f"{last}.{_quote(forwarded(ref))}" for ref in query.select
+        )
+        final_params: List[Any] = []
+        lines = [f"{select_kw} {select}", f"FROM {last}"]
+        if query.group_by:
+            group = ", ".join(
+                f"{last}.{_quote(forwarded(ref))}" for ref in query.group_by
+            )
+            lines.append(f"GROUP BY {group}")
+        if query.having is not None:
+            op = "=" if query.having.op is Op.EQ else query.having.op.value
+            lines.append(f"HAVING count(*) {op} ?")
+            final_params.append(int(query.having.value))
+        return _CompiledBlock(
+            ctes=ctes, select_sql="\n".join(lines), params=final_params
+        )
 
     def _convert_rows(
         self, query: Query, rows: List[Tuple[Any, ...]]

@@ -1,0 +1,110 @@
+"""Async discovery: sync/async result equivalence across all engines."""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+
+import pytest
+
+from repro.core import DiscoverySession, SquidSystem
+from repro.core.lookup import ExampleLookupError
+from repro.sql.engine import available_backends
+
+EXAMPLE_SETS = [
+    ["Jim Carrey", "Eddie Murphy"],
+    ["Arnold Schwarzenegger", "Sylvester Stallone"],
+    ["Meryl Streep", "Ewan McGregor"],
+    ["Jim Carrey"],
+]
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def signature(outcomes):
+    return [
+        (o.result.sql, o.result.log_posterior, tuple(o.result.entity_keys))
+        if o.ok
+        else type(o.error).__name__
+        for o in outcomes
+    ]
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_async_equals_sync_on_every_engine(mini_adb, backend):
+    """discover_many_async must be byte-for-byte the same discovery as
+    the sequential loop, on each of the four execution engines."""
+    squid = SquidSystem(mini_adb, backend=backend)
+    sequential = [squid.discover(s).sql for s in EXAMPLE_SETS]
+    session = DiscoverySession(squid, jobs=2)
+    with session:
+        outcomes = asyncio.run(session.discover_many_async(EXAMPLE_SETS))
+    assert [o.result.sql for o in outcomes] == sequential
+    assert all(o.ok for o in outcomes)
+
+
+@pytest.mark.parametrize(
+    "jobs,executor",
+    [(1, "thread"), (2, "thread")]
+    + ([(2, "process")] if HAS_FORK else []),
+)
+def test_async_matches_sync_batch(mini_squid, jobs, executor):
+    session = DiscoverySession(mini_squid, jobs=jobs, executor=executor)
+    with session:
+        sync_outcomes = session.discover_many(EXAMPLE_SETS)
+        async_outcomes = asyncio.run(
+            session.discover_many_async(EXAMPLE_SETS)
+        )
+    assert signature(sync_outcomes) == signature(async_outcomes)
+
+
+def test_async_lookup_errors_become_outcomes(mini_squid):
+    sets = [["Jim Carrey"], ["nobody-at-all"]]
+    session = DiscoverySession(mini_squid, jobs=2)
+    with session:
+        outcomes = asyncio.run(session.discover_many_async(sets))
+    assert outcomes[0].ok
+    assert isinstance(outcomes[1].error, ExampleLookupError)
+    assert outcomes[1].examples == ["nobody-at-all"]
+
+
+def test_concurrent_async_requests_share_one_pool(mini_squid):
+    session = DiscoverySession(mini_squid, jobs=2)
+
+    async def burst():
+        return await asyncio.gather(
+            *(session.discover_async(EXAMPLE_SETS[i % len(EXAMPLE_SETS)])
+              for i in range(8))
+        )
+
+    with session:
+        outcomes = asyncio.run(burst())
+        assert all(o.ok for o in outcomes)
+        expected = {
+            tuple(s): mini_squid.discover(s).sql for s in map(tuple, EXAMPLE_SETS)
+        }
+        for outcome in outcomes:
+            assert outcome.result.sql == expected[tuple(outcome.examples)]
+        stats = session.stats()
+        assert stats["pool_starts"] == 1
+        assert stats["pool_lookup_reruns"] == 0
+        assert stats["sets_discovered"] == 8
+
+
+def test_async_sequential_jobs1_path(mini_squid):
+    """jobs=1 drives the exact sequential reference path off-loop."""
+    session = DiscoverySession(mini_squid, jobs=1)
+    with session:
+        outcome = asyncio.run(session.discover_async(EXAMPLE_SETS[0]))
+    assert outcome.ok
+    assert outcome.result.sql == mini_squid.discover(EXAMPLE_SETS[0]).sql
+    # no pool was ever started on the sequential path
+    assert session.pool_starts == 0
+
+
+def test_async_example_cap_raises(mini_squid):
+    session = DiscoverySession(mini_squid, jobs=2)
+    too_many = [f"person-{i}" for i in range(500)]
+    with session:
+        with pytest.raises(ValueError):
+            asyncio.run(session.discover_async(too_many))

@@ -1,0 +1,206 @@
+"""Persistent worker pool: affinity, no lookup re-runs, reuse, restarts."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core import (
+    DiscoverySession,
+    ForkWorkerPool,
+    ThreadWorkerPool,
+    create_worker_pool,
+    database_fingerprint,
+)
+from repro.core.workers import WorkerPool
+
+EXAMPLE_SETS = [
+    ["Jim Carrey", "Eddie Murphy"],
+    ["Arnold Schwarzenegger", "Sylvester Stallone"],
+    ["Meryl Streep", "Ewan McGregor"],
+    ["Jim Carrey"],
+]
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def outcomes_signature(outcomes):
+    return [
+        (o.result.sql, o.result.log_posterior, tuple(o.result.entity_keys))
+        if o.ok
+        else type(o.error).__name__
+        for o in outcomes
+    ]
+
+
+class TestCreateWorkerPool:
+    def test_thread_flavour(self, mini_squid):
+        pool = create_worker_pool(
+            mini_squid.adb, mini_squid.backend, 2, "thread"
+        )
+        assert isinstance(pool, ThreadWorkerPool)
+        assert pool.kind == "thread"
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork")
+    def test_process_flavour(self, mini_squid):
+        pool = create_worker_pool(
+            mini_squid.adb, mini_squid.backend, 2, "process"
+        )
+        assert isinstance(pool, ForkWorkerPool)
+        assert pool.kind == "process"
+
+    def test_invalid_width(self, mini_squid):
+        with pytest.raises(ValueError):
+            ThreadWorkerPool(mini_squid.adb, mini_squid.backend, 0)
+
+
+@pytest.mark.parametrize(
+    "executor",
+    ["thread"] + (["process"] if HAS_FORK else []),
+)
+class TestPoolScheduling:
+    def test_no_lookup_reruns_and_affinity_counters(self, mini_squid, executor):
+        """The headline tentpole property: candidate units are scheduled
+        worker-affine with the parent's lookup state shipped along, so no
+        child ever re-runs lookup (PR 2's process path re-ran it once per
+        child per set)."""
+        session = DiscoverySession(mini_squid, jobs=2, executor=executor)
+        with session:
+            outcomes = session.discover_many(EXAMPLE_SETS)
+            assert all(o.ok for o in outcomes)
+            stats = session.stats()
+            assert stats["pool_lookup_reruns"] == 0
+            assert stats["pool_sets_shipped"] == len(EXAMPLE_SETS)
+            # every (set × candidate) unit ran on the pool
+            assert stats["pool_units_run"] >= len(EXAMPLE_SETS)
+            assert stats["pool_inflight"] == 0
+            assert stats["pool_workers"] == 2
+
+    def test_pool_persists_across_batches(self, mini_squid, executor):
+        session = DiscoverySession(mini_squid, jobs=2, executor=executor)
+        with session:
+            first = session.discover_many(EXAMPLE_SETS)
+            second = session.discover_many(EXAMPLE_SETS)
+            assert outcomes_signature(first) == outcomes_signature(second)
+            stats = session.stats()
+            assert stats["pool_starts"] == 1
+            assert stats["pool_batches_served"] == 2
+            # affinity state is per batch: the second batch ships the
+            # (same) sets again under fresh tokens
+            assert stats["pool_sets_shipped"] == 2 * len(EXAMPLE_SETS)
+            assert stats["pool_lookup_reruns"] == 0
+
+    def test_agrees_with_sequential(self, mini_squid, executor):
+        serial = DiscoverySession(mini_squid, jobs=1).discover_many(
+            EXAMPLE_SETS
+        )
+        session = DiscoverySession(mini_squid, jobs=3, executor=executor)
+        with session:
+            pooled = session.discover_many(EXAMPLE_SETS)
+        assert outcomes_signature(serial) == outcomes_signature(pooled)
+
+    def test_errors_propagate_per_set(self, mini_squid, executor):
+        sets = [["Jim Carrey"], ["nobody-at-all"], ["Eddie Murphy"]]
+        session = DiscoverySession(mini_squid, jobs=2, executor=executor)
+        with session:
+            outcomes = session.discover_many(sets)
+        assert outcomes[0].ok and outcomes[2].ok and not outcomes[1].ok
+
+    def test_close_then_new_batch_restarts(self, mini_squid, executor):
+        session = DiscoverySession(mini_squid, jobs=2, executor=executor)
+        session.discover_many(EXAMPLE_SETS[:2])
+        session.close()
+        outcomes = session.discover_many(EXAMPLE_SETS[:2])
+        assert all(o.ok for o in outcomes)
+        assert session.pool_starts == 2
+        session.close()
+
+
+class TestForkPoolStaleness:
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork")
+    def test_mutation_restarts_fork_pool(self, mini_movies_db, mini_squid):
+        session = DiscoverySession(mini_squid, jobs=2, executor="process")
+        with session:
+            before = session.discover_many([["Jim Carrey"]])
+            assert before[0].ok
+            assert session.pool_starts == 1
+            mini_movies_db.insert("person", (97, "Fresh Face", "Female", 1980))
+            after = session.discover_many([["Jim Carrey"]])
+            assert after[0].ok
+            # the stale copy-on-write snapshot was detected and replaced
+            assert session.pool_restarts == 1
+            assert session.pool_starts == 2
+
+    def test_thread_pool_sees_mutations_live(self, mini_movies_db, mini_squid):
+        session = DiscoverySession(mini_squid, jobs=2, executor="thread")
+        with session:
+            assert session.discover_many([["Jim Carrey"]])[0].ok
+            mini_movies_db.insert("person", (96, "Live Update", "Male", 1985))
+            assert session.discover_many([["Jim Carrey"]])[0].ok
+            # shared memory: no restart required
+            assert session.pool_restarts == 0
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork")
+class TestForkPoolCrashRecovery:
+    def _wait(self, predicate, timeout=8.0):
+        deadline = time.monotonic() + timeout
+        while not predicate() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert predicate(), "condition not reached before timeout"
+
+    def test_worker_death_fails_pending_futures(self, mini_squid):
+        pool = ForkWorkerPool(mini_squid.adb, mini_squid.backend, 2)
+        pool.start()
+        hung: "Future" = Future()
+        with pool._lock:
+            pool._pending[10**9] = (hung, 0)
+        os.kill(pool._processes[0].pid, signal.SIGKILL)
+        self._wait(hung.done)
+        assert isinstance(hung.exception(), RuntimeError)
+        self._wait(lambda: pool.closed)
+
+    def test_session_restarts_after_worker_crash(self, mini_squid):
+        session = DiscoverySession(mini_squid, jobs=2, executor="process")
+        with session:
+            assert session.discover_many([["Jim Carrey"]])[0].ok
+            pool = session._pool
+            os.kill(pool._processes[1].pid, signal.SIGKILL)
+            self._wait(lambda: pool.closed)
+            # next batch transparently starts a fresh pool
+            outcomes = session.discover_many([["Jim Carrey"]])
+            assert outcomes[0].ok
+            assert session.pool_starts == 2
+
+
+class TestPoolLifecycle:
+    def test_fingerprint_tracks_versions(self, mini_movies_db):
+        stamp = database_fingerprint(mini_movies_db)
+        assert len(stamp) == len(mini_movies_db.table_names())
+        mini_movies_db.insert("person", (95, "Someone", "Male", 1960))
+        assert database_fingerprint(mini_movies_db) != stamp
+
+    def test_submit_before_start_raises(self, mini_squid):
+        pool = ThreadWorkerPool(mini_squid.adb, mini_squid.backend, 1)
+        with pytest.raises(RuntimeError):
+            pool.submit_unit(0, ["Jim Carrey"], 0, mini_squid.config, [])
+
+    def test_close_fails_pending_futures(self, mini_squid):
+        pool: WorkerPool = ThreadWorkerPool(
+            mini_squid.adb, mini_squid.backend, 1
+        )
+        pool.start()
+        pool.close()
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.submit_unit(0, ["Jim Carrey"], 0, mini_squid.config, [])
+
+    def test_context_manager(self, mini_squid):
+        with ThreadWorkerPool(mini_squid.adb, mini_squid.backend, 1) as pool:
+            assert pool.started
+        assert pool.closed

@@ -1,0 +1,153 @@
+"""Regression: SQLite blocks wider than the 64-table join limit.
+
+QRE-style abduced queries (optimistic config, one αDB alias per kept
+filter) routinely exceed ``sqlite3``'s hard 64-tables-in-a-join limit;
+the backend now compiles such blocks to chained, materialised CTEs.
+These tests pin the chained plan's results to the interpreted reference
+engine on star-shaped queries of 70–130 aliases — including GROUP
+BY/HAVING (where intermediate row multiplicity is semantics and must
+survive the chain) and INTERSECT with a wide block.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    Database,
+    ForeignKey,
+    TableSchema,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from repro.sql.engine import create_backend
+from repro.sql.engine.sqlite import CHAIN_STAGE_TABLES, MAX_JOIN_TABLES
+
+INT, TEXT = ColumnType.INT, ColumnType.TEXT
+
+PERSONS = 12
+TAGS = 8
+
+
+@pytest.fixture(scope="module")
+def star_db() -> Database:
+    """person ⟕ fact star with exactly one fact per (person, tag) — the
+    multiplicity-1 shape of materialised αDB relations."""
+    db = Database("star")
+    db.create_table(
+        TableSchema(
+            "person",
+            [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "fact",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("pid", INT),
+                ColumnDef("tag", TEXT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("pid", "person", "id")],
+        )
+    )
+    fact_id = 0
+    for pid in range(1, PERSONS + 1):
+        db.insert("person", (pid, f"P{pid:02d}"))
+        # person pid has tags t0..t_{pid % TAGS} — so wider stars narrow
+        # the result set and every alias count stays meaningful
+        for tag in range(1 + pid % TAGS):
+            fact_id += 1
+            db.insert("fact", (fact_id, pid, f"t{tag}"))
+    return db
+
+
+def star_query(num_aliases: int, having=None, group=False) -> Query:
+    """The abduced shape: every alias joins back to the entity key."""
+    tables = [TableRef("person")]
+    joins, predicates = [], []
+    for i in range(num_aliases):
+        alias = f"fact_{i}"
+        tables.append(TableRef("fact", alias))
+        joins.append(
+            JoinCondition(ColumnRef(alias, "pid"), ColumnRef("person", "id"))
+        )
+        predicates.append(
+            Predicate(ColumnRef(alias, "tag"), Op.EQ, f"t{i % TAGS}")
+        )
+    return Query(
+        select=(ColumnRef("person", "name"),),
+        tables=tuple(tables),
+        joins=tuple(joins),
+        predicates=tuple(predicates),
+        group_by=(ColumnRef("person", "id"),) if group else (),
+        having=having,
+        distinct=not group,
+    )
+
+
+@pytest.fixture(scope="module")
+def engines(star_db):
+    return (
+        create_backend("interpreted", star_db),
+        create_backend("sqlite", star_db),
+    )
+
+
+class TestChainedCompilation:
+    @pytest.mark.parametrize("num_aliases", [3, 65, 70, 130])
+    def test_wide_star_matches_reference(self, engines, num_aliases):
+        interpreted, sqlite = engines
+        query = star_query(num_aliases)
+        expected = sorted(interpreted.execute(query).rows)
+        actual = sorted(sqlite.execute(query).rows)
+        assert actual == expected
+        if num_aliases <= TAGS:
+            assert expected, "narrow star should keep some rows"
+
+    def test_wide_group_by_having_counts(self, engines):
+        """Multiplicity must survive the chain when count(*) needs it."""
+        interpreted, sqlite = engines
+        for threshold in (1, 40):
+            query = star_query(
+                70, having=HavingCount(Op.GE, threshold), group=True
+            )
+            assert sorted(sqlite.execute(query).rows) == sorted(
+                interpreted.execute(query).rows
+            ), threshold
+
+    def test_intersect_with_wide_block(self, engines):
+        interpreted, sqlite = engines
+        query = IntersectQuery((star_query(70), star_query(2)))
+        assert sorted(sqlite.execute(query).rows) == sorted(
+            interpreted.execute(query).rows
+        )
+
+    def test_chain_constants_sane(self):
+        # the chained plan must never hand sqlite3 an over-wide join
+        assert CHAIN_STAGE_TABLES + 1 <= MAX_JOIN_TABLES <= 64
+
+    def test_flat_path_untouched_below_limit(self, engines, star_db):
+        """Blocks at or below the limit still compile as one plain join
+        (no WITH clause), so existing plans and their performance hold."""
+        _, sqlite = engines
+        compiled = sqlite._compile_block(star_query(10))
+        assert compiled.ctes == []
+        assert "WITH" not in compiled.select_sql
+
+    def test_chained_path_engaged_above_limit(self, engines):
+        _, sqlite = engines
+        compiled = sqlite._compile_block(star_query(MAX_JOIN_TABLES + 5))
+        assert len(compiled.ctes) >= 2

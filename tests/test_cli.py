@@ -45,6 +45,27 @@ class TestParser:
         )
         assert args.input == "sets.txt"
         assert args.jobs == 2
+        assert args.persistent_pool is True
+
+    def test_no_persistent_pool_flag(self):
+        args = build_parser().parse_args(
+            ["batch", "--dataset", "adult", "--input", "s.txt",
+             "--no-persistent-pool"]
+        )
+        assert args.persistent_pool is False
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "imdb", "--mode", "http", "--port", "0",
+             "--executor", "process"]
+        )
+        assert args.mode == "http"
+        assert args.port == 0
+        assert args.jobs == 2  # serve defaults to a parallel session
+        assert args.executor == "process"
+        defaults = build_parser().parse_args(["serve", "--dataset", "imdb"])
+        assert defaults.mode == "stdio"
+        assert defaults.max_pending == 64
 
 
 class TestCommands:

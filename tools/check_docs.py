@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Documentation checker: relative links + doctests in fenced examples.
+
+Run by the CI docs job (and usable locally)::
+
+    PYTHONPATH=src python tools/check_docs.py README.md docs/*.md
+
+Two kinds of checks, both offline:
+
+* **links** — every relative markdown link ``[text](target)`` must point
+  at an existing file or directory (anchors are verified against the
+  target file's headings, GitHub-style slugs).  External ``http(s)://``
+  and ``mailto:`` links are only syntax-checked — the CI environment has
+  no network, and docs must not flake on someone else's uptime.
+* **doctests** — every fenced ```` ```python ```` block containing
+  ``>>>`` prompts runs through :mod:`doctest` (one shared namespace per
+  file, so a quickstart block can feed later blocks).  Documentation
+  examples are executable contracts, not decoration.
+
+Exit status is non-zero on any failure, with one line per problem.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+LINK_RE = re.compile(r"(?<!\!)\[([^\]]*)\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def markdown_headings(path: Path) -> List[str]:
+    slugs = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.append(github_slug(match.group(1)))
+    return slugs
+
+
+def check_links(path: Path, repo_root: Path) -> List[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    # strip fenced code before scanning for links
+    scrubbed_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        scrubbed_lines.append("" if in_fence else line)
+    for match in LINK_RE.finditer("\n".join(scrubbed_lines)):
+        target = match.group(2)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, anchor = target.partition("#")
+        if raw_path:
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+            if resolved.is_dir() or resolved.suffix != ".md":
+                continue
+            anchor_source = resolved
+        else:
+            anchor_source = path
+        if anchor and github_slug(anchor) not in markdown_headings(
+            anchor_source
+        ):
+            problems.append(f"{path}: missing anchor -> {target}")
+    return problems
+
+
+def extract_doctest_blocks(path: Path) -> List[Tuple[int, str]]:
+    """(starting line, source) of every ```python block with >>> prompts."""
+    blocks: List[Tuple[int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    i = 0
+    while i < len(lines):
+        fence = FENCE_RE.match(lines[i])
+        if fence and fence.group(1) in ("python", "pycon"):
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            source = "\n".join(body) + "\n"
+            if ">>>" in source:
+                blocks.append((start, source))
+        i += 1
+    return blocks
+
+
+def run_doctests(path: Path) -> List[str]:
+    problems = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+    )
+    namespace: dict = {}
+    for start_line, source in extract_doctest_blocks(path):
+        test = parser.get_doctest(
+            source, namespace, f"{path}", str(path), start_line
+        )
+        output: List[str] = []
+        # clear_globs=False: get_doctest copies the globals, and the
+        # runner wipes them after the run by default — keep them and
+        # merge back so later blocks in the same file can build on
+        # earlier ones (quickstart-style).
+        runner.run(test, out=output.append, clear_globs=False)
+        namespace.update(test.globs)
+        if runner.failures:
+            problems.append(
+                f"{path}:{start_line}: doctest failure\n" + "".join(output)
+            )
+            runner = doctest.DocTestRunner(
+                optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    problems: List[str] = []
+    checked_links = checked_tests = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        link_problems = check_links(path, repo_root)
+        problems.extend(link_problems)
+        checked_links += len(LINK_RE.findall(path.read_text(encoding="utf-8")))
+        doctest_problems = run_doctests(path)
+        problems.extend(doctest_problems)
+        checked_tests += len(extract_doctest_blocks(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"docs OK: {len(argv)} file(s), ~{checked_links} link(s), "
+        f"{checked_tests} doctest block(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
