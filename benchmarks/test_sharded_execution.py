@@ -1,0 +1,237 @@
+"""Sharded vs single-process vectorized execution on wide abduced stars.
+
+SQuID's abduced queries are star joins of 70–130 αDB aliases, every
+alias joining back to the entity key under an EQ tag predicate.  This
+benchmark builds that exact shape at the active profile's scale and runs
+it through both engines over the same database:
+
+* **vectorized** — the single-process engine: full binding carry, plan
+  and pushdown recomputed per execution;
+* **sharded** — partition-parallel fan-out forced on
+  (``shard_min_rows=0``) with auto shard width: liveness-pruned carry,
+  reusable build sides, and the stamped per-query state cache.
+
+Repeat executions are the workload SQuID actually issues (Occam's-razor
+pruning probes and evaluation reruns re-execute the same abduced block),
+so each engine is timed over ``REPEATS`` executions and compared on the
+median.  Results must be byte-identical between the engines on every
+measured shape; a fixed small star additionally pins both against the
+interpreted reference.
+
+The speedup floor is enforced at the recorded reproduction scale
+(``medium`` profile) and whenever ``REPRO_BENCH_GATE=1`` (the CI smoke
+job).  The strict ``bench_gate``-marked test checks every measured shape
+against ``benchmarks/baselines/sharded_execution.json`` — recorded
+medians plus the ≥1.5x floor; re-record the JSON from the emitted table
+after an intentional change.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from conftest import GATED, PROFILE
+
+from repro.eval import emit, format_table
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    Database,
+    ForeignKey,
+    TableSchema,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    HavingCount,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from repro.sql.engine import create_backend
+from repro.sql.engine.sharded import ShardedVectorizedBackend
+
+INT, TEXT = ColumnType.INT, ColumnType.TEXT
+
+ALIAS_WIDTHS = (70, 130)
+TAGS = 8
+REPEATS = 5
+SPEEDUP_FLOOR = 1.5
+
+_PERSONS = {"small": 400, "medium": 2500, "large": 8000}
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "sharded_execution.json"
+
+
+def _star_db(persons: int) -> Database:
+    """person ⟕ fact star, one fact per (person, tag) — the
+    multiplicity-1 shape of materialised αDB relations."""
+    db = Database("star")
+    db.create_table(
+        TableSchema(
+            "person",
+            [ColumnDef("id", INT, nullable=False), ColumnDef("name", TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "fact",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("pid", INT),
+                ColumnDef("tag", INT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("pid", "person", "id")],
+        )
+    )
+    persons_rows, fact_rows, fact_id = [], [], 0
+    for pid in range(1, persons + 1):
+        persons_rows.append((pid, f"P{pid:05d}"))
+        for tag in range(TAGS):
+            fact_id += 1
+            fact_rows.append((fact_id, pid, tag))
+    db.bulk_load("person", persons_rows)
+    db.bulk_load("fact", fact_rows)
+    return db
+
+
+def _star_query(num_aliases: int, having=None, group=False) -> Query:
+    """The abduced shape: every alias joins back to the entity key."""
+    tables = [TableRef("person")]
+    joins, predicates = [], []
+    for i in range(num_aliases):
+        alias = f"fact_{i}"
+        tables.append(TableRef("fact", alias))
+        joins.append(
+            JoinCondition(ColumnRef(alias, "pid"), ColumnRef("person", "id"))
+        )
+        predicates.append(
+            Predicate(ColumnRef(alias, "tag"), Op.EQ, i % TAGS)
+        )
+    return Query(
+        select=(ColumnRef("person", "name"),),
+        tables=tuple(tables),
+        joins=tuple(joins),
+        predicates=tuple(predicates),
+        group_by=(ColumnRef("person", "id"),) if group else (),
+        having=having,
+        distinct=not group,
+    )
+
+
+def _median_seconds(execute, query, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        execute(query)
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+_MEASURED: Optional[List[Dict[str, object]]] = None
+
+
+def measure() -> List[Dict[str, object]]:
+    """One measurement per alias width, shared by both tests."""
+    global _MEASURED
+    if _MEASURED is not None:
+        return _MEASURED
+    persons = _PERSONS[PROFILE]
+    db = _star_db(persons)
+    vectorized = create_backend("vectorized", db)
+    sharded = ShardedVectorizedBackend(db, shards=0, shard_min_rows=0)
+    rows: List[Dict[str, object]] = []
+    for width in ALIAS_WIDTHS:
+        query = _star_query(width)
+        expected = vectorized.execute(query)  # warm-up double-duty
+        actual = sharded.execute(query)
+        assert actual.rows == expected.rows, (
+            f"sharded result diverged from vectorized at {width} aliases"
+        )
+        assert len(actual.rows) == persons
+        vec_s = _median_seconds(vectorized.execute, query)
+        sharded_s = _median_seconds(sharded.execute, query)
+        rows.append(
+            {
+                "profile": PROFILE,
+                "persons": persons,
+                "aliases": width,
+                "shards": sharded.resolved_shards(),
+                "vectorized_ms": round(vec_s * 1000, 2),
+                "sharded_ms": round(sharded_s * 1000, 2),
+                "speedup": round(vec_s / sharded_s, 2),
+            }
+        )
+    sharded.close()
+    _MEASURED = rows
+    return rows
+
+
+@pytest.mark.benchmark(group="sharded")
+def test_sharded_speedup_on_wide_stars(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "sharded_execution",
+        format_table(
+            rows,
+            title="Sharded vs single-process vectorized "
+            "(70–130-alias abduced stars, median of repeat executions)",
+        ),
+    )
+    if PROFILE == "medium" or GATED:
+        for row in rows:
+            assert row["speedup"] >= SPEEDUP_FLOOR, (
+                f"{row['aliases']}-alias star: sharded {row['sharded_ms']}ms "
+                f"vs vectorized {row['vectorized_ms']}ms — speedup "
+                f"{row['speedup']}x fell below the {SPEEDUP_FLOOR}x floor"
+            )
+
+
+@pytest.mark.bench_gate
+def test_sharded_speedup_gate():
+    """Strict floor from the checked-in baseline (REPRO_BENCH_GATE=1)."""
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["speedup_floor"]
+    assert floor >= SPEEDUP_FLOOR
+    recorded = baseline["profiles"].get(PROFILE)
+    rows = measure()
+    failures = []
+    for row in rows:
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['aliases']}-alias star: {row['speedup']}x < {floor}x"
+            )
+    assert not failures, (
+        "sharded speedup regression (recorded baseline: "
+        f"{json.dumps(recorded)}):\n" + "\n".join(failures)
+    )
+
+
+def test_sharded_matches_interpreted_on_fixed_star():
+    """Semantics pin: fan-out forced on a small star, checked against the
+    interpreted reference (and byte-for-byte against vectorized)."""
+    db = _star_db(24)
+    interpreted = create_backend("interpreted", db)
+    vectorized = create_backend("vectorized", db)
+    sharded = ShardedVectorizedBackend(db, shards=3, shard_min_rows=0)
+    queries = [
+        _star_query(70),
+        _star_query(130),
+        _star_query(70, having=HavingCount(Op.GE, 40), group=True),
+    ]
+    for query in queries:
+        expected = interpreted.execute(query)
+        via_vectorized = vectorized.execute(query)
+        via_sharded = sharded.execute(query)
+        assert via_sharded.rows == via_vectorized.rows
+        assert sorted(via_sharded.rows) == sorted(expected.rows)
+    assert sharded.stats()["sharded_blocks"] == len(queries)
+    sharded.close()

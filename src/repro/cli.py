@@ -65,6 +65,7 @@ def _squid_config(args: argparse.Namespace) -> SquidConfig:
         rho=args.rho,
         tau_a=args.tau_a,
         backend=args.backend,
+        shards=args.shards,
         jobs=args.jobs,
         executor=args.executor,
         persistent_pool=args.persistent_pool,
@@ -282,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--backend", choices=available_backends(),
                          default=DEFAULT_BACKEND,
                          help="query execution engine")
+        cmd.add_argument("--shards", type=int, default=0,
+                         help="shard workers of the sharded engine "
+                              "(0 = auto: cores, capped at 8)")
         cmd.add_argument("--jobs", type=int, default=1,
                          help="worker-pool width for candidate fan-out")
         cmd.add_argument("--executor", choices=("thread", "process"),

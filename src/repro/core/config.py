@@ -29,7 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from ..sql.engine import DEFAULT_BACKEND, DEFAULT_CACHE_SIZE, available_backends
+from ..sql.engine import (
+    DEFAULT_BACKEND,
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_SHARD_MIN_ROWS,
+    available_backends,
+)
 
 
 def validate_fanout(jobs: int, executor: str) -> None:
@@ -119,6 +124,17 @@ class SquidConfig:
     evaluation reruns re-execute identical queries; the cache makes those
     repeats free."""
 
+    shards: int = 0
+    """Probe-side shard workers of the ``sharded`` engine (and of the
+    ``dispatch`` router's sharded tier).  0 means auto: the machine's
+    cores, capped at 8."""
+
+    shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS
+    """Activation threshold of the sharded engine: a block only fans out
+    when its estimated carried work (start rows × aliases) reaches this
+    many row-gathers; smaller blocks stay on the single-process
+    vectorized path."""
+
     # --- batch discovery / worker fan-out --------------------------------
     jobs: int = 1
     """Default worker-pool width of :class:`~repro.core.session.
@@ -161,6 +177,12 @@ class SquidConfig:
         if self.query_cache_size < 0:
             raise ValueError(
                 f"query_cache_size must be >= 0, got {self.query_cache_size}"
+            )
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_min_rows < 0:
+            raise ValueError(
+                f"shard_min_rows must be >= 0, got {self.shard_min_rows}"
             )
         validate_fanout(self.jobs, self.executor)
 

@@ -393,6 +393,7 @@ class DiscoverySession:
                 built += 1
         if isinstance(self.adb, ProbeCachingAdb):
             built += self.adb.warm_families()
+        self.system.warm_backend()
         return built
 
     # ------------------------------------------------------------------

@@ -61,7 +61,13 @@ class SquidSystem:
         self.adb = adb
         name = backend or adb.config.backend
         size = adb.config.query_cache_size if cache_size is None else cache_size
-        self._backend = create_backend(name, adb.db, cache_size=size)
+        self._backend = create_backend(
+            name,
+            adb.db,
+            cache_size=size,
+            shards=adb.config.shards,
+            shard_min_rows=adb.config.shard_min_rows,
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -162,6 +168,16 @@ class SquidSystem:
             backend = backend.inner
         stats = getattr(backend, "stats", None)
         return stats() if callable(stats) else None
+
+    def warm_backend(self) -> None:
+        """Prime engine-held caches (e.g. dispatch's stamped
+        cardinalities); a no-op for engines without a ``warm`` hook."""
+        backend = self._backend
+        if isinstance(backend, CachingBackend):
+            backend = backend.inner
+        warm = getattr(backend, "warm", None)
+        if callable(warm):
+            warm()
 
     def result_keys(self, result: DiscoveryResult) -> set:
         """Entity keys returned by the abduced query."""

@@ -36,14 +36,29 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
-import os
 import threading
 import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..parallel import (
+    database_fingerprint,
+    default_task_workers,
+    fork_available,
+    fork_state_handoff,
+    inherited_fork_state,
+)
 from .config import SquidConfig
 from .pipeline import DiscoveryResult, PipelineContext, run_candidate
+
+__all__ = [
+    "ForkWorkerPool",
+    "ThreadWorkerPool",
+    "WorkerPool",
+    "create_worker_pool",
+    "database_fingerprint",
+    "default_pool_workers",
+]
 
 #: Per-worker cap on cached lookup states: a worker serving an endless
 #: request stream must not grow its matches cache without bound.  Sized
@@ -51,21 +66,6 @@ from .pipeline import DiscoveryResult, PipelineContext, run_candidate
 MATCHES_CACHE_LIMIT = 512
 
 _SHUTDOWN = None
-
-
-def database_fingerprint(db) -> Tuple[Tuple[str, int, int], ...]:
-    """(name, uid, version) of every relation — the pool's staleness key.
-
-    A forked pool holds a copy-on-write snapshot of the αDB; any base-data
-    mutation in the parent leaves the children stale.  Comparing this
-    fingerprint at batch boundaries tells the session when a restart is
-    required (the same stamp discipline the query cache and the probe
-    maps use).
-    """
-    return tuple(
-        (name, db.relation(name).uid, db.relation(name).version)
-        for name in db.table_names()
-    )
 
 
 class _WorkerCore:
@@ -148,17 +148,13 @@ class _WorkerCore:
         }
 
 
-# Fork-inherited heavyweight state, set in the parent immediately before
-# the children fork; the lock serialises concurrent pool starts so one
-# pool's assignment cannot leak into another pool's children.
-_FORK_POOL_STATE: Optional[Tuple[Any, Any]] = None
-_FORK_POOL_LOCK = threading.Lock()
-
-
 def _fork_worker_main(worker_id: int, request_q, result_q) -> None:
-    """Entry point of a forked pool worker (runs until sentinel)."""
-    assert _FORK_POOL_STATE is not None, "worker forked without pool state"
-    adb, backend = _FORK_POOL_STATE
+    """Entry point of a forked pool worker (runs until sentinel).
+
+    The warm (αDB, backend) pair arrives through the shared
+    :func:`repro.parallel.fork_state_handoff` copy-on-write global —
+    never pickled."""
+    adb, backend = inherited_fork_state()
     core = _WorkerCore(worker_id, adb, backend)
     while True:
         message = request_q.get()
@@ -370,23 +366,18 @@ class ForkWorkerPool(WorkerPool):
         self._monitor: Optional[threading.Thread] = None
 
     def _start_workers(self) -> None:
-        global _FORK_POOL_STATE
         self._result_queue = self._mp.SimpleQueue()
-        with _FORK_POOL_LOCK:
-            _FORK_POOL_STATE = (self.adb, self.backend)
-            try:
-                for worker_id in range(self.workers):
-                    request_q = self._mp.SimpleQueue()
-                    process = self._mp.Process(
-                        target=_fork_worker_main,
-                        args=(worker_id, request_q, self._result_queue),
-                        daemon=True,
-                    )
-                    process.start()
-                    self._request_queues.append(request_q)
-                    self._processes.append(process)
-            finally:
-                _FORK_POOL_STATE = None
+        with fork_state_handoff((self.adb, self.backend)):
+            for worker_id in range(self.workers):
+                request_q = self._mp.SimpleQueue()
+                process = self._mp.Process(
+                    target=_fork_worker_main,
+                    args=(worker_id, request_q, self._result_queue),
+                    daemon=True,
+                )
+                process.start()
+                self._request_queues.append(request_q)
+                self._processes.append(process)
         self._collector = threading.Thread(
             target=self._collect, name="repro-pool-collector", daemon=True
         )
@@ -515,11 +506,11 @@ def create_worker_pool(
     """Pool factory: ``process`` (falling back where fork is missing) or
     ``thread``.  The returned pool is *not* started; call ``start()``
     after the αDB is warm so the fork snapshot ships the warm state."""
-    if executor == "process" and "fork" in multiprocessing.get_all_start_methods():
+    if executor == "process" and fork_available():
         return ForkWorkerPool(adb, backend, workers)
     return ThreadWorkerPool(adb, backend, workers)
 
 
 def default_pool_workers() -> int:
     """A sensible pool width: the machine's cores, capped at 8."""
-    return max(1, min(8, os.cpu_count() or 1))
+    return default_task_workers()

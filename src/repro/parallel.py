@@ -1,0 +1,384 @@
+"""Generic fork-once task pools with copy-on-write state shipping.
+
+Two layers of the system fan work out across persistent workers:
+
+* :mod:`repro.core.workers` — (example set × candidate) discovery units
+  over a warm αDB;
+* :mod:`repro.sql.engine.sharded` — probe-side shards of one wide
+  vectorized join over the relation layer's cached column views.
+
+Both need the same transport: fork the workers *once* while the parent's
+heavyweight state is reachable from a module global (so the children
+inherit it through copy-on-write instead of pickling), feed them through
+per-worker request queues, and resolve submitters' futures from a single
+collector thread, failing fast when a child dies.  This module owns that
+machinery; the two call sites layer their own scheduling policies on top.
+
+It intentionally imports nothing from the rest of :mod:`repro`, so both
+the core and the sql.engine layers can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Queue sentinel telling a worker loop to exit.
+SHUTDOWN = None
+
+
+def default_task_workers() -> int:
+    """A sensible pool width: the machine's cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def fork_available() -> bool:
+    """Whether ``fork``-based pools can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def database_fingerprint(db) -> Tuple[Tuple[str, int, int], ...]:
+    """(name, uid, version) of every relation — a pool's staleness key.
+
+    A forked pool holds a copy-on-write snapshot of its database; any
+    base-data mutation in the parent leaves the children stale.
+    Comparing this fingerprint at submission boundaries tells the owner
+    when a restart is required (the same stamp discipline the query
+    cache and the probe maps use).
+    """
+    return tuple(
+        (name, db.relation(name).uid, db.relation(name).version)
+        for name in db.table_names()
+    )
+
+
+# Fork-inherited heavyweight state, set in the parent immediately before
+# the children fork; the lock serialises concurrent pool starts so one
+# pool's state cannot leak into another pool's children.
+_FORK_STATE: Optional[Any] = None
+_FORK_LOCK = threading.Lock()
+
+
+class fork_state_handoff:
+    """Context manager exposing ``state`` to children forked inside it.
+
+    The child entry points read :func:`inherited_fork_state` before their
+    first queue read; the value they see is the copy-on-write snapshot
+    taken at fork time, so the parent clearing the global afterwards does
+    not affect them.
+    """
+
+    def __init__(self, state: Any) -> None:
+        self._state = state
+
+    def __enter__(self) -> "fork_state_handoff":
+        _FORK_LOCK.acquire()
+        global _FORK_STATE
+        _FORK_STATE = (self._state,)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _FORK_STATE
+        _FORK_STATE = None
+        _FORK_LOCK.release()
+
+
+def inherited_fork_state() -> Any:
+    """The state shipped to this forked child (asserts it was set)."""
+    assert _FORK_STATE is not None, "worker forked without pool state"
+    return _FORK_STATE[0]
+
+
+def _fork_task_main(worker_id: int, request_q, result_q) -> None:
+    """Entry point of a forked task-pool worker (runs until sentinel)."""
+    state, factory = inherited_fork_state()
+    handler = factory(state, worker_id)
+    while True:
+        message = request_q.get()
+        if message is SHUTDOWN:
+            break
+        req_id, payload = message
+        try:
+            result_q.put((req_id, True, handler(payload)))
+        except Exception as exc:  # surfaced through the submitter's future
+            result_q.put((req_id, False, exc))
+
+
+class TaskPool:
+    """Base: least-loaded submission, futures plumbing, liveness.
+
+    ``worker_factory(state, worker_id)`` runs *inside* each worker and
+    returns the payload handler; for fork pools the state arrives via
+    copy-on-write, never pickled.  Subclasses provide the transport.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(
+        self,
+        state: Any,
+        worker_factory: Callable[[Any, int], Callable[[Any], Any]],
+        workers: int,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.state = state
+        self.worker_factory = worker_factory
+        self.workers = workers
+        self.started = False
+        self.closed = False
+        self._lock = threading.Lock()
+        self._req_ids = itertools.count()
+        self._pending: Dict[int, Tuple[Future, int]] = {}
+        self._inflight_per_worker: List[int] = [0] * workers
+
+    # -- transport hooks (subclass responsibility) ---------------------
+    def _start_workers(self) -> None:
+        raise NotImplementedError
+
+    def _send(self, worker_id: int, message: Any) -> None:
+        raise NotImplementedError
+
+    def _stop_workers(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TaskPool":
+        """Spawn the workers (idempotent)."""
+        if self.started:
+            return self
+        self._start_workers()
+        self.started = True
+        return self
+
+    def close(self) -> None:
+        """Stop the workers; pending futures are failed, not abandoned."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+        if self.started:
+            self._stop_workers()
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future, _ in pending:
+            if not future.done():
+                future.set_exception(RuntimeError("task pool closed"))
+
+    def __enter__(self) -> "TaskPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any, worker_id: Optional[int] = None) -> Future:
+        """Schedule one payload; least-loaded worker unless pinned."""
+        if not self.started or self.closed:
+            raise RuntimeError("task pool is not running")
+        future: Future = Future()
+        with self._lock:
+            # Re-check under the lock: a monitor-triggered close() may
+            # have failed-and-cleared _pending since the check above.
+            if self.closed:
+                raise RuntimeError("task pool is not running")
+            req_id = next(self._req_ids)
+            if worker_id is None:
+                worker_id = min(
+                    range(self.workers),
+                    key=lambda w: self._inflight_per_worker[w],
+                )
+            self._pending[req_id] = (future, worker_id)
+            self._inflight_per_worker[worker_id] += 1
+        self._send(worker_id, (req_id, payload))
+        return future
+
+    def inflight(self) -> int:
+        with self._lock:
+            return sum(self._inflight_per_worker)
+
+    def _resolve(self, req_id: int, ok: bool, payload: Any) -> None:
+        with self._lock:
+            entry = self._pending.pop(req_id, None)
+            if entry is not None:
+                worker_id = entry[1]
+                self._inflight_per_worker[worker_id] = max(
+                    0, self._inflight_per_worker[worker_id] - 1
+                )
+        future = entry[0] if entry is not None else None
+        if future is None or future.done():
+            return
+        if ok:
+            future.set_result(payload)
+        else:
+            future.set_exception(payload)
+
+
+class ForkTaskPool(TaskPool):
+    """Fork-based pool: state ships via copy-on-write, once."""
+
+    kind = "process"
+
+    #: Seconds between worker-liveness checks of the monitor thread.
+    MONITOR_INTERVAL = 0.2
+
+    def __init__(self, state, worker_factory, workers: int) -> None:
+        super().__init__(state, worker_factory, workers)
+        self._mp = multiprocessing.get_context("fork")
+        self._request_queues: List[Any] = []
+        self._result_queue: Any = None
+        self._processes: List[Any] = []
+        self._collector: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+
+    def _start_workers(self) -> None:
+        self._result_queue = self._mp.SimpleQueue()
+        with fork_state_handoff((self.state, self.worker_factory)):
+            for worker_id in range(self.workers):
+                request_q = self._mp.SimpleQueue()
+                process = self._mp.Process(
+                    target=_fork_task_main,
+                    args=(worker_id, request_q, self._result_queue),
+                    daemon=True,
+                )
+                process.start()
+                self._request_queues.append(request_q)
+                self._processes.append(process)
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-taskpool-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._watch_workers, name="repro-taskpool-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _collect(self) -> None:
+        while True:
+            message = self._result_queue.get()
+            if message is SHUTDOWN:
+                break
+            self._resolve(*message)
+
+    def _watch_workers(self) -> None:
+        """Fail fast instead of hanging when a forked worker dies.
+
+        A killed child (OOM, segfault) never reports back; without this
+        its submitters would block forever on their futures.  On death
+        the dead worker's pending futures get the error and the pool
+        closes (failing the rest) — the owner starts a fresh pool on its
+        next use.
+        """
+        while not self.closed:
+            for worker_id, process in enumerate(self._processes):
+                if self.closed:
+                    return
+                if not process.is_alive():
+                    self._on_worker_death(worker_id, process.exitcode)
+                    return
+            time.sleep(self.MONITOR_INTERVAL)
+
+    def _on_worker_death(self, worker_id: int, exitcode: Any) -> None:
+        with self._lock:
+            dead = [
+                (req_id, future)
+                for req_id, (future, owner) in self._pending.items()
+                if owner == worker_id
+            ]
+            for req_id, _ in dead:
+                del self._pending[req_id]
+        error = RuntimeError(
+            f"task pool worker {worker_id} died (exit code {exitcode})"
+        )
+        for _, future in dead:
+            if not future.done():
+                future.set_exception(error)
+        self.close()
+
+    def _send(self, worker_id: int, message: Any) -> None:
+        self._request_queues[worker_id].put(message)
+
+    def _stop_workers(self) -> None:
+        for request_q in self._request_queues:
+            request_q.put(SHUTDOWN)
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1)
+        self._result_queue.put(SHUTDOWN)
+        if self._collector is not None:
+            self._collector.join(timeout=5)
+        # the monitor exits on its own once ``closed`` is set; never join
+        # it here — worker-death handling calls close() *from* it
+
+
+class ThreadTaskPool(TaskPool):
+    """Thread-based pool: same interface, shared-memory transport."""
+
+    kind = "thread"
+
+    def __init__(self, state, worker_factory, workers: int) -> None:
+        super().__init__(state, worker_factory, workers)
+        self._queues: List[Any] = []
+        self._threads: List[threading.Thread] = []
+
+    def _start_workers(self) -> None:
+        import queue
+
+        for worker_id in range(self.workers):
+            request_q: "queue.Queue" = queue.Queue()
+            thread = threading.Thread(
+                target=self._thread_main,
+                args=(worker_id, request_q),
+                name=f"repro-taskpool-worker-{worker_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._queues.append(request_q)
+            self._threads.append(thread)
+
+    def _thread_main(self, worker_id: int, request_q) -> None:
+        handler = self.worker_factory(self.state, worker_id)
+        while True:
+            message = request_q.get()
+            if message is SHUTDOWN:
+                break
+            req_id, payload = message
+            try:
+                self._resolve(req_id, True, handler(payload))
+            except Exception as exc:
+                self._resolve(req_id, False, exc)
+
+    def _send(self, worker_id: int, message: Any) -> None:
+        self._queues[worker_id].put(message)
+
+    def _stop_workers(self) -> None:
+        for request_q in self._queues:
+            request_q.put(SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+
+def create_task_pool(
+    state: Any,
+    worker_factory,
+    workers: int,
+    executor: str = "process",
+) -> TaskPool:
+    """Pool factory: ``process`` (falling back where fork is missing) or
+    ``thread``.  The returned pool is *not* started; call ``start()``
+    after the shared state is warm so fork snapshots ship it built."""
+    if executor == "process" and fork_available():
+        return ForkTaskPool(state, worker_factory, workers)
+    return ThreadTaskPool(state, worker_factory, workers)

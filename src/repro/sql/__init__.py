@@ -1,7 +1,7 @@
 """Query representation and execution for the SPJ(A, intersect) class.
 
 Exports the AST node types, the pluggable execution backends (interpreted,
-vectorized, sqlite, dispatch) behind :class:`ExecutionBackend`, the
+vectorized, sharded, sqlite, dispatch) behind :class:`ExecutionBackend`, the
 paper-style SQL
 formatter, the predicate-counting metric used in Figs. 14/15, and a small
 parser that round-trips the formatter output.
@@ -31,6 +31,7 @@ from .engine import (
     ExecutionBackend,
     InterpretedBackend,
     QueryResultCache,
+    ShardedVectorizedBackend,
     SqliteBackend,
     VectorizedBackend,
     available_backends,
@@ -58,6 +59,7 @@ __all__ = [
     "Query",
     "QueryResultCache",
     "ResultSet",
+    "ShardedVectorizedBackend",
     "SqliteBackend",
     "TableRef",
     "VectorizedBackend",

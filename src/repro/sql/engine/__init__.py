@@ -10,9 +10,13 @@ behind the one interface:
   arrays (the default);
 * ``sqlite``     — compiles the AST to SQL against an in-memory SQLite
   mirror of the database;
+* ``sharded``    — the vectorized engine with wide/large blocks
+  partitioned over a fork-once process pool (probe-side shards, partial
+  aggregates merged in the parent);
 * ``dispatch``   — cost-based router sending point lookups and tiny
-  queries to the interpreted engine and scans/joins to the vectorized
-  one, using per-table cardinalities.
+  queries to the interpreted engine, genuinely wide/large blocks to the
+  sharded engine, and everything else to the vectorized one, using
+  per-table cardinalities re-checked against relation version stamps.
 
 ``create_backend`` is the factory; :class:`CachingBackend` layers the
 shared formatted-SQL-keyed result cache over any engine, and
@@ -41,6 +45,7 @@ from .async_backend import (
 )
 from .dispatch import DEFAULT_SMALL_WORK_ROWS, DispatchBackend
 from .interpreted import InterpretedBackend
+from .sharded import DEFAULT_SHARD_MIN_ROWS, ShardedVectorizedBackend
 from .sqlite import SqliteBackend
 from .vectorized import VectorizedBackend
 
@@ -49,9 +54,13 @@ BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     VectorizedBackend.name: VectorizedBackend,
     SqliteBackend.name: SqliteBackend,
     DispatchBackend.name: DispatchBackend,
+    ShardedVectorizedBackend.name: ShardedVectorizedBackend,
 }
 
 DEFAULT_BACKEND = VectorizedBackend.name
+
+#: Backends that understand the shard-fanout keyword arguments.
+_SHARD_AWARE = {ShardedVectorizedBackend.name, DispatchBackend.name}
 
 
 def available_backends() -> List[str]:
@@ -60,12 +69,20 @@ def available_backends() -> List[str]:
 
 
 def create_backend(
-    name: str, database: Database, *, cache_size: int = 0
+    name: str,
+    database: Database,
+    *,
+    cache_size: int = 0,
+    shards: int = 0,
+    shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
 ) -> ExecutionBackend:
     """Instantiate a backend by name, optionally wrapped in a result cache.
 
     ``cache_size`` > 0 wraps the engine in a :class:`CachingBackend` with
-    that many LRU entries.
+    that many LRU entries.  ``shards`` (0 = auto) and ``shard_min_rows``
+    configure the partition-parallel fan-out of the ``sharded`` engine
+    and of the ``dispatch`` router's sharded tier; other engines ignore
+    them.
     """
     try:
         backend_cls = BACKENDS[name]
@@ -73,7 +90,12 @@ def create_backend(
         raise ValueError(
             f"unknown backend {name!r} (available: {', '.join(available_backends())})"
         ) from None
-    backend = backend_cls(database)
+    if name in _SHARD_AWARE:
+        backend = backend_cls(
+            database, shards=shards, shard_min_rows=shard_min_rows
+        )
+    else:
+        backend = backend_cls(database)
     if cache_size > 0:
         return CachingBackend(backend, max_entries=cache_size)
     return backend
@@ -86,11 +108,13 @@ __all__ = [
     "DEFAULT_ASYNC_WORKERS",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_SHARD_MIN_ROWS",
     "DEFAULT_SMALL_WORK_ROWS",
     "DispatchBackend",
     "ExecutionBackend",
     "InterpretedBackend",
     "QueryResultCache",
+    "ShardedVectorizedBackend",
     "SqliteBackend",
     "VectorizedBackend",
     "available_backends",

@@ -19,22 +19,31 @@ rows touched per alias:
 * ``n`` otherwise (full scan or unfiltered join side).
 
 Queries whose summed estimate stays at or below ``small_work_rows``
-route to the interpreted engine, everything else to the vectorized one.
-Both engines share the caller's :class:`~repro.relational.database.
-Database`, so results are identical by the cross-backend equivalence
-suite; dispatch only ever changes *where* a query runs.
+route to the interpreted engine; blocks whose estimated carried work
+(estimate × alias count) clears the sharded engine's activation
+threshold route to the partition-parallel sharded tier; everything else
+runs single-process vectorized.  All engines share the caller's
+:class:`~repro.relational.database.Database`, so results are identical
+by the cross-backend equivalence suite; dispatch only ever changes
+*where* a query runs.
+
+Cardinalities are cached per table but stamped with the relation's
+``(uid, version)`` — every routing decision re-checks the stamp, so a
+mutation (bulk load, insert) is reflected in the very next ``choose``
+instead of replaying a decision frozen at warm() time.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict
+from typing import Dict, Tuple
 
 from ...relational.database import Database
 from ..ast import AnyQuery, IntersectQuery, Op, Query
 from ..result import ResultSet, execute_intersect
 from .base import ExecutionBackend
 from .interpreted import InterpretedBackend
+from .sharded import DEFAULT_SHARD_MIN_ROWS, ShardedVectorizedBackend
 from .vectorized import VectorizedBackend
 
 #: Estimated-rows threshold at or below which the interpreted engine wins.
@@ -45,7 +54,8 @@ _RANGE_SCAN_FRACTION = 4
 
 
 class DispatchBackend(ExecutionBackend):
-    """Routes queries between the interpreted and vectorized engines."""
+    """Routes queries between the interpreted, vectorized and sharded
+    engines."""
 
     name = "dispatch"
 
@@ -54,22 +64,52 @@ class DispatchBackend(ExecutionBackend):
         database: Database,
         *,
         small_work_rows: int = DEFAULT_SMALL_WORK_ROWS,
+        shards: int = 0,
+        shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
     ) -> None:
         super().__init__(database)
         self.small_work_rows = small_work_rows
         self.interpreted = InterpretedBackend(database)
         self.vectorized = VectorizedBackend(database)
+        self.sharded = ShardedVectorizedBackend(
+            database, shards=shards, shard_min_rows=shard_min_rows
+        )
         self.decisions: Dict[str, int] = {
             self.interpreted.name: 0,
             self.vectorized.name: 0,
+            self.sharded.name: 0,
         }
         # Counter increments are read-modify-write; batch sessions share
         # one dispatch backend across worker threads.
         self._decision_lock = threading.Lock()
+        # table -> (uid, version, rows); stamp-checked on every lookup.
+        self._cardinalities: Dict[str, Tuple[int, int, int]] = {}
+        self._cardinality_refreshes = 0
 
     # ------------------------------------------------------------------
     # cost model
     # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Prime the cardinality cache for every current relation."""
+        for name in self.db.table_names():
+            self._cardinality(name)
+
+    def _cardinality(self, table: str) -> int:
+        """Stamped row count: refreshed whenever the relation mutates."""
+        relation = self.db.relation(table)
+        entry = self._cardinalities.get(table)
+        if (
+            entry is not None
+            and entry[0] == relation.uid
+            and entry[1] == relation.version
+        ):
+            return entry[2]
+        rows = len(relation)
+        with self._decision_lock:
+            self._cardinalities[table] = (relation.uid, relation.version, rows)
+            self._cardinality_refreshes += 1
+        return rows
+
     def estimated_rows(self, query: Query) -> int:
         """Rows the engine will plausibly touch, from table cardinalities."""
         alias_map = query.alias_map()
@@ -82,7 +122,7 @@ class DispatchBackend(ExecutionBackend):
                 # Unknown table: route to an engine and let its shared
                 # validation raise the proper QueryError.
                 return 0
-            n = len(self.db.relation(table))
+            n = self._cardinality(table)
             ops = ops_by_alias.get(alias)
             if ops and ops & {Op.EQ, Op.IN}:
                 total += 1
@@ -94,8 +134,12 @@ class DispatchBackend(ExecutionBackend):
 
     def choose(self, query: Query) -> ExecutionBackend:
         """The engine one SPJ(A) block routes to."""
-        if self.estimated_rows(query) <= self.small_work_rows:
+        estimate = self.estimated_rows(query)
+        if estimate <= self.small_work_rows:
             return self.interpreted
+        aliases = len(query.alias_map())
+        if aliases >= 2 and estimate * aliases >= self.sharded.shard_min_rows:
+            return self.sharded
         return self.vectorized
 
     # ------------------------------------------------------------------
@@ -114,10 +158,15 @@ class DispatchBackend(ExecutionBackend):
         return engine.execute(block)
 
     def stats(self) -> Dict[str, int]:
-        """Per-engine routing decision counters."""
+        """Per-engine routing decisions plus the sharded tier's counters."""
         with self._decision_lock:
-            return dict(self.decisions)
+            out: Dict[str, int] = dict(self.decisions)
+            out["cardinality_refreshes"] = self._cardinality_refreshes
+        for key, value in self.sharded.stats().items():
+            out[f"sharded_{key}"] = value
+        return out
 
     def close(self) -> None:
         self.interpreted.close()
         self.vectorized.close()
+        self.sharded.close()

@@ -123,6 +123,78 @@ def equi_join(probe: np.ndarray, build: np.ndarray) -> Tuple[np.ndarray, np.ndar
     return probe_idx, order[sorted_pos]
 
 
+class JoinBuild:
+    """A reusable build side: sort (or bucket) once, probe many times.
+
+    The sharded engine probes one build side with every shard's keys;
+    re-sorting per shard would erase the fan-out win.  ``probe`` returns
+    ``(probe_idx, build_row_ids)`` in exactly the order the one-shot
+    :func:`equi_join` / :func:`hash_join` path produces over the same
+    build input, so shard results concatenate into the single-process
+    row sequence byte for byte.
+
+    ``keys``/``row_ids`` must be parallel and NULL-free, with ``row_ids``
+    ascending unless ``presorted`` marks ``keys`` as already value-sorted
+    (a relation's cached sorted view).
+    """
+
+    def __init__(
+        self, keys: np.ndarray, row_ids: np.ndarray, presorted: bool = False
+    ) -> None:
+        self.keys = keys
+        self.row_ids = row_ids
+        self._sorted: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._buckets: Optional[dict] = None
+        if presorted:
+            self._sorted = (keys, row_ids)
+
+    def _sorted_build(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._sorted is None:
+            order = np.argsort(self.keys, kind="stable")
+            self._sorted = (self.keys[order], self.row_ids[order])
+        return self._sorted
+
+    def _bucket_map(self) -> dict:
+        if self._buckets is None:
+            # Bucket in ascending-row-id order so hit order matches
+            # hash_join over the rid-ordered build side.
+            order = np.argsort(self.row_ids, kind="stable")
+            rids = self.row_ids[order]
+            buckets: dict = {}
+            for key, rid in zip(self.keys[order].tolist(), rids.tolist()):
+                buckets.setdefault(key, []).append(rid)
+            self._buckets = buckets
+        return self._buckets
+
+    def probe(self, probe_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Match ``probe_keys``; returns ``(probe_idx, build_row_ids)``."""
+        if self.keys.size == 0 or probe_keys.size == 0:
+            return _EMPTY, _EMPTY
+        if probe_keys.dtype != object and self.keys.dtype != object:
+            try:
+                sorted_keys, sorted_rids = self._sorted_build()
+                probe_idx, pos = join_sorted(probe_keys, sorted_keys)
+            except TypeError:
+                pass
+            else:
+                return probe_idx, sorted_rids[pos]
+        return self._hash_probe(probe_keys)
+
+    def _hash_probe(self, probe_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        buckets = self._bucket_map()
+        probe_idx: List[int] = []
+        build_rids: List[int] = []
+        for j, key in enumerate(probe_keys.tolist()):
+            hits = buckets.get(key)
+            if hits:
+                probe_idx.extend([j] * len(hits))
+                build_rids.extend(hits)
+        return (
+            np.asarray(probe_idx, dtype=np.int64),
+            np.asarray(build_rids, dtype=np.int64),
+        )
+
+
 def hash_join(probe: np.ndarray, build: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Dict-based equi-join for keys that only support hashing/equality."""
     buckets: dict = {}

@@ -21,7 +21,8 @@ reference engine; the equivalence suite keeps them locked together.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,9 +31,134 @@ from ...relational.relation import ColumnArray, Relation
 from ..ast import AnyQuery, IntersectQuery, JoinCondition, Op, Predicate, Query
 from ..result import ResultSet, execute_intersect
 from .base import ExecutionBackend, validate_query
-from .kernels import combine_codes, equi_join, factorize, hash_join, join_sorted
+from .kernels import (
+    JoinBuild,
+    combine_codes,
+    equi_join,
+    factorize,
+    hash_join,
+    join_sorted,
+)
 
 Bindings = Dict[str, np.ndarray]
+Candidates = Dict[str, Optional[np.ndarray]]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One extension of the partial join.
+
+    ``connecting`` indexes ``query.joins``; empty means a cross product.
+    ``drops`` lists aliases whose bindings are dead after this step —
+    not referenced by any later join, residual, select or group-by ref —
+    and may be released by executors that opt into liveness pruning.
+    """
+
+    alias: str
+    connecting: Tuple[int, ...]
+    drops: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A fixed join order for one SPJ(A) block.
+
+    Computed once from the full candidate sizes, so every shard of a
+    partitioned execution follows the exact order the single-process
+    engine would pick — shard results then concatenate into the same
+    row sequence.
+    """
+
+    start: str
+    steps: Tuple[PlanStep, ...]
+    residuals: Tuple[int, ...]
+
+
+def plan_joins(
+    query: Query,
+    alias_map: Dict[str, str],
+    estimated_size: Callable[[str], int],
+) -> JoinPlan:
+    """Replicates ``_join_all``'s greedy connected-smallest-first order."""
+    aliases = list(alias_map)
+    start = min(aliases, key=estimated_size)
+    bound = {start}
+    remaining = list(range(len(query.joins)))
+    raw_steps: List[Tuple[str, Tuple[int, ...]]] = []
+    while len(bound) < len(aliases):
+        chosen: Optional[str] = None
+        connecting: List[int] = []
+        for alias in sorted(
+            (a for a in aliases if a not in bound), key=estimated_size
+        ):
+            connecting = [
+                i
+                for i in remaining
+                if query.joins[i].touches(alias)
+                and query.joins[i].other_side(alias).table in bound
+            ]
+            if connecting:
+                chosen = alias
+                break
+        if chosen is None:
+            chosen = min((a for a in aliases if a not in bound), key=estimated_size)
+            connecting = []
+        raw_steps.append((chosen, tuple(connecting)))
+        bound.add(chosen)
+        # Value-based removal (not index-based): duplicate join
+        # conditions must all leave the pool together, exactly as the
+        # original ``j not in connecting`` filter removed them.
+        consumed = [query.joins[i] for i in connecting]
+        remaining = [i for i in remaining if query.joins[i] not in consumed]
+    residuals = tuple(remaining)
+
+    # Liveness: the last stage each alias is referenced at.  Stage k is
+    # step k; stage len(steps) covers residual joins and the final
+    # select/group-by projection (those aliases are never droppable).
+    final_stage = len(raw_steps)
+    keep = {ref.table for ref in query.select}
+    keep |= {ref.table for ref in query.group_by}
+    last = {alias: (final_stage if alias in keep else -1) for alias in aliases}
+    for k, (alias, connecting) in enumerate(raw_steps):
+        referenced = {alias}
+        for i in connecting:
+            join = query.joins[i]
+            referenced.add(join.left.table)
+            referenced.add(join.right.table)
+        for a in referenced:
+            last[a] = max(last[a], k)
+    for i in residuals:
+        join = query.joins[i]
+        last[join.left.table] = final_stage
+        last[join.right.table] = final_stage
+    for alias in aliases:
+        if last[alias] < 0:  # never referenced: keep it alive defensively
+            last[alias] = final_stage
+    steps = tuple(
+        PlanStep(
+            alias,
+            connecting,
+            tuple(sorted(a for a in aliases if last[a] == k)),
+        )
+        for k, (alias, connecting) in enumerate(raw_steps)
+    )
+    return JoinPlan(start=start, steps=steps, residuals=residuals)
+
+
+def make_join_build(
+    relation: Relation, column: str, cand: Optional[np.ndarray]
+) -> JoinBuild:
+    """A reusable :class:`JoinBuild` mirroring ``_join_against``'s inputs."""
+    if cand is None:
+        view = relation.sorted_view(column)
+        if view is not None:
+            return JoinBuild(view.values, view.row_ids, presorted=True)
+        arr = relation.column_array(column)
+        rids = np.nonzero(arr.mask)[0]
+        return JoinBuild(arr.values[rids], rids)
+    arr = relation.column_array(column)
+    rids = cand[arr.mask[cand]]
+    return JoinBuild(arr.values[rids], rids)
 
 
 class VectorizedBackend(ExecutionBackend):
@@ -133,78 +259,83 @@ class VectorizedBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # joins
     # ------------------------------------------------------------------
-    def _join_all(
-        self,
-        query: Query,
-        alias_map: Dict[str, str],
-        candidates: Dict[str, Optional[np.ndarray]],
-    ) -> Tuple[Bindings, int]:
-        aliases = list(alias_map)
-        if not aliases:
-            return {}, 0
-
+    def _size_estimator(
+        self, alias_map: Dict[str, str], candidates: Candidates
+    ) -> Callable[[str], int]:
         def estimated_size(alias: str) -> int:
             cand = candidates[alias]
             if cand is not None:
                 return int(cand.size)
             return len(self._relation(alias_map, alias))
 
-        start = min(aliases, key=estimated_size)
+        return estimated_size
+
+    def _start_rids(
+        self, alias_map: Dict[str, str], candidates: Candidates, start: str
+    ) -> np.ndarray:
         cand = candidates[start]
         rids = (
             cand
             if cand is not None
             else np.arange(len(self._relation(alias_map, start)), dtype=np.int64)
         )
-        bindings: Bindings = {start: rids.astype(np.int64, copy=False)}
-        count = int(rids.size)
-        bound = {start}
-        remaining_joins = list(query.joins)
+        return rids.astype(np.int64, copy=False)
 
-        while len(bound) < len(aliases):
-            next_alias, connecting = self._pick_next(
-                aliases, bound, remaining_joins, estimated_size
-            )
-            if next_alias is None:
-                next_alias = min(
-                    (a for a in aliases if a not in bound), key=estimated_size
-                )
-                connecting = []
+    def _join_all(
+        self,
+        query: Query,
+        alias_map: Dict[str, str],
+        candidates: Candidates,
+    ) -> Tuple[Bindings, int]:
+        if not alias_map:
+            return {}, 0
+        plan = plan_joins(
+            query, alias_map, self._size_estimator(alias_map, candidates)
+        )
+        start_rids = self._start_rids(alias_map, candidates, plan.start)
+        return self._execute_plan(query, alias_map, candidates, plan, start_rids)
+
+    def _execute_plan(
+        self,
+        query: Query,
+        alias_map: Dict[str, str],
+        candidates: Candidates,
+        plan: JoinPlan,
+        start_rids: np.ndarray,
+        *,
+        prune: bool = False,
+        builds: Optional[Dict[str, JoinBuild]] = None,
+    ) -> Tuple[Bindings, int]:
+        """Run a fixed :class:`JoinPlan` over ``start_rids``.
+
+        ``prune=True`` releases bindings the plan marks dead (shard
+        executors: only select/group-by/join-live aliases survive);
+        ``builds`` caches prepared build sides across calls so sharded
+        probes sort each build side once.
+        """
+        aliases = list(alias_map)
+        bindings: Bindings = {plan.start: start_rids}
+        count = int(start_rids.size)
+        for step in plan.steps:
+            connecting = [query.joins[i] for i in step.connecting]
             bindings, count = self._extend(
-                bindings, count, next_alias, alias_map, candidates, connecting
+                bindings, count, step.alias, alias_map, candidates, connecting,
+                builds,
             )
-            bound.add(next_alias)
-            remaining_joins = [j for j in remaining_joins if j not in connecting]
             if count == 0:
                 # Short-circuit: bind every remaining alias to empty arrays.
                 for alias in aliases:
                     if alias not in bindings:
                         bindings[alias] = np.empty(0, dtype=np.int64)
-                bound = set(aliases)
-                remaining_joins = []
-        for join in remaining_joins:
-            bindings, count = self._apply_residual(bindings, count, join, alias_map)
+                return bindings, 0
+            if prune:
+                for alias in step.drops:
+                    del bindings[alias]
+        for i in plan.residuals:
+            bindings, count = self._apply_residual(
+                bindings, count, query.joins[i], alias_map
+            )
         return bindings, count
-
-    def _pick_next(
-        self,
-        aliases: Sequence[str],
-        bound: Set[str],
-        joins: Sequence[JoinCondition],
-        estimated_size,
-    ) -> Tuple[Optional[str], List[JoinCondition]]:
-        """Choose the next table connected to the bound set via some join."""
-        for alias in sorted(
-            (a for a in aliases if a not in bound), key=estimated_size
-        ):
-            connecting = [
-                j
-                for j in joins
-                if j.touches(alias) and j.other_side(alias).table in bound
-            ]
-            if connecting:
-                return alias, connecting
-        return None, []
 
     def _gather(
         self,
@@ -224,8 +355,9 @@ class VectorizedBackend(ExecutionBackend):
         count: int,
         alias: str,
         alias_map: Dict[str, str],
-        candidates: Dict[str, Optional[np.ndarray]],
+        candidates: Candidates,
         connecting: List[JoinCondition],
+        builds: Optional[Dict[str, JoinBuild]] = None,
     ) -> Tuple[Bindings, int]:
         """Extend the partial join with one more table."""
         relation = self._relation(alias_map, alias)
@@ -248,9 +380,16 @@ class VectorizedBackend(ExecutionBackend):
             bindings, alias_map, probe_ref.table, probe_ref.column
         )
         valid = np.nonzero(probe_mask)[0]
-        probe_idx, build_rids = self._join_against(
-            relation, build_col, cand, probe_keys[valid]
-        )
+        if builds is None:
+            probe_idx, build_rids = self._join_against(
+                relation, build_col, cand, probe_keys[valid]
+            )
+        else:
+            build = builds.get(alias)
+            if build is None:
+                build = make_join_build(relation, build_col, cand)
+                builds[alias] = build
+            probe_idx, build_rids = build.probe(probe_keys[valid])
         keep = valid[probe_idx]
         out = {a: arr[keep] for a, arr in bindings.items()}
         out[alias] = build_rids

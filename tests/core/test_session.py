@@ -84,6 +84,29 @@ class TestBatchDiscovery:
         assert stats["probe_hits"] > 0
         assert stats["last_batch_wall_seconds"] > 0
 
+    def test_stats_expose_engine_routing_counters(self, mini_adb):
+        """--stats plumbing: dispatch decisions and the sharded tier's
+        fan-out counters surface through session.stats() as engine_*."""
+        system = SquidSystem(mini_adb, backend="dispatch")
+        session = DiscoverySession(system)
+        session.warm()  # also primes dispatch's stamped cardinalities
+        outcomes = session.discover_many(EXAMPLE_SETS[:2])
+        system.result_keys(outcomes[0].result)  # materialise via dispatch
+        stats = session.stats()
+        routed = (
+            stats["engine_interpreted"]
+            + stats["engine_vectorized"]
+            + stats["engine_sharded"]
+        )
+        assert routed > 0
+        assert "engine_sharded_sharded_blocks" in stats
+        assert "engine_sharded_shards_launched" in stats
+        assert "engine_sharded_merge_ms" in stats
+        # warm() primed the stamped cardinality cache for every table
+        assert stats["engine_cardinality_refreshes"] >= len(
+            system.adb.db.table_names()
+        )
+
     def test_single_discover_uses_shared_state(self, mini_squid):
         session = DiscoverySession(mini_squid)
         result = session.discover(["Jim Carrey", "Eddie Murphy"])

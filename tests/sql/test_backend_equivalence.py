@@ -207,6 +207,7 @@ class TestBackendEquivalence:
             "vectorized",
             "sqlite",
             "dispatch",
+            "sharded",
         }
 
     def test_dispatch_matches_vectorized(self, mini_movies_db):

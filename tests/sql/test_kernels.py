@@ -1,0 +1,218 @@
+"""Edge-case unit tests for the numpy join/grouping kernels.
+
+The kernels back every vectorized (and sharded) execution; these tests
+pin the corners the equivalence battery reaches only incidentally:
+empty probe/build sides, all-NULL masks, single-element joins, the
+``combine_codes`` int64-overflow guard, and the reusable
+:class:`~repro.sql.engine.kernels.JoinBuild` matching the one-shot join
+paths hit for hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.engine.kernels import (
+    JoinBuild,
+    combine_codes,
+    equi_join,
+    factorize,
+    hash_join,
+    join_sorted,
+)
+
+
+class TestFactorize:
+    def test_empty_values(self):
+        codes, uniques = factorize(np.empty(0, dtype=np.int64))
+        assert codes.size == 0
+        assert uniques == []
+
+    def test_all_null_mask(self):
+        values = np.array([10, 20, 30], dtype=np.int64)
+        mask = np.zeros(3, dtype=bool)
+        codes, uniques = factorize(values, mask)
+        assert codes.tolist() == [-1, -1, -1]
+        assert uniques == []
+
+    def test_partial_mask_null_codes(self):
+        values = np.array([5, 7, 5, 9], dtype=np.int64)
+        mask = np.array([True, False, True, True])
+        codes, uniques = factorize(values, mask)
+        assert uniques == [5, 9]  # ascending
+        assert codes.tolist() == [0, -1, 0, 1]
+
+    def test_sortable_values_ascending_uniques(self):
+        codes, uniques = factorize(np.array([3, 1, 2, 1], dtype=np.int64))
+        assert uniques == [1, 2, 3]
+        assert codes.tolist() == [2, 0, 1, 0]
+
+    def test_unsortable_values_first_seen_order(self):
+        values = np.array(["b", 1, "b", None], dtype=object)
+        codes, uniques = factorize(values)
+        assert uniques == ["b", 1, None]
+        assert codes.tolist() == [0, 1, 0, 2]
+
+    def test_single_element(self):
+        codes, uniques = factorize(np.array([42], dtype=np.int64))
+        assert codes.tolist() == [0]
+        assert uniques == [42]
+
+
+class TestCombineCodes:
+    def test_empty_parts(self):
+        assert combine_codes([]) is None
+
+    def test_single_part_shifts_null_to_zero(self):
+        codes = np.array([-1, 0, 2], dtype=np.int64)
+        combined = combine_codes([(codes, 3)])
+        assert combined.tolist() == [0, 1, 3]
+
+    def test_composite_keys_are_injective(self):
+        a = np.array([0, 0, 1, 1, -1], dtype=np.int64)
+        b = np.array([0, 1, 0, 1, 0], dtype=np.int64)
+        combined = combine_codes([(a, 2), (b, 2)])
+        assert len(set(combined.tolist())) == 5
+
+    def test_overflow_near_int64_returns_none(self):
+        # Three 21-bit columns: 63 bits of key space > the 62-bit guard.
+        k = (1 << 21) - 1
+        codes = np.array([0, 1], dtype=np.int64)
+        assert combine_codes([(codes, k)] * 3) is None
+
+    def test_at_boundary_still_combines(self):
+        # Two 31-bit columns: exactly 62 bits, the widest allowed key.
+        k = (1 << 31) - 1
+        codes = np.array([0, k - 1], dtype=np.int64)
+        combined = combine_codes([(codes, k), (codes, k)])
+        assert combined is not None
+        assert len(set(combined.tolist())) == 2
+
+
+class TestJoinSorted:
+    def test_empty_probe(self):
+        probe_idx, pos = join_sorted(
+            np.empty(0, dtype=np.int64), np.array([1, 2], dtype=np.int64)
+        )
+        assert probe_idx.size == 0 and pos.size == 0
+
+    def test_empty_build(self):
+        probe_idx, pos = join_sorted(
+            np.array([1], dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert probe_idx.size == 0 and pos.size == 0
+
+    def test_single_element_match(self):
+        probe_idx, pos = join_sorted(
+            np.array([7], dtype=np.int64), np.array([7], dtype=np.int64)
+        )
+        assert probe_idx.tolist() == [0]
+        assert pos.tolist() == [0]
+
+    def test_single_element_miss(self):
+        probe_idx, pos = join_sorted(
+            np.array([7], dtype=np.int64), np.array([8], dtype=np.int64)
+        )
+        assert probe_idx.size == 0 and pos.size == 0
+
+    def test_duplicate_build_keys_expand(self):
+        probe = np.array([5, 6, 5], dtype=np.int64)
+        build = np.array([5, 5, 6], dtype=np.int64)
+        probe_idx, pos = join_sorted(probe, build)
+        # probe order preserved; both build positions per duplicate key
+        assert probe_idx.tolist() == [0, 0, 1, 2, 2]
+        assert pos.tolist() == [0, 1, 2, 0, 1]
+
+    def test_mixed_numeric_dtypes_promote(self):
+        probe_idx, pos = join_sorted(
+            np.array([1.0, 2.5], dtype=np.float64),
+            np.array([1, 2], dtype=np.int64),
+        )
+        assert probe_idx.tolist() == [0]
+        assert pos.tolist() == [0]
+
+
+class TestEquiJoin:
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.int64)
+        keys = np.array([1], dtype=np.int64)
+        for probe, build in ((empty, keys), (keys, empty), (empty, empty)):
+            probe_idx, build_idx = equi_join(probe, build)
+            assert probe_idx.size == 0 and build_idx.size == 0
+
+    def test_single_element_join(self):
+        probe_idx, build_idx = equi_join(
+            np.array([3], dtype=np.int64), np.array([3], dtype=np.int64)
+        )
+        assert probe_idx.tolist() == [0]
+        assert build_idx.tolist() == [0]
+
+    def test_matches_point_into_unsorted_build(self):
+        probe = np.array([2, 9], dtype=np.int64)
+        build = np.array([9, 2, 2], dtype=np.int64)
+        probe_idx, build_idx = equi_join(probe, build)
+        assert probe.take(probe_idx).tolist() == build.take(build_idx).tolist()
+        assert sorted(zip(probe_idx.tolist(), build_idx.tolist())) == [
+            (0, 1),
+            (0, 2),
+            (1, 0),
+        ]
+
+    def test_object_dtype_falls_back_to_hash(self):
+        probe = np.array(["x", "y", "x"], dtype=object)
+        build = np.array(["x", "z", "x"], dtype=object)
+        got = equi_join(probe, build)
+        want = hash_join(probe, build)
+        assert got[0].tolist() == want[0].tolist()
+        assert got[1].tolist() == want[1].tolist()
+
+
+class TestJoinBuild:
+    def test_empty_build_side(self):
+        build = JoinBuild(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        probe_idx, rids = build.probe(np.array([1], dtype=np.int64))
+        assert probe_idx.size == 0 and rids.size == 0
+
+    def test_empty_probe(self):
+        build = JoinBuild(
+            np.array([1, 2], dtype=np.int64), np.array([0, 1], dtype=np.int64)
+        )
+        probe_idx, rids = build.probe(np.empty(0, dtype=np.int64))
+        assert probe_idx.size == 0 and rids.size == 0
+
+    def test_sorted_path_matches_equi_join(self):
+        keys = np.array([4, 1, 4, 2], dtype=np.int64)
+        rids = np.arange(4, dtype=np.int64)
+        probe = np.array([4, 2, 3], dtype=np.int64)
+        probe_idx, build_rids = JoinBuild(keys, rids).probe(probe)
+        want_idx, want_pos = equi_join(probe, keys)
+        assert probe_idx.tolist() == want_idx.tolist()
+        assert build_rids.tolist() == rids[want_pos].tolist()
+
+    def test_hash_path_matches_hash_join(self):
+        keys = np.array(["a", "b", "a"], dtype=object)
+        rids = np.array([10, 11, 12], dtype=np.int64)
+        probe = np.array(["a", "c", "b"], dtype=object)
+        probe_idx, build_rids = JoinBuild(keys, rids).probe(probe)
+        want_idx, want_pos = hash_join(probe, keys)
+        assert probe_idx.tolist() == want_idx.tolist()
+        assert build_rids.tolist() == rids[want_pos].tolist()
+
+    def test_presorted_view_skips_resort(self):
+        # keys already ascending (a relation's sorted view): the build
+        # must trust them as-is and map hits through the given row ids.
+        keys = np.array([1, 2, 2, 5], dtype=np.int64)
+        rids = np.array([3, 0, 2, 1], dtype=np.int64)
+        build = JoinBuild(keys, rids, presorted=True)
+        probe_idx, build_rids = build.probe(np.array([2], dtype=np.int64))
+        assert probe_idx.tolist() == [0, 0]
+        assert build_rids.tolist() == [0, 2]
+
+    def test_probe_reuse_is_stable(self):
+        keys = np.array([1, 1, 2], dtype=np.int64)
+        rids = np.arange(3, dtype=np.int64)
+        build = JoinBuild(keys, rids)
+        first = build.probe(np.array([1, 2], dtype=np.int64))
+        second = build.probe(np.array([1, 2], dtype=np.int64))
+        assert first[0].tolist() == second[0].tolist()
+        assert first[1].tolist() == second[1].tolist()

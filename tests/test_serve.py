@@ -92,6 +92,21 @@ class TestHandler:
         assert "p95_ms" in stats and "pool_workers" in stats
         assert "async_executions" in stats
 
+    def test_stats_snapshot_exposes_engine_counters(self, adult_squid):
+        """GET /stats must surface the dispatch decisions and the sharded
+        tier's fan-out counters when the system runs a stats-keeping
+        engine."""
+        system = SquidSystem(adult_squid.adb, backend="dispatch")
+        server = DiscoveryServer(system, jobs=1)
+        try:
+            asyncio.run(server.handle({"examples": GOOD_EXAMPLES}))
+            stats = server.stats_snapshot()
+            assert "engine_interpreted" in stats
+            assert "engine_sharded_sharded_blocks" in stats
+            assert "engine_sharded_shard_workers" in stats
+        finally:
+            server.close()
+
 
 class TestByteIdentity:
     def test_concurrent_matches_sequential_loop(self, adult_squid, server):
