@@ -45,7 +45,18 @@ from repro.core import DiscoverySession, SquidConfig, SquidSystem
 from repro.datasets import imdb
 from repro.eval import emit, format_table, latency_summary
 from repro.eval.sampling import sample_example_sets
-from repro.serve import DiscoveryServer, encode_response, sequential_response
+from repro.serve import (
+    DiscoveryServer,
+    encode_response,
+    replay_requests,
+    sequential_response,
+)
+from repro.synth import (
+    default_scenario_config,
+    generate_scenario,
+    request_stream,
+    sequential_responses as synth_sequential_responses,
+)
 from repro.workloads import imdb_queries
 
 from conftest import PROFILE, profile_sizes
@@ -251,3 +262,60 @@ def test_concurrent_serving_byte_identical_and_fast(benchmark):
         f"{SERVE_SPEEDUP_FLOOR}x regression floor (concurrent admission "
         f"appears serialised)"
     )
+
+
+@pytest.mark.benchmark(group="serving")
+@pytest.mark.parametrize("scenario_seed", [0, 8])
+def test_synthetic_request_stream_replay(benchmark, scenario_seed):
+    """Serving over synthetic traffic: a seed-deterministic scenario's
+    intents replayed through the concurrent server must be byte-identical
+    to the sequential reference loop — the same contract as the IMDb
+    stream, exercised on schemas/data that never existed before this
+    seed."""
+
+    def run():
+        scenario = generate_scenario(default_scenario_config(scenario_seed))
+        squid = SquidSystem.build(
+            scenario.db, scenario.metadata, SquidConfig()
+        )
+        requests = list(
+            request_stream(scenario, count=3 * len(scenario.intents))
+        )
+        expected = synth_sequential_responses(squid, requests)
+        server = DiscoveryServer(squid, jobs=JOBS)
+        start = time.perf_counter()
+        responses = asyncio.run(
+            replay_requests(server, requests, max_pending=CONCURRENCY)
+        )
+        elapsed = time.perf_counter() - start
+        server.close()
+        return scenario.name, requests, expected, responses, elapsed
+
+    name, requests, expected, responses, elapsed = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    def canonical(response: Dict) -> str:
+        response = dict(response)
+        response.pop("seconds", None)
+        return encode_response(response)
+
+    emit(
+        "serving_synth",
+        format_table(
+            [
+                {
+                    "scenario": name,
+                    "requests": len(requests),
+                    "concurrency": CONCURRENCY,
+                    "concurrent_s": round(elapsed, 3),
+                    "throughput_req_per_s": round(len(requests) / elapsed, 1),
+                }
+            ],
+            title="Synthetic request-stream replay through the "
+            "concurrent server",
+        ),
+    )
+    assert len(requests) >= CONCURRENCY
+    assert [r["id"] for r in responses] == [r["id"] for r in requests]
+    assert [canonical(r) for r in responses] == expected

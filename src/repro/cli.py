@@ -43,7 +43,21 @@ _PROFILES = ("small", "base")
 
 
 def _build_dataset(name: str, profile: str):
-    """(database, metadata, workload registry) for one dataset name."""
+    """(database, metadata, workload registry) for one dataset name.
+
+    Besides the three paper datasets, ``synth`` (or ``synth:SEED``)
+    materialises a synthetic scenario from :mod:`repro.synth` — its
+    sampled ground-truth intents become the workload registry."""
+    if name == "synth" or name.startswith("synth:"):
+        from .synth import default_scenario_config, generate_scenario
+
+        _, _, seed_text = name.partition(":")
+        try:
+            seed = int(seed_text) if seed_text else 0
+        except ValueError:
+            raise SystemExit(f"bad synth seed {seed_text!r} (use synth:123)")
+        scenario = generate_scenario(default_scenario_config(seed))
+        return scenario.db, scenario.metadata, scenario.registry()
     if name == "imdb":
         size = imdb.ImdbSize.small() if profile == "small" else imdb.ImdbSize.base()
         db = imdb.generate(size)
@@ -56,7 +70,9 @@ def _build_dataset(name: str, profile: str):
         size = adult.AdultSize.small() if profile == "small" else adult.AdultSize.base()
         db = adult.generate(size)
         return db, adult.metadata(), adult_queries.generate_queries(db, count=20)
-    raise SystemExit(f"unknown dataset {name!r} (choose imdb, dblp, adult)")
+    raise SystemExit(
+        f"unknown dataset {name!r} (choose imdb, dblp, adult, or synth[:SEED])"
+    )
 
 
 def _squid_config(args: argparse.Namespace) -> SquidConfig:
@@ -241,6 +257,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    """Synthetic scenarios: generate / fuzz / replay-corpus."""
+    from .synth import (
+        default_corpus_dir,
+        default_scenario_config,
+        entry_passes,
+        fuzz_seeds,
+        generate_scenario,
+        load_corpus,
+        parse_seed_range,
+    )
+
+    if args.mode == "generate":
+        rows = []
+        for seed in parse_seed_range(args.seeds):
+            scenario = generate_scenario(default_scenario_config(seed))
+            summary = scenario.summary()
+            example_sets = summary.pop("example_sets")
+            rows.append(summary)
+            if args.verbose:
+                for intent, examples in zip(scenario.intents, example_sets):
+                    print(
+                        f"{scenario.name}/{intent.index}: "
+                        f"{intent.spec.describe()}  "
+                        f"(|GT|={len(intent.ground_truth)}, "
+                        f"examples: {'; '.join(examples)})"
+                    )
+        print(format_table(rows, title="synthetic scenarios"))
+        return 0
+
+    if args.mode == "fuzz":
+        corpus_dir = None
+        if args.write_failures:
+            corpus_dir = args.corpus or str(default_corpus_dir())
+        report = fuzz_seeds(
+            parse_seed_range(args.seeds),
+            strict_gt=args.strict_gt,
+            corpus_dir=corpus_dir,
+            progress=print if args.verbose else None,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    # replay-corpus
+    entries = load_corpus(args.corpus or None)
+    if not entries:
+        print("corpus is empty — nothing to replay")
+        return 0
+    failed = 0
+    for entry in entries:
+        ok = entry_passes(entry)
+        status = "ok" if ok else "FAIL"
+        print(
+            f"[{status}] {entry.entry_id} (kind: {entry.kind}, "
+            f"expect: {entry.expect})"
+        )
+        if not ok:
+            failed += 1
+    print(f"{len(entries) - failed}/{len(entries)} corpus entries hold")
+    return 1 if failed else 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     db, _, registry = _build_dataset(args.dataset, args.profile)
     rows = []
@@ -343,6 +421,28 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--dataset", required=True)
     stats.add_argument("--profile", choices=_PROFILES, default="small")
     stats.set_defaults(func=_cmd_stats)
+
+    synth = sub.add_parser(
+        "synth",
+        help="synthetic scenarios: generate, differential-fuzz all "
+             "engines, or replay the regression corpus",
+    )
+    synth.add_argument("mode", choices=("generate", "fuzz", "replay-corpus"))
+    synth.add_argument("--seeds", default="0:20",
+                       help="seed range 'N:M' (half-open) or a single seed")
+    synth.add_argument("--strict-gt", dest="strict_gt", action="store_true",
+                       help="treat abduced-vs-ground-truth mismatches as "
+                            "failures (off by default: abduction may "
+                            "legitimately generalise beyond an example draw)")
+    synth.add_argument("--corpus", default=None,
+                       help="corpus directory (default: tests/corpus)")
+    synth.add_argument("--no-write", dest="write_failures",
+                       action="store_false",
+                       help="fuzz: do not write minimized repros to the "
+                            "corpus directory")
+    synth.add_argument("--verbose", action="store_true",
+                       help="per-scenario progress / intent detail")
+    synth.set_defaults(func=_cmd_synth)
     return parser
 
 

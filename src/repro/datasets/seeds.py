@@ -45,6 +45,16 @@ def weighted_choice(
     return [items[int(i)] for i in np.asarray(idx)]
 
 
+def span_draw(rng: np.random.Generator, bounds: Tuple[int, int]) -> int:
+    """One integer from the *inclusive* ``(low, high)`` range.
+
+    Sampler configs express cardinalities as inclusive bound pairs;
+    centralising the draw keeps every generator off-by-one-free on the
+    upper bound."""
+    low, high = bounds
+    return int(rng.integers(low, high + 1))
+
+
 def zipf_weights(n: int, exponent: float = 1.1) -> np.ndarray:
     """Zipfian weights for ranks 1..n (heavy-tailed activity levels)."""
     ranks = np.arange(1, n + 1, dtype=float)

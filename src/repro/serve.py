@@ -240,6 +240,29 @@ def sequential_response(
         return _error_payload(request_id, exc)
 
 
+async def replay_requests(
+    server: DiscoveryServer,
+    requests: Sequence[Dict[str, Any]],
+    max_pending: int = 8,
+) -> List[Dict[str, Any]]:
+    """Drive a request stream through the server concurrently.
+
+    Admits up to ``max_pending`` requests at once (the synthetic load
+    driver's stand-in for many simultaneous clients) and returns the
+    responses *in request order*, so callers can zip them against
+    :func:`sequential_response` references for byte comparison.
+    """
+    if max_pending < 1:
+        raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+    admission = asyncio.Semaphore(max_pending)
+
+    async def run_one(request: Dict[str, Any]) -> Dict[str, Any]:
+        async with admission:
+            return await server.handle(request)
+
+    return list(await asyncio.gather(*(run_one(r) for r in requests)))
+
+
 # ----------------------------------------------------------------------
 # stdin/stdout JSON-lines loop
 # ----------------------------------------------------------------------

@@ -1,0 +1,121 @@
+"""Synthetic scenario generation and differential fuzzing.
+
+Every evaluation in this repo historically ran on the paper's three
+datasets (IMDb, DBLP, Adult).  This package fabricates *arbitrary many*
+new scenarios — schema, data, semantic-property families, and
+ground-truth intent queries — deterministically from a single seed, and
+differential-tests the whole stack against them:
+
+* :mod:`repro.synth.config` — weighted sampler configurations
+  (schema/data/join/predicate/aggregate), one frozen dataclass each, in
+  the style of seeded ``RandomSqlGenerator`` samplers;
+* :mod:`repro.synth.schema_gen` — seed-deterministic schema plans:
+  entity tables, dimension tables, FK fact graphs, typed attribute
+  columns, optional qualifiers;
+* :mod:`repro.synth.data_gen` — relation materialisation with
+  configurable cardinality, Zipfian activity skew, and per-entity
+  dimension affinity (the mechanism that makes derived
+  semantic-property filters abducible);
+* :mod:`repro.synth.intents` — ground-truth intent sampling (joins,
+  predicates, aggregates drawn from the weighted configs) plus example
+  derivation by executing the intent query;
+* :mod:`repro.synth.scenario` — the assembled
+  :class:`~repro.synth.scenario.Scenario` (config → plan → database →
+  metadata → intents) with shrinker masks and a stable fingerprint;
+* :mod:`repro.synth.harness` — the differential fuzz harness: per
+  scenario, run discovery and assert all registered engines return
+  byte-identical results, the abduced output covers the examples, and
+  the result is checked against the known ground truth;
+* :mod:`repro.synth.corpus` — minimized-repro corpus entries
+  (``tests/corpus/*.json``), the greedy shrinker, and replay;
+* :mod:`repro.synth.load` — synthetic request streams for the serving
+  tier.
+
+Everything is a pure function of the :class:`ScenarioConfig` (which
+embeds the seed): the same config is byte-identical across processes,
+fork/thread executors, and ``--jobs`` settings.
+"""
+
+from .config import (
+    AggregateSamplerConfig,
+    DataSamplerConfig,
+    IntentSamplerConfig,
+    JoinSamplerConfig,
+    PredicateSamplerConfig,
+    ScenarioConfig,
+    SchemaSamplerConfig,
+)
+from .corpus import (
+    CorpusEntry,
+    default_corpus_dir,
+    entry_passes,
+    load_corpus,
+    replay_entry,
+    shrink_config,
+    write_entry,
+)
+from .harness import (
+    DifferentialHarness,
+    FuzzReport,
+    ScenarioFailure,
+    ScenarioReport,
+    canonical_result,
+    fuzz_seeds,
+    parse_seed_range,
+)
+from .intents import AssocCondition, AttrCondition, IntentSpec, SyntheticIntent
+from .load import request_stream, sequential_responses
+from .scenario import (
+    Scenario,
+    ScenarioMaskError,
+    default_scenario_config,
+    generate_scenario,
+)
+from .schema_gen import (
+    AttributePlan,
+    DimensionPlan,
+    EntityPlan,
+    FactPlan,
+    SchemaPlan,
+    sample_schema,
+)
+
+__all__ = [
+    "AggregateSamplerConfig",
+    "AssocCondition",
+    "AttrCondition",
+    "AttributePlan",
+    "CorpusEntry",
+    "DataSamplerConfig",
+    "DifferentialHarness",
+    "DimensionPlan",
+    "EntityPlan",
+    "FactPlan",
+    "FuzzReport",
+    "IntentSamplerConfig",
+    "IntentSpec",
+    "JoinSamplerConfig",
+    "PredicateSamplerConfig",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioFailure",
+    "ScenarioMaskError",
+    "ScenarioReport",
+    "SchemaPlan",
+    "SchemaSamplerConfig",
+    "SyntheticIntent",
+    "canonical_result",
+    "default_corpus_dir",
+    "default_scenario_config",
+    "entry_passes",
+    "fuzz_seeds",
+    "generate_scenario",
+    "load_corpus",
+    "parse_seed_range",
+    "replay_entry",
+    "request_stream",
+    "sample_schema",
+    "sequential_responses",
+    "shrink_config",
+    "write_entry",
+]

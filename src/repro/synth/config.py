@@ -1,0 +1,346 @@
+"""Weighted sampler configurations for the synthetic scenario generator.
+
+One frozen dataclass per sampling concern, in the style of seeded
+``RandomSqlGenerator`` sampler configs: the schema sampler, the data
+sampler, and the three intent-shape samplers (joins, predicates,
+aggregates).  :class:`ScenarioConfig` bundles them with the seed and the
+shrinker masks; it is the *complete* description of a scenario — the
+generator is a pure function of it, and the fuzz corpus serialises
+nothing else.
+
+All ranges are inclusive ``(low, high)`` pairs.  Weight tuples are
+unnormalised; index ``i`` weights the outcome ``i`` (e.g.
+``condition_weights[2]`` is the weight of sampling two association
+conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+Range = Tuple[int, int]
+
+
+def _check_range(name: str, value: Range, minimum: int = 0) -> None:
+    low, high = value
+    if low > high:
+        raise ValueError(f"{name}: low {low} > high {high}")
+    if low < minimum:
+        raise ValueError(f"{name}: low {low} < minimum {minimum}")
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_weights(name: str, weights: Tuple[float, ...]) -> None:
+    if not weights or all(w <= 0 for w in weights):
+        raise ValueError(f"{name} needs at least one positive weight")
+    if any(w < 0 for w in weights):
+        raise ValueError(f"{name} must be non-negative, got {weights}")
+
+
+@dataclass(frozen=True)
+class SchemaSamplerConfig:
+    """Shape of the sampled schema graph."""
+
+    entity_tables: Range = (1, 2)
+    """Entity tables (each gets a key, a display attribute, and direct
+    property attributes)."""
+
+    dim_tables: Range = (2, 4)
+    """Dimension tables (small ``(id, name)`` value domains)."""
+
+    dim_values: Range = (3, 8)
+    """Distinct labels per dimension table."""
+
+    fact_tables: Range = (1, 3)
+    """Fact tables *per entity*, each an entity↔dimension association
+    (capped by the number of dimension tables)."""
+
+    numeric_attrs: Range = (1, 2)
+    """Direct INT property attributes per entity table."""
+
+    categorical_attrs: Range = (0, 2)
+    """Direct TEXT property attributes per entity table."""
+
+    categorical_values: Range = (2, 5)
+    """Distinct values per categorical attribute."""
+
+    numeric_span: Range = (8, 60)
+    """Width of the value range a numeric attribute draws from."""
+
+    p_qualifier: float = 0.2
+    """Probability a fact table carries a qualifier column splitting its
+    associations by a second dimension (the paper's castinfo.role_id)."""
+
+    p_nullable: float = 0.35
+    """Probability a direct attribute column is nullable."""
+
+    def __post_init__(self) -> None:
+        _check_range("entity_tables", self.entity_tables, 1)
+        _check_range("dim_tables", self.dim_tables, 1)
+        _check_range("dim_values", self.dim_values, 1)
+        _check_range("fact_tables", self.fact_tables, 1)
+        _check_range("numeric_attrs", self.numeric_attrs)
+        _check_range("categorical_attrs", self.categorical_attrs)
+        _check_range("categorical_values", self.categorical_values, 1)
+        _check_range("numeric_span", self.numeric_span, 1)
+        _check_fraction("p_qualifier", self.p_qualifier)
+        _check_fraction("p_nullable", self.p_nullable)
+
+
+@dataclass(frozen=True)
+class DataSamplerConfig:
+    """Cardinality and skew of the materialised relations."""
+
+    entity_rows: Range = (40, 90)
+    """Rows per entity table."""
+
+    mean_associations: float = 3.0
+    """Mean fact rows per entity per fact table (scaled by activity)."""
+
+    affinity: float = 0.8
+    """Probability an association reuses the entity's preferred dimension
+    value.  High affinity concentrates association mass, giving derived
+    semantic-property filters the θ ≥ τa strength abduction needs."""
+
+    zipf_exponent: float = 1.1
+    """Zipfian activity skew across entities (a few very active ones)."""
+
+    inactive_rate: float = 0.1
+    """Fraction of entities with no associations at all."""
+
+    null_rate: float = 0.08
+    """NULL fraction within a nullable attribute column."""
+
+    duplicate_display_rate: float = 0.0
+    """Fraction of entity display names intentionally duplicated
+    (exercises the disambiguation stage; 0 keeps names unique)."""
+
+    def __post_init__(self) -> None:
+        _check_range("entity_rows", self.entity_rows, 1)
+        if self.mean_associations < 0:
+            raise ValueError(
+                f"mean_associations must be >= 0, got {self.mean_associations}"
+            )
+        if self.zipf_exponent <= 0:
+            raise ValueError(
+                f"zipf_exponent must be > 0, got {self.zipf_exponent}"
+            )
+        _check_fraction("affinity", self.affinity)
+        _check_fraction("inactive_rate", self.inactive_rate)
+        _check_fraction("null_rate", self.null_rate)
+        _check_fraction("duplicate_display_rate", self.duplicate_display_rate)
+
+
+@dataclass(frozen=True)
+class JoinSamplerConfig:
+    """How many association (join) conditions an intent draws."""
+
+    condition_weights: Tuple[float, ...] = (0.25, 0.5, 0.25)
+    """Weight of sampling 0, 1, 2, ... association conditions (each is an
+    entity ⋈ fact ⋈ dimension hop filtered on one dimension label)."""
+
+    p_qualifier_filter: float = 0.35
+    """Probability a condition on a qualified fact table also filters the
+    qualifier dimension (e.g. "... as Director")."""
+
+    def __post_init__(self) -> None:
+        _check_weights("condition_weights", self.condition_weights)
+        _check_fraction("p_qualifier_filter", self.p_qualifier_filter)
+
+
+@dataclass(frozen=True)
+class PredicateSamplerConfig:
+    """How many direct-attribute predicates an intent draws, and of what
+    operator mix."""
+
+    predicate_weights: Tuple[float, ...] = (0.3, 0.5, 0.2)
+    """Weight of sampling 0, 1, 2, ... direct-attribute predicates."""
+
+    numeric_op_weights: Tuple[float, float, float] = (0.35, 0.35, 0.3)
+    """Unnormalised weights of >=, <=, BETWEEN on numeric attributes
+    (categorical attributes always draw equality)."""
+
+    def __post_init__(self) -> None:
+        _check_weights("predicate_weights", self.predicate_weights)
+        _check_weights("numeric_op_weights", self.numeric_op_weights)
+
+
+@dataclass(frozen=True)
+class AggregateSamplerConfig:
+    """HAVING count(*) shapes attached to association conditions."""
+
+    p_having: float = 0.3
+    """Probability an association condition carries a
+    ``HAVING count(*) >= k`` aggregate (its own intersect block)."""
+
+    max_having_count: int = 4
+    """Upper bound of the sampled ``k`` (lower bound is 2)."""
+
+    def __post_init__(self) -> None:
+        _check_fraction("p_having", self.p_having)
+        if self.max_having_count < 2:
+            raise ValueError(
+                f"max_having_count must be >= 2, got {self.max_having_count}"
+            )
+
+
+@dataclass(frozen=True)
+class IntentSamplerConfig:
+    """The ground-truth intent sampler: how many intents, their shape
+    samplers, and the acceptance window for their result cardinality."""
+
+    intents: int = 3
+    """Target intents per scenario (fewer if sampling keeps rejecting)."""
+
+    examples: Range = (3, 5)
+    """Example-set size drawn per intent (capped by |ground truth|)."""
+
+    min_result: int = 4
+    """Reject intents whose ground truth has fewer tuples than this."""
+
+    max_result_fraction: float = 0.6
+    """Reject intents selecting more than this fraction of the entity
+    table (near-universal intents are uninformative)."""
+
+    attempts: int = 40
+    """Sampling attempts per intent before giving up."""
+
+    joins: JoinSamplerConfig = field(default_factory=JoinSamplerConfig)
+    predicates: PredicateSamplerConfig = field(
+        default_factory=PredicateSamplerConfig
+    )
+    aggregates: AggregateSamplerConfig = field(
+        default_factory=AggregateSamplerConfig
+    )
+
+    def __post_init__(self) -> None:
+        if self.intents < 1:
+            raise ValueError(f"intents must be >= 1, got {self.intents}")
+        _check_range("examples", self.examples, 1)
+        if self.min_result < 1:
+            raise ValueError(f"min_result must be >= 1, got {self.min_result}")
+        _check_fraction("max_result_fraction", self.max_result_fraction)
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Complete, serialisable description of one synthetic scenario.
+
+    The generator is a pure function of this object: equal configs
+    produce byte-identical schemas, data, intents, and example sets in
+    any process.  The shrinker fields are post-hoc masks — they *filter*
+    the fully-generated scenario instead of re-rolling it, so a
+    minimized repro keeps the exact rows and draws of the original
+    failure (dropping a table never shifts another table's randomness).
+    """
+
+    seed: int = 0
+    schema: SchemaSamplerConfig = field(default_factory=SchemaSamplerConfig)
+    data: DataSamplerConfig = field(default_factory=DataSamplerConfig)
+    intents: IntentSamplerConfig = field(default_factory=IntentSamplerConfig)
+
+    # --- shrinker masks (empty = the full scenario) --------------------
+    keep_intents: Optional[Tuple[int, ...]] = None
+    """Indices of sampled intents to keep (None keeps all)."""
+
+    drop_tables: Tuple[str, ...] = ()
+    """Fact/dimension/entity tables removed from the scenario."""
+
+    drop_columns: Tuple[str, ...] = ()
+    """Direct attribute columns removed, as ``table.column``."""
+
+    drop_conditions: Tuple[Tuple[int, int], ...] = ()
+    """``(intent_index, condition_index)`` pairs removed from intents."""
+
+    def __post_init__(self) -> None:
+        if self.keep_intents is not None:
+            object.__setattr__(self, "keep_intents", tuple(self.keep_intents))
+        object.__setattr__(self, "drop_tables", tuple(self.drop_tables))
+        object.__setattr__(self, "drop_columns", tuple(self.drop_columns))
+        object.__setattr__(
+            self,
+            "drop_conditions",
+            tuple(tuple(pair) for pair in self.drop_conditions),
+        )
+
+    @property
+    def is_masked(self) -> bool:
+        """Whether any shrinker mask is active."""
+        return bool(
+            self.keep_intents is not None
+            or self.drop_tables
+            or self.drop_columns
+            or self.drop_conditions
+        )
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """The same sampler configuration at a different seed."""
+        return replace(self, seed=seed)
+
+    def with_masks(
+        self,
+        keep_intents: Optional[Tuple[int, ...]] = None,
+        drop_tables: Tuple[str, ...] = (),
+        drop_columns: Tuple[str, ...] = (),
+        drop_conditions: Tuple[Tuple[int, int], ...] = (),
+    ) -> "ScenarioConfig":
+        """A copy with the masks replaced wholesale."""
+        return replace(
+            self,
+            keep_intents=keep_intents,
+            drop_tables=drop_tables,
+            drop_columns=drop_columns,
+            drop_conditions=drop_conditions,
+        )
+
+    # ------------------------------------------------------------------
+    # corpus serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (tuples become lists)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ScenarioConfig":
+        """Rebuild from :meth:`to_dict` output (lists back to tuples)."""
+        intents_raw = dict(raw.get("intents", {}))
+        for key in ("joins", "predicates", "aggregates"):
+            if key in intents_raw:
+                intents_raw[key] = _SUB_SAMPLERS[key](
+                    **_tupled(intents_raw[key])
+                )
+        keep = raw.get("keep_intents")
+        return cls(
+            seed=raw.get("seed", 0),
+            schema=SchemaSamplerConfig(**_tupled(raw.get("schema", {}))),
+            data=DataSamplerConfig(**_tupled(raw.get("data", {}))),
+            intents=IntentSamplerConfig(**_tupled(intents_raw)),
+            keep_intents=None if keep is None else tuple(keep),
+            drop_tables=tuple(raw.get("drop_tables", ())),
+            drop_columns=tuple(raw.get("drop_columns", ())),
+            drop_conditions=tuple(
+                tuple(pair) for pair in raw.get("drop_conditions", ())
+            ),
+        )
+
+
+_SUB_SAMPLERS = {
+    "joins": JoinSamplerConfig,
+    "predicates": PredicateSamplerConfig,
+    "aggregates": AggregateSamplerConfig,
+}
+
+
+def _tupled(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON lists back to the tuples the dataclasses expect."""
+    return {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in raw.items()
+    }

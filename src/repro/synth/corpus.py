@@ -1,0 +1,227 @@
+"""The minimized-repro regression corpus (``tests/corpus/*.json``).
+
+Every failure the fuzzer surfaces is shrunk to a minimal scenario — the
+shrinker greedily drops intents, fact/dimension tables, attribute
+columns, and intent conditions for as long as the same failure kind
+keeps reproducing — and written here as one self-contained JSON entry:
+the full :class:`ScenarioConfig` (seed + sampler knobs + masks), the
+failure kind, and an ``expect`` marker.
+
+``expect`` encodes the entry's regression semantics:
+
+* ``"pass"`` — a failure that has since been fixed; the tier-1 replay
+  test asserts the harness now reports **no** failures for it.
+* ``"fail"`` — a known-open failure; replay asserts the recorded kind
+  still reproduces (so a silent behaviour change is caught from both
+  directions).  Freshly-written entries start as ``"fail"`` and are
+  flipped to ``"pass"`` by whoever lands the fix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from .config import ScenarioConfig
+from .scenario import ScenarioMaskError, generate_scenario
+
+PathLike = Union[str, Path]
+
+_EXPECTATIONS = ("pass", "fail")
+
+#: Shrinker budget: candidate evaluations per failure.  Each evaluation
+#: re-generates and re-tests a (tiny) scenario, so this bounds shrink
+#: cost to a couple of seconds.
+DEFAULT_SHRINK_BUDGET = 80
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus`` of this checkout (the checked-in corpus)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable minimized repro."""
+
+    entry_id: str
+    kind: str
+    seed: int
+    config: ScenarioConfig
+    intent_index: Optional[int] = None
+    detail: str = ""
+    expect: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.expect not in _EXPECTATIONS:
+            raise ValueError(
+                f"expect must be one of {_EXPECTATIONS}, got {self.expect!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.entry_id,
+            "kind": self.kind,
+            "seed": self.seed,
+            "intent_index": self.intent_index,
+            "detail": self.detail,
+            "expect": self.expect,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "CorpusEntry":
+        return cls(
+            entry_id=raw["id"],
+            kind=raw["kind"],
+            seed=raw["seed"],
+            intent_index=raw.get("intent_index"),
+            detail=raw.get("detail", ""),
+            expect=raw.get("expect", "fail"),
+            config=ScenarioConfig.from_dict(raw["config"]),
+        )
+
+
+def write_entry(entry: CorpusEntry, directory: PathLike) -> Path:
+    """Serialise one entry as ``<id>.json`` (sorted keys, trailing
+    newline — byte-stable for clean diffs in review)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.entry_id}.json"
+    path.write_text(
+        json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_corpus(directory: Optional[PathLike] = None) -> List[CorpusEntry]:
+    """All entries of a corpus directory, id-ordered."""
+    directory = Path(directory) if directory else default_corpus_dir()
+    entries: List[CorpusEntry] = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.json")):
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        entries.append(CorpusEntry.from_dict(raw))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry, strict_gt: bool = False):
+    """Re-run the harness on one corpus entry.
+
+    Returns the :class:`~repro.synth.harness.ScenarioReport`.  Strictness
+    defaults to off; ``ground_truth`` entries replay with it on (their
+    failure kind only exists under strictness)."""
+    from .harness import run_scenario_config
+
+    strict = strict_gt or entry.kind == "ground_truth"
+    return run_scenario_config(entry.config, strict_gt=strict)
+
+
+def entry_passes(entry: CorpusEntry) -> bool:
+    """Whether the entry's expectation currently holds."""
+    try:
+        report = replay_entry(entry)
+    except ScenarioMaskError:
+        return False
+    if entry.expect == "pass":
+        return report.ok
+    return any(f.kind == entry.kind for f in report.failures)
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def _mask_candidates(config: ScenarioConfig) -> Iterator[ScenarioConfig]:
+    """One-step-smaller configs, most-promising drops first.
+
+    Ordered fact tables → dimensions → entity tables → attribute columns
+    → intent conditions: dropping a fact removes the most downstream αDB
+    machinery per accepted step, so the greedy loop converges fast."""
+    try:
+        scenario = generate_scenario(config)
+    except ScenarioMaskError:
+        return
+    plan = scenario.plan
+    facts = [f.name for e in plan.entities for f in e.facts]
+    dims = [d.name for d in plan.dimensions]
+    entities = [e.name for e in plan.entities]
+    for table in facts + dims + entities[1:]:
+        yield config.with_masks(
+            keep_intents=config.keep_intents,
+            drop_tables=config.drop_tables + (table,),
+            drop_columns=config.drop_columns,
+            drop_conditions=config.drop_conditions,
+        )
+    for ent in plan.entities:
+        for attr in ent.attributes:
+            yield config.with_masks(
+                keep_intents=config.keep_intents,
+                drop_tables=config.drop_tables,
+                drop_columns=config.drop_columns + (f"{ent.name}.{attr.name}",),
+                drop_conditions=config.drop_conditions,
+            )
+    for intent in scenario.intents:
+        for j in range(len(intent.spec.conditions)):
+            pair = (intent.index, j)
+            if pair in config.drop_conditions:
+                continue
+            yield config.with_masks(
+                keep_intents=config.keep_intents,
+                drop_tables=config.drop_tables,
+                drop_columns=config.drop_columns,
+                drop_conditions=config.drop_conditions + (pair,),
+            )
+
+
+def shrink_config(
+    config: ScenarioConfig,
+    reproduces: Callable[[ScenarioConfig], bool],
+    focus_intent: Optional[int] = None,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ScenarioConfig:
+    """Greedily minimize ``config`` while ``reproduces`` stays true.
+
+    First restricts the scenario to the failing intent (``focus_intent``),
+    then repeatedly tries one-step masks — dropping a table, a column, or
+    a condition — accepting any step after which the failure still
+    reproduces, until a full pass accepts nothing or the evaluation
+    ``budget`` is spent.  ``reproduces`` must treat
+    :class:`ScenarioMaskError` as "does not reproduce"."""
+    checks = 0
+
+    def check(candidate: ScenarioConfig) -> bool:
+        nonlocal checks
+        if checks >= budget:
+            return False
+        checks += 1
+        try:
+            return reproduces(candidate)
+        except ScenarioMaskError:
+            return False
+
+    current = config
+    if focus_intent is not None and config.keep_intents is None:
+        focused = config.with_masks(
+            keep_intents=(focus_intent,),
+            drop_tables=config.drop_tables,
+            drop_columns=config.drop_columns,
+            drop_conditions=config.drop_conditions,
+        )
+        if check(focused):
+            current = focused
+
+    improved = True
+    while improved and checks < budget:
+        improved = False
+        for candidate in _mask_candidates(current):
+            if checks >= budget:
+                break
+            if check(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

@@ -1,0 +1,160 @@
+"""Relation materialisation for sampled schema plans.
+
+Row sampling is *per-table streamed*: every table draws from
+``make_rng(seed, "synth/data/<table>")``, so the rows of one table never
+depend on how many draws another table consumed.  That property is what
+makes the shrinker sound — a masked scenario reuses the full scenario's
+rows verbatim (projected through :func:`project_rows`) instead of
+re-sampling, so a minimized repro still contains the exact tuples that
+triggered the failure.
+
+The association generator plants the paper's statistical structure at
+miniature scale: Zipfian per-entity activity, a fraction of entities
+with no associations at all, and per-entity *dimension affinity* — an
+entity's associations concentrate on one preferred dimension value,
+which is precisely what gives derived semantic-property filters the
+association strength (θ ≥ τa) abduction needs to find them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..datasets.seeds import make_rng, span_draw, zipf_weights
+from ..relational import Database
+from .config import DataSamplerConfig
+from .schema_gen import EntityPlan, FactPlan, SchemaPlan
+
+Rows = Dict[str, List[Tuple[Any, ...]]]
+
+
+def _entity_rows(
+    ent: EntityPlan, config: DataSamplerConfig, seed: int, count: int
+) -> List[Tuple[Any, ...]]:
+    rng = make_rng(seed, f"synth/data/{ent.name}")
+    rows: List[Tuple[Any, ...]] = []
+    names: List[str] = []
+    for i in range(count):
+        if names and rng.random() < config.duplicate_display_rate:
+            name = names[int(rng.integers(0, len(names)))]
+        else:
+            name = f"{ent.name.capitalize()} {i:03d}"
+        names.append(name)
+        row: List[Any] = [i + 1, name]
+        for attr in ent.attributes:
+            if attr.nullable and rng.random() < config.null_rate:
+                row.append(None)
+            elif attr.is_numeric:
+                row.append(int(rng.integers(attr.low, attr.high + 1)))
+            else:
+                row.append(attr.values[int(rng.integers(0, len(attr.values)))])
+        rows.append(tuple(row))
+    return rows
+
+
+def _fact_rows(
+    fact: FactPlan,
+    plan: SchemaPlan,
+    config: DataSamplerConfig,
+    seed: int,
+    entity_count: int,
+) -> List[Tuple[Any, ...]]:
+    rng = make_rng(seed, f"synth/data/{fact.name}")
+    dim_size = len(plan.dimension(fact.dim).labels)
+    qual_size = (
+        len(plan.dimension(fact.qualifier).labels)
+        if fact.qualifier is not None
+        else 0
+    )
+    # Zipfian activity, shuffled so the most active entity is not always
+    # id 1; normalised to mean 1 so ``mean_associations`` stays the mean.
+    weights = zipf_weights(entity_count, config.zipf_exponent)
+    weights = weights / weights.mean()
+    activity = rng.permutation(weights)
+
+    rows: List[Tuple[Any, ...]] = []
+    rid = 0
+    for entity_id in range(1, entity_count + 1):
+        if rng.random() < config.inactive_rate:
+            continue
+        preferred_dim = int(rng.integers(1, dim_size + 1))
+        preferred_qual = (
+            int(rng.integers(1, qual_size + 1)) if qual_size else 0
+        )
+        count = int(
+            rng.poisson(config.mean_associations * activity[entity_id - 1])
+        )
+        for _ in range(count):
+            if rng.random() < config.affinity:
+                dim_id = preferred_dim
+            else:
+                dim_id = int(rng.integers(1, dim_size + 1))
+            rid += 1
+            row: List[Any] = [rid, entity_id, dim_id]
+            if qual_size:
+                if rng.random() < config.affinity:
+                    row.append(preferred_qual)
+                else:
+                    row.append(int(rng.integers(1, qual_size + 1)))
+            rows.append(tuple(row))
+    return rows
+
+
+def sample_rows(
+    plan: SchemaPlan, config: DataSamplerConfig, seed: int
+) -> Rows:
+    """Rows for every table of the *full* plan, per-table streamed."""
+    sizing = make_rng(seed, "synth/data/sizing")
+    rows: Rows = {}
+    for dim in plan.dimensions:
+        rows[dim.name] = [
+            (i + 1, label) for i, label in enumerate(dim.labels)
+        ]
+    for ent in plan.entities:
+        count = span_draw(sizing, config.entity_rows)
+        rows[ent.name] = _entity_rows(ent, config, seed, count)
+        for fact in ent.facts:
+            rows[fact.name] = _fact_rows(fact, plan, config, seed, count)
+    return rows
+
+
+def project_rows(full_plan: SchemaPlan, masked_plan: SchemaPlan, rows: Rows) -> Rows:
+    """Project full-plan rows onto a masked plan.
+
+    Dropped tables disappear; dropped entity attributes and dropped
+    qualifier columns are removed positionally, keeping every surviving
+    cell byte-identical to the full scenario.
+    """
+    out: Rows = {}
+    for dim in masked_plan.dimensions:
+        out[dim.name] = rows[dim.name]
+    for ent in masked_plan.entities:
+        full_ent = full_plan.entity(ent.name)
+        keep = [0, 1] + [
+            2 + i
+            for i, attr in enumerate(full_ent.attributes)
+            if any(a.name == attr.name for a in ent.attributes)
+        ]
+        if len(keep) == 2 + len(full_ent.attributes):
+            out[ent.name] = rows[ent.name]
+        else:
+            out[ent.name] = [
+                tuple(row[i] for i in keep) for row in rows[ent.name]
+            ]
+        for fact in ent.facts:
+            full_fact = full_ent.fact(fact.name)
+            if full_fact.qualifier is not None and fact.qualifier is None:
+                out[fact.name] = [row[:3] for row in rows[fact.name]]
+            else:
+                out[fact.name] = rows[fact.name]
+    return out
+
+
+def build_database(plan: SchemaPlan, rows: Rows, name: str = "synth") -> Database:
+    """Create and bulk-load a :class:`Database` from a plan + its rows."""
+    db = Database(name)
+    for schema in plan.table_schemas():
+        db.create_table(schema)
+        db.bulk_load(schema.name, rows[schema.name])
+    db.check_integrity()
+    return db

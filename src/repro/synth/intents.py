@@ -1,0 +1,472 @@
+"""Ground-truth intent sampling and example derivation.
+
+An *intent* is the query the simulated user has in mind.  It is sampled
+structurally — how many association (join) conditions, how many direct
+attribute predicates, whether an aggregate rides along — from the
+weighted :class:`JoinSamplerConfig` / :class:`PredicateSamplerConfig` /
+:class:`AggregateSamplerConfig` knobs, with constants drawn from the
+*materialised data* so selectivity is non-degenerate.  Candidate intents
+are rejection-sampled against an acceptance window on their ground-truth
+cardinality: too-empty and near-universal intents teach the fuzzer
+nothing.
+
+The intent compiles to the repo's query AST over the original schema
+(entity alias ``e``, per-condition aliases ``f<i>``/``d<i>``/``q<i>``),
+projecting ``(key, display)`` exactly like the hand-written benchmark
+workloads, so a sampled intent *is* a :class:`~repro.workloads.registry.
+Workload` ground-truth query.  Example sets are then derived by
+executing the intent and sampling display values from its result — the
+closed loop the differential harness checks abduction against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..datasets.seeds import make_rng, span_draw, weighted_choice
+from ..relational import Database
+from ..sql.ast import (
+    AnyQuery,
+    ColumnRef,
+    HavingCount,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from ..sql.executor import execute
+from .config import IntentSamplerConfig
+from .schema_gen import EntityPlan, SchemaPlan
+
+_OPS = {"=": Op.EQ, ">=": Op.GE, "<=": Op.LE, "BETWEEN": Op.BETWEEN}
+_NUMERIC_OPS = (">=", "<=", "BETWEEN")
+
+
+@dataclass(frozen=True)
+class AttrCondition:
+    """A direct-attribute predicate ``entity.attr OP value``."""
+
+    attr: str
+    op: str
+    value: Any
+    high: Any = None
+    """Upper bound when ``op`` is BETWEEN (``value`` is the lower)."""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unsupported op {self.op!r}")
+        if (self.op == "BETWEEN") != (self.high is not None):
+            raise ValueError("high is for (and only for) BETWEEN")
+
+    def predicate(self, alias: str = "e") -> Predicate:
+        value = (self.value, self.high) if self.op == "BETWEEN" else self.value
+        return Predicate(ColumnRef(alias, self.attr), _OPS[self.op], value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "attr",
+            "attr": self.attr,
+            "op": self.op,
+            "value": self.value,
+            "high": self.high,
+        }
+
+
+@dataclass(frozen=True)
+class AssocCondition:
+    """An association condition: the entity joins a fact table to a
+    dimension filtered on one label, optionally qualified and optionally
+    aggregated (``HAVING count(*) >= having_min``)."""
+
+    fact: str
+    dim: str
+    label: str
+    qualifier: Optional[str] = None
+    qualifier_label: Optional[str] = None
+    having_min: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.qualifier is None) != (self.qualifier_label is None):
+            raise ValueError("qualifier and qualifier_label go together")
+        if self.having_min is not None and self.having_min < 1:
+            raise ValueError(f"having_min must be >= 1, got {self.having_min}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "assoc",
+            "fact": self.fact,
+            "dim": self.dim,
+            "label": self.label,
+            "qualifier": self.qualifier,
+            "qualifier_label": self.qualifier_label,
+            "having_min": self.having_min,
+        }
+
+
+Condition = Union[AttrCondition, AssocCondition]
+
+
+def condition_from_dict(raw: Dict[str, Any]) -> Condition:
+    """Inverse of ``Condition.to_dict``."""
+    kind = raw.get("type")
+    if kind == "attr":
+        return AttrCondition(
+            attr=raw["attr"],
+            op=raw["op"],
+            value=raw["value"],
+            high=raw.get("high"),
+        )
+    if kind == "assoc":
+        return AssocCondition(
+            fact=raw["fact"],
+            dim=raw["dim"],
+            label=raw["label"],
+            qualifier=raw.get("qualifier"),
+            qualifier_label=raw.get("qualifier_label"),
+            having_min=raw.get("having_min"),
+        )
+    raise ValueError(f"unknown condition type {kind!r}")
+
+
+@dataclass(frozen=True)
+class IntentSpec:
+    """One sampled ground-truth intent: an entity plus conditions."""
+
+    entity: str
+    conditions: Tuple[Condition, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entity": self.entity,
+            "conditions": [c.to_dict() for c in self.conditions],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "IntentSpec":
+        return cls(
+            entity=raw["entity"],
+            conditions=tuple(
+                condition_from_dict(c) for c in raw.get("conditions", ())
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # compilation to the query AST
+    # ------------------------------------------------------------------
+    def query(self) -> AnyQuery:
+        """The intent as an SPJ(A, intersect) query over the original
+        schema, projecting ``(id, name)`` of the entity.
+
+        Plain association and attribute conditions share one block;
+        every aggregated association becomes its own GROUP BY / HAVING
+        block intersected in (the Q4 shape abduction itself emits)."""
+        select = (ColumnRef("e", "id"), ColumnRef("e", "name"))
+        entity_ref = TableRef(self.entity, "e")
+
+        tables: List[TableRef] = [entity_ref]
+        joins: List[JoinCondition] = []
+        predicates: List[Predicate] = []
+        having_blocks: List[Query] = []
+        for i, cond in enumerate(self.conditions):
+            if isinstance(cond, AttrCondition):
+                predicates.append(cond.predicate())
+                continue
+            hop_tables, hop_joins, hop_preds = _assoc_clauses(
+                self.entity, cond, i
+            )
+            if cond.having_min is None:
+                tables += hop_tables
+                joins += hop_joins
+                predicates += hop_preds
+            else:
+                having_blocks.append(
+                    Query(
+                        select=select,
+                        tables=(entity_ref, *hop_tables),
+                        joins=tuple(hop_joins),
+                        predicates=tuple(hop_preds),
+                        group_by=(ColumnRef("e", "id"),),
+                        having=HavingCount(Op.GE, cond.having_min),
+                    )
+                )
+        main = Query(
+            select=select,
+            tables=tuple(tables),
+            joins=tuple(joins),
+            predicates=tuple(predicates),
+        )
+        if having_blocks:
+            return IntersectQuery((main, *having_blocks))
+        return main
+
+    def validate_against(self, plan: SchemaPlan) -> None:
+        """Raise ``ValueError`` if the intent references anything a
+        masked plan no longer has (a rejected shrink step)."""
+        ent = plan.entity(self.entity)  # KeyError -> caller handles
+        for cond in self.conditions:
+            if isinstance(cond, AttrCondition):
+                ent.attribute(cond.attr)
+                continue
+            fact = ent.fact(cond.fact)
+            if fact.dim != cond.dim:
+                raise KeyError(f"{cond.fact} no longer joins {cond.dim}")
+            if cond.qualifier is not None and fact.qualifier != cond.qualifier:
+                raise KeyError(f"{cond.fact} lost qualifier {cond.qualifier}")
+
+    def counts(self) -> Tuple[int, int]:
+        """(join count, selection-atom count) of the compiled query."""
+        query = self.query()
+        blocks = query.blocks if isinstance(query, IntersectQuery) else (query,)
+        joins = sum(len(b.joins) for b in blocks)
+        selections = sum(
+            p.atom_count() for b in blocks for p in b.predicates
+        ) + sum(1 for b in blocks if b.having is not None)
+        return joins, selections
+
+    def describe(self) -> str:
+        """One-line human description for workload listings."""
+        parts: List[str] = []
+        for cond in self.conditions:
+            if isinstance(cond, AttrCondition):
+                if cond.op == "BETWEEN":
+                    parts.append(f"{cond.attr} in [{cond.value}, {cond.high}]")
+                else:
+                    parts.append(f"{cond.attr} {cond.op} {cond.value}")
+            else:
+                clause = f"has {cond.dim}={cond.label}"
+                if cond.qualifier_label is not None:
+                    clause += f" as {cond.qualifier_label}"
+                if cond.having_min is not None:
+                    clause += f" (x{cond.having_min}+)"
+                parts.append(clause)
+        detail = " and ".join(parts) or "all rows"
+        return f"{self.entity} where {detail}"
+
+
+def _assoc_clauses(
+    entity: str, cond: AssocCondition, index: int
+) -> Tuple[List[TableRef], List[JoinCondition], List[Predicate]]:
+    """FROM/JOIN/WHERE clauses of one association hop, aliased by its
+    condition index so several hops through the same tables coexist."""
+    f, d = f"f{index}", f"d{index}"
+    tables = [TableRef(cond.fact, f), TableRef(cond.dim, d)]
+    joins = [
+        JoinCondition(ColumnRef("e", "id"), ColumnRef(f, f"{entity}_id")),
+        JoinCondition(ColumnRef(f, f"{cond.dim}_id"), ColumnRef(d, "id")),
+    ]
+    predicates = [Predicate(ColumnRef(d, "name"), Op.EQ, cond.label)]
+    if cond.qualifier is not None:
+        q = f"q{index}"
+        tables.append(TableRef(cond.qualifier, q))
+        joins.append(
+            JoinCondition(
+                ColumnRef(f, f"{cond.qualifier}_id"), ColumnRef(q, "id")
+            )
+        )
+        predicates.append(
+            Predicate(ColumnRef(q, "name"), Op.EQ, cond.qualifier_label)
+        )
+    return tables, joins, predicates
+
+
+@dataclass(frozen=True)
+class SyntheticIntent:
+    """A realised intent: spec, compiled query, ground truth, examples.
+
+    ``index`` is the intent's position in the *full* (unmasked) scenario
+    — it keys the example-derivation RNG stream, so a shrunk scenario
+    re-derives the same example draw for the surviving intent."""
+
+    index: int
+    spec: IntentSpec
+    query: AnyQuery = field(compare=False)
+    ground_truth: Tuple[Any, ...] = ()
+    examples: Tuple[str, ...] = ()
+
+    @property
+    def ground_truth_keys(self) -> frozenset:
+        return frozenset(self.ground_truth)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "spec": self.spec.to_dict(),
+            "ground_truth": list(self.ground_truth),
+            "examples": list(self.examples),
+        }
+
+
+# ----------------------------------------------------------------------
+# sampling
+# ----------------------------------------------------------------------
+def _observed(db: Database, table: str, column: str) -> List[Any]:
+    """Non-null values of a column, in row order (frequency-weighted
+    sampling pool)."""
+    return [v for v in db.relation(table).column(column) if v is not None]
+
+
+def _sample_assoc(
+    rng, db: Database, plan: SchemaPlan, fact, config: IntentSamplerConfig
+) -> Optional[AssocCondition]:
+    pool = _observed(db, fact.name, fact.dim_column)
+    if not pool:
+        return None
+    dim_id = pool[int(rng.integers(0, len(pool)))]
+    label = plan.dimension(fact.dim).labels[dim_id - 1]
+    qualifier = qualifier_label = None
+    if (
+        fact.qualifier is not None
+        and rng.random() < config.joins.p_qualifier_filter
+    ):
+        qual_pool = _observed(db, fact.name, fact.qualifier_column)
+        if qual_pool:
+            qual_id = qual_pool[int(rng.integers(0, len(qual_pool)))]
+            qualifier = fact.qualifier
+            qualifier_label = plan.dimension(fact.qualifier).labels[qual_id - 1]
+    having_min = None
+    if rng.random() < config.aggregates.p_having:
+        having_min = int(
+            rng.integers(2, config.aggregates.max_having_count + 1)
+        )
+    return AssocCondition(
+        fact=fact.name,
+        dim=fact.dim,
+        label=label,
+        qualifier=qualifier,
+        qualifier_label=qualifier_label,
+        having_min=having_min,
+    )
+
+
+def _sample_attr(rng, db: Database, ent: EntityPlan, attr, config) -> Optional[AttrCondition]:
+    pool = _observed(db, ent.name, attr.name)
+    if not pool:
+        return None
+    pivot = pool[int(rng.integers(0, len(pool)))]
+    if not attr.is_numeric:
+        return AttrCondition(attr=attr.name, op="=", value=pivot)
+    op = weighted_choice(
+        rng, _NUMERIC_OPS, config.predicates.numeric_op_weights
+    )
+    if op == "BETWEEN":
+        other = pool[int(rng.integers(0, len(pool)))]
+        low, high = sorted((pivot, other))
+        return AttrCondition(attr=attr.name, op="BETWEEN", value=low, high=high)
+    return AttrCondition(attr=attr.name, op=op, value=pivot)
+
+
+def _draw_spec(
+    rng, db: Database, plan: SchemaPlan, config: IntentSamplerConfig
+) -> IntentSpec:
+    ent = plan.entities[int(rng.integers(0, len(plan.entities)))]
+    counts = list(range(len(config.joins.condition_weights)))
+    n_assoc = weighted_choice(rng, counts, config.joins.condition_weights)
+    n_assoc = min(n_assoc, len(ent.facts))
+    fact_order = rng.permutation(len(ent.facts))
+    conditions: List[Condition] = []
+    for pos in fact_order[:n_assoc]:
+        cond = _sample_assoc(rng, db, plan, ent.facts[int(pos)], config)
+        if cond is not None:
+            conditions.append(cond)
+    counts = list(range(len(config.predicates.predicate_weights)))
+    n_pred = weighted_choice(rng, counts, config.predicates.predicate_weights)
+    n_pred = min(n_pred, len(ent.attributes))
+    attr_order = rng.permutation(len(ent.attributes))
+    for pos in attr_order[:n_pred]:
+        cond = _sample_attr(rng, db, ent, ent.attributes[int(pos)], config)
+        if cond is not None:
+            conditions.append(cond)
+    return IntentSpec(entity=ent.name, conditions=tuple(conditions))
+
+
+def _ground_truth(db: Database, spec: IntentSpec) -> Tuple[Any, ...]:
+    """Sorted entity keys the intent selects (reference engine)."""
+    rows = execute(db, spec.query()).rows
+    return tuple(sorted({row[0] for row in rows}))
+
+
+def _fallback_spec(db: Database, plan: SchemaPlan) -> Optional[IntentSpec]:
+    """A deterministic last-resort intent: the first entity's first fact
+    filtered on its most common dimension label.  Used when rejection
+    sampling keeps missing the acceptance window (tiny masked scenarios)."""
+    for ent in plan.entities:
+        total = len(db.relation(ent.name))
+        for fact in ent.facts:
+            pool = _observed(db, fact.name, fact.dim_column)
+            if not pool:
+                continue
+            dim_id, _ = Counter(pool).most_common(1)[0]
+            label = plan.dimension(fact.dim).labels[dim_id - 1]
+            spec = IntentSpec(
+                entity=ent.name,
+                conditions=(
+                    AssocCondition(fact=fact.name, dim=fact.dim, label=label),
+                ),
+            )
+            if 2 <= len(_ground_truth(db, spec)) < total:
+                return spec
+    return None
+
+
+def sample_intent_specs(
+    plan: SchemaPlan,
+    db: Database,
+    config: IntentSamplerConfig,
+    seed: int,
+) -> List[IntentSpec]:
+    """Rejection-sample up to ``config.intents`` accepted intent specs.
+
+    Each intent slot draws from its own RNG stream
+    (``synth/intents/<k>``), so the number of attempts one slot burns
+    never shifts another slot's draws."""
+    specs: List[IntentSpec] = []
+    for k in range(config.intents):
+        rng = make_rng(seed, f"synth/intents/{k}")
+        for _ in range(config.attempts):
+            spec = _draw_spec(rng, db, plan, config)
+            keys = _ground_truth(db, spec)
+            total = len(db.relation(spec.entity))
+            if (
+                config.min_result
+                <= len(keys)
+                <= config.max_result_fraction * total
+            ):
+                specs.append(spec)
+                break
+    if not specs:
+        fallback = _fallback_spec(db, plan)
+        if fallback is not None:
+            specs.append(fallback)
+    return specs
+
+
+def derive_examples(
+    intent_index: int,
+    spec: IntentSpec,
+    ground_truth: Sequence[Any],
+    db: Database,
+    config: IntentSamplerConfig,
+    seed: int,
+) -> Tuple[str, ...]:
+    """Sample an example set (display values) from the ground truth.
+
+    Streamed by the intent's *full-scenario* index so masked replays
+    draw identically.  Examples are unique display values — duplicated
+    displays would collapse into one example anyway."""
+    rng = make_rng(seed, f"synth/examples/{intent_index}")
+    relation = db.relation(spec.entity)
+    by_key = dict(zip(relation.column("id"), relation.column("name")))
+    displays: List[str] = []
+    seen: set = set()
+    for key in ground_truth:
+        name = by_key[key]
+        if name not in seen:
+            seen.add(name)
+            displays.append(name)
+    size = min(span_draw(rng, config.examples), len(displays))
+    chosen = rng.choice(len(displays), size=size, replace=False)
+    return tuple(displays[int(i)] for i in sorted(chosen))

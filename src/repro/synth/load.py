@@ -1,0 +1,62 @@
+"""Synthetic request streams for the serving tier.
+
+Turns a scenario's intents into the JSON requests the
+:class:`~repro.serve.DiscoveryServer` speaks, so the serving benchmark
+and load tests can replay realistic, seed-deterministic traffic instead
+of hand-written example sets.  :func:`sequential_responses` computes the
+byte-exact reference answers via :func:`repro.serve.sequential_response`
+— the concurrent server must match them payload for payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.squid import SquidSystem
+from ..datasets.seeds import make_rng
+from ..serve import encode_response, sequential_response
+from .scenario import Scenario
+
+
+def request_stream(
+    scenario: Scenario, count: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """``count`` discovery requests cycling the scenario's intents.
+
+    The default is one request per intent; larger counts repeat intents
+    in a seed-deterministic shuffled order (so a replayed stream doesn't
+    hammer one warm cache entry back to back).  Request ids encode the
+    scenario, intent, and repetition — responses can always be traced
+    back to their ground truth."""
+    intents = list(scenario.intents)
+    if not intents:
+        return []
+    if count is None:
+        count = len(intents)
+    rng = make_rng(scenario.seed, "synth/load")
+    requests: List[Dict[str, Any]] = []
+    while len(requests) < count:
+        round_no = len(requests) // len(intents)
+        for pos in rng.permutation(len(intents)):
+            if len(requests) >= count:
+                break
+            intent = intents[int(pos)]
+            requests.append(
+                {
+                    "id": f"{scenario.name}/{intent.index}/{round_no}",
+                    "examples": list(intent.examples),
+                }
+            )
+    return requests
+
+
+def sequential_responses(
+    system: SquidSystem, requests: List[Dict[str, Any]]
+) -> List[str]:
+    """Canonical reference payloads, one encoded JSON string per request
+    (no ``seconds`` field — these are the bytes concurrent serving must
+    reproduce)."""
+    return [
+        encode_response(sequential_response(system, request))
+        for request in requests
+    ]

@@ -1,0 +1,360 @@
+"""Seed-deterministic schema plans: star schemas with FK fact graphs.
+
+:func:`sample_schema` turns a :class:`SchemaSamplerConfig` plus a seed
+into a :class:`SchemaPlan` — a pure-data description of entity tables,
+dimension tables, fact (association) tables, and typed attribute
+columns.  The plan mirrors the shape SQuID's offline module expects
+(Section 5 of the paper): entities with a key and a display attribute,
+small dimension domains, fact tables realising entity↔dimension
+associations, optionally split by a qualifier dimension (the
+``castinfo.role_id`` pattern).
+
+The plan is *only* names, types, and value domains; no rows.  Rows are
+materialised by :mod:`repro.synth.data_gen`, and masking (the shrinker's
+drop-table/drop-column operations) happens on the plan level so a
+minimized scenario is a projection of the full one, never a re-roll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.metadata import (
+    AdbMetadata,
+    DimensionSpec,
+    EntitySpec,
+    QualifierSpec,
+)
+from ..datasets.seeds import make_rng, span_draw as _span
+from ..relational import ColumnDef, ColumnType, ForeignKey, TableSchema
+from .config import SchemaSamplerConfig
+
+#: Deterministic name pools.  Tables draw distinct names from a seeded
+#: permutation, so different seeds produce differently-named (but always
+#: collision-free) schemas.
+ENTITY_POOL = ("person", "product", "author", "patient", "vendor", "student")
+DIM_POOL = (
+    "genre",
+    "region",
+    "category",
+    "role",
+    "brand",
+    "channel",
+    "grade",
+    "tier",
+    "topic",
+    "league",
+)
+NUMERIC_ATTR_POOL = ("age", "score", "year", "weight", "rank", "level")
+CATEGORICAL_ATTR_POOL = ("status", "kind", "klass", "cohort", "badge", "wing")
+
+
+@dataclass(frozen=True)
+class AttributePlan:
+    """One direct property column on an entity table."""
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = False
+
+    low: int = 0
+    high: int = 0
+    """Inclusive value range (numeric attributes only)."""
+
+    values: Tuple[str, ...] = ()
+    """Value domain (categorical attributes only)."""
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype is ColumnType.INT
+
+
+@dataclass(frozen=True)
+class DimensionPlan:
+    """One dimension table ``(id INT PK, name TEXT)``."""
+
+    name: str
+    labels: Tuple[str, ...]
+    """The full label domain; ``id`` of label ``labels[i]`` is ``i + 1``."""
+
+
+@dataclass(frozen=True)
+class FactPlan:
+    """One fact table: an entity↔dimension association.
+
+    Columns: ``id INT PK``, ``{entity}_id`` FK → entity, ``{dim}_id`` FK
+    → dimension, and — when ``qualifier`` is set — ``{qualifier}_id`` FK
+    → the qualifier dimension, splitting the association into
+    sub-families the way ``castinfo.role_id`` splits cast membership by
+    role.
+    """
+
+    name: str
+    entity: str
+    dim: str
+    qualifier: Optional[str] = None
+
+    @property
+    def entity_column(self) -> str:
+        return f"{self.entity}_id"
+
+    @property
+    def dim_column(self) -> str:
+        return f"{self.dim}_id"
+
+    @property
+    def qualifier_column(self) -> Optional[str]:
+        return None if self.qualifier is None else f"{self.qualifier}_id"
+
+
+@dataclass(frozen=True)
+class EntityPlan:
+    """One entity table: key, display name, direct attributes, facts."""
+
+    name: str
+    attributes: Tuple[AttributePlan, ...]
+    facts: Tuple[FactPlan, ...]
+
+    def attribute(self, name: str) -> AttributePlan:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(f"{self.name} has no attribute {name!r}")
+
+    def fact(self, name: str) -> FactPlan:
+        for fact in self.facts:
+            if fact.name == name:
+                return fact
+        raise KeyError(f"{self.name} has no fact table {name!r}")
+
+
+@dataclass(frozen=True)
+class SchemaPlan:
+    """The complete sampled schema: entities, dimensions, fact graph."""
+
+    entities: Tuple[EntityPlan, ...]
+    dimensions: Tuple[DimensionPlan, ...]
+
+    def dimension(self, name: str) -> DimensionPlan:
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise KeyError(f"no dimension {name!r}")
+
+    def entity(self, name: str) -> EntityPlan:
+        for ent in self.entities:
+            if ent.name == name:
+                return ent
+        raise KeyError(f"no entity {name!r}")
+
+    def table_names(self) -> List[str]:
+        """Every table of the plan: dimensions, entities, facts."""
+        out = [d.name for d in self.dimensions]
+        out += [e.name for e in self.entities]
+        out += [f.name for e in self.entities for f in e.facts]
+        return out
+
+    # ------------------------------------------------------------------
+    # DDL / metadata
+    # ------------------------------------------------------------------
+    def table_schemas(self) -> List[TableSchema]:
+        """Relational schemas for every table, creation-ordered (parents
+        before children so integrity checks can run incrementally)."""
+        out: List[TableSchema] = []
+        for dim in self.dimensions:
+            out.append(
+                TableSchema(
+                    dim.name,
+                    [
+                        ColumnDef("id", ColumnType.INT, nullable=False),
+                        ColumnDef("name", ColumnType.TEXT, nullable=False),
+                    ],
+                    primary_key="id",
+                )
+            )
+        for ent in self.entities:
+            columns = [
+                ColumnDef("id", ColumnType.INT, nullable=False),
+                ColumnDef("name", ColumnType.TEXT, nullable=False),
+            ]
+            for attr in ent.attributes:
+                columns.append(ColumnDef(attr.name, attr.ctype, attr.nullable))
+            out.append(TableSchema(ent.name, columns, primary_key="id"))
+        for ent in self.entities:
+            for fact in ent.facts:
+                columns = [
+                    ColumnDef("id", ColumnType.INT, nullable=False),
+                    ColumnDef(fact.entity_column, ColumnType.INT, nullable=False),
+                    ColumnDef(fact.dim_column, ColumnType.INT, nullable=False),
+                ]
+                fks = [
+                    ForeignKey(fact.entity_column, ent.name, "id"),
+                    ForeignKey(fact.dim_column, fact.dim, "id"),
+                ]
+                if fact.qualifier is not None:
+                    columns.append(
+                        ColumnDef(
+                            fact.qualifier_column, ColumnType.INT, nullable=False
+                        )
+                    )
+                    fks.append(
+                        ForeignKey(fact.qualifier_column, fact.qualifier, "id")
+                    )
+                out.append(
+                    TableSchema(
+                        fact.name, columns, primary_key="id", foreign_keys=fks
+                    )
+                )
+        return out
+
+    def metadata(self) -> AdbMetadata:
+        """The administrator annotations SQuID needs for this plan."""
+        return AdbMetadata(
+            entities=[EntitySpec(e.name, "id", "name") for e in self.entities],
+            dimensions=[
+                DimensionSpec(d.name, "id", "name") for d in self.dimensions
+            ],
+            property_attributes={
+                e.name: [a.name for a in e.attributes]
+                for e in self.entities
+                if e.attributes
+            },
+            qualifiers=[
+                QualifierSpec(f.name, f.qualifier_column, f.qualifier)
+                for e in self.entities
+                for f in e.facts
+                if f.qualifier is not None
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # shrinker masking
+    # ------------------------------------------------------------------
+    def masked(
+        self,
+        drop_tables: Tuple[str, ...] = (),
+        drop_columns: Tuple[str, ...] = (),
+    ) -> "SchemaPlan":
+        """The plan with tables/columns removed.
+
+        Dropping a dimension also drops facts joining through it (and
+        clears qualifiers pointing at it); dropping an entity drops its
+        facts.  Raises ``ValueError`` for unknown names or if no entity
+        survives — callers translate that into a rejected shrink step.
+        """
+        known = set(self.table_names())
+        for table in drop_tables:
+            if table not in known:
+                raise ValueError(f"cannot drop unknown table {table!r}")
+        drop = set(drop_tables)
+        attr_drop: Dict[str, set] = {}
+        for qualified in drop_columns:
+            table, _, column = qualified.partition(".")
+            attr_drop.setdefault(table, set()).add(column)
+
+        dims = tuple(d for d in self.dimensions if d.name not in drop)
+        dim_names = {d.name for d in dims}
+        entities: List[EntityPlan] = []
+        for ent in self.entities:
+            if ent.name in drop:
+                continue
+            dropped_attrs = attr_drop.pop(ent.name, set())
+            unknown = dropped_attrs - {a.name for a in ent.attributes}
+            if unknown:
+                raise ValueError(
+                    f"cannot drop unknown columns {sorted(unknown)} "
+                    f"of {ent.name!r}"
+                )
+            attrs = tuple(
+                a for a in ent.attributes if a.name not in dropped_attrs
+            )
+            facts: List[FactPlan] = []
+            for fact in ent.facts:
+                if fact.name in drop or fact.dim not in dim_names:
+                    continue
+                if fact.qualifier is not None and fact.qualifier not in dim_names:
+                    fact = replace(fact, qualifier=None)
+                facts.append(fact)
+            entities.append(replace(ent, attributes=attrs, facts=tuple(facts)))
+        if attr_drop:
+            raise ValueError(
+                f"cannot drop columns of unknown tables {sorted(attr_drop)}"
+            )
+        if not entities:
+            raise ValueError("mask drops every entity table")
+        return SchemaPlan(entities=tuple(entities), dimensions=dims)
+
+
+def _take(rng, pool: Tuple[str, ...], count: int) -> List[str]:
+    """``count`` distinct names from a seeded permutation of ``pool``."""
+    order = rng.permutation(len(pool))
+    return [pool[int(i)] for i in order[:count]]
+
+
+def sample_schema(config: SchemaSamplerConfig, seed: int) -> SchemaPlan:
+    """Sample a full schema plan; pure function of ``(config, seed)``."""
+    rng = make_rng(seed, "synth/schema")
+    n_dims = _span(rng, config.dim_tables)
+    dims = tuple(
+        DimensionPlan(
+            name,
+            tuple(
+                f"{name}_{j}" for j in range(_span(rng, config.dim_values))
+            ),
+        )
+        for name in _take(rng, DIM_POOL, n_dims)
+    )
+    dim_names = [d.name for d in dims]
+
+    entities: List[EntityPlan] = []
+    for ent_name in _take(rng, ENTITY_POOL, _span(rng, config.entity_tables)):
+        attrs: List[AttributePlan] = []
+        for attr_name in _take(
+            rng, NUMERIC_ATTR_POOL, _span(rng, config.numeric_attrs)
+        ):
+            low = int(rng.integers(0, 40))
+            attrs.append(
+                AttributePlan(
+                    name=attr_name,
+                    ctype=ColumnType.INT,
+                    nullable=bool(rng.random() < config.p_nullable),
+                    low=low,
+                    high=low + _span(rng, config.numeric_span),
+                )
+            )
+        for attr_name in _take(
+            rng, CATEGORICAL_ATTR_POOL, _span(rng, config.categorical_attrs)
+        ):
+            count = _span(rng, config.categorical_values)
+            attrs.append(
+                AttributePlan(
+                    name=attr_name,
+                    ctype=ColumnType.TEXT,
+                    nullable=bool(rng.random() < config.p_nullable),
+                    values=tuple(f"{attr_name}_{v}" for v in range(count)),
+                )
+            )
+
+        n_facts = min(_span(rng, config.fact_tables), n_dims)
+        fact_dims = _take(rng, tuple(dim_names), n_facts)
+        facts: List[FactPlan] = []
+        for dim_name in fact_dims:
+            qualifier = None
+            if n_dims >= 2 and rng.random() < config.p_qualifier:
+                others = [d for d in dim_names if d != dim_name]
+                qualifier = others[int(rng.integers(0, len(others)))]
+            facts.append(
+                FactPlan(
+                    name=f"{ent_name}_to_{dim_name}",
+                    entity=ent_name,
+                    dim=dim_name,
+                    qualifier=qualifier,
+                )
+            )
+        entities.append(
+            EntityPlan(
+                name=ent_name, attributes=tuple(attrs), facts=tuple(facts)
+            )
+        )
+    return SchemaPlan(entities=tuple(entities), dimensions=dims)

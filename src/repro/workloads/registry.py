@@ -13,7 +13,7 @@ condition) provide a programmatic ``evaluator`` instead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Set
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
 
 from ..relational.database import Database
 from ..sql.ast import AnyQuery, ColumnRef, IntersectQuery, Query
@@ -80,6 +80,14 @@ class WorkloadRegistry:
         self._by_id = {w.qid: w for w in workloads}
         if len(self._by_id) != len(workloads):
             raise ValueError("duplicate workload ids")
+
+    def extend(self, workloads: Iterable[Workload]) -> None:
+        """Register additional workloads (e.g. synthetic scenarios
+        merging into a registry); duplicate ids raise ``ValueError``."""
+        for workload in workloads:
+            if workload.qid in self._by_id:
+                raise ValueError(f"duplicate workload id {workload.qid!r}")
+            self._by_id[workload.qid] = workload
 
     def get(self, qid: str) -> Workload:
         """One workload by id (raises KeyError)."""

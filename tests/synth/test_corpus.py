@@ -1,0 +1,157 @@
+"""The regression corpus: entries, replay, the shrinker, and the
+tier-1 replay of every checked-in ``tests/corpus/*.json`` repro."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.synth import (
+    CorpusEntry,
+    ScenarioConfig,
+    default_corpus_dir,
+    default_scenario_config,
+    entry_passes,
+    generate_scenario,
+    load_corpus,
+    replay_entry,
+    shrink_config,
+    write_entry,
+)
+
+CHECKED_IN = load_corpus()
+
+
+class TestEntryFormat:
+    def test_round_trip_through_json(self, tmp_path):
+        entry = CorpusEntry(
+            entry_id="t1",
+            kind="engine_divergence",
+            seed=9,
+            config=default_scenario_config(9),
+            intent_index=2,
+            detail="demo",
+        )
+        path = write_entry(entry, tmp_path)
+        assert path.name == "t1.json"
+        raw = json.loads(path.read_text())
+        assert CorpusEntry.from_dict(raw) == entry
+        assert load_corpus(tmp_path) == [entry]
+
+    def test_expectation_validated(self):
+        with pytest.raises(ValueError):
+            CorpusEntry(
+                entry_id="t",
+                kind="k",
+                seed=0,
+                config=default_scenario_config(0),
+                expect="maybe",
+            )
+
+    def test_config_round_trips_with_masks(self):
+        config = default_scenario_config(3).with_masks(
+            keep_intents=(1,),
+            drop_tables=("a",),
+            drop_columns=("a.b",),
+            drop_conditions=((1, 0),),
+        )
+        assert ScenarioConfig.from_dict(config.to_dict()) == config
+
+
+class TestReplay:
+    def test_ground_truth_entries_replay_strict(self):
+        """``ground_truth`` failures only exist under strictness — the
+        replayer must force it regardless of the caller's default."""
+        entry = CorpusEntry(
+            entry_id="t",
+            kind="ground_truth",
+            seed=0,
+            config=default_scenario_config(0),
+            intent_index=1,
+        )
+        report = replay_entry(entry)
+        assert any(f.kind == "ground_truth" for f in report.failures)
+        assert entry_passes(entry)
+
+    def test_pass_entry_fails_when_harness_fails(self):
+        entry = CorpusEntry(
+            entry_id="t",
+            kind="ground_truth",
+            seed=0,
+            config=default_scenario_config(0),
+            intent_index=1,
+            expect="pass",
+        )
+        assert not entry_passes(entry)
+
+
+class TestShrinker:
+    def test_focus_intent_restricts_scenario(self):
+        shrunk = shrink_config(
+            default_scenario_config(0),
+            lambda config: True,
+            focus_intent=1,
+            budget=1,
+        )
+        assert shrunk.keep_intents == (1,)
+
+    def test_shrinks_while_predicate_reproduces(self):
+        """An artificial failure ('the first entity still exists') lets
+        the shrinker drop everything else: facts, dims, spare entities,
+        attribute columns."""
+        base = default_scenario_config(0)
+        anchor = generate_scenario(base).plan.entities[0].name
+
+        def reproduces(config):
+            scenario = generate_scenario(config)
+            return any(e.name == anchor for e in scenario.plan.entities)
+
+        shrunk = shrink_config(base, reproduces, budget=200)
+        assert reproduces(shrunk)
+        plan = generate_scenario(shrunk).plan
+        assert [e.name for e in plan.entities] == [anchor]
+        assert all(not e.facts for e in plan.entities)
+        assert not plan.dimensions
+
+    def test_budget_bounds_work(self):
+        calls = []
+
+        def reproduces(config):
+            calls.append(config)
+            return True
+
+        shrink_config(default_scenario_config(0), reproduces, budget=5)
+        assert len(calls) <= 5
+
+    def test_mask_errors_reject_the_step(self):
+        """A candidate whose masks break the scenario must never be
+        accepted, even when ``reproduces`` would raise."""
+        base = default_scenario_config(0)
+
+        def reproduces(config):
+            generate_scenario(config)  # raises ScenarioMaskError on bad masks
+            return True
+
+        shrunk = shrink_config(base, reproduces, budget=120)
+        generate_scenario(shrunk)  # still generates
+
+
+@pytest.mark.skipif(not CHECKED_IN, reason="no checked-in corpus")
+class TestCheckedInCorpus:
+    """Tier-1 replay: every committed repro's expectation must hold."""
+
+    @pytest.mark.parametrize(
+        "entry", CHECKED_IN, ids=[e.entry_id for e in CHECKED_IN]
+    )
+    def test_entry_holds(self, entry):
+        assert entry_passes(entry), (
+            f"{entry.entry_id} (expect={entry.expect}, kind={entry.kind}): "
+            f"{entry.detail}"
+        )
+
+    def test_corpus_lives_in_default_dir(self):
+        assert default_corpus_dir().is_dir()
+        assert sorted(p.stem for p in default_corpus_dir().glob("*.json")) == [
+            e.entry_id for e in CHECKED_IN
+        ]

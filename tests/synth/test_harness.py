@@ -1,0 +1,147 @@
+"""The differential harness: clean runs, failure taxonomy, seed ranges."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sql.result import ResultSet
+from repro.synth import (
+    DifferentialHarness,
+    canonical_result,
+    default_scenario_config,
+    fuzz_seeds,
+    generate_scenario,
+    parse_seed_range,
+)
+from repro.synth.harness import (
+    ENGINE_ORDER,
+    KIND_GROUND_TRUTH,
+    run_scenario_config,
+)
+
+#: 3 differentialized queries per intent (ground truth + abduced display
+#: + abduced keyed), each compared on every non-reference engine.
+COMPARISONS_PER_INTENT = 3 * (len(ENGINE_ORDER) - 1)
+
+
+class TestParseSeedRange:
+    def test_range(self):
+        assert parse_seed_range("0:200") == range(0, 200)
+
+    def test_single_seed(self):
+        assert parse_seed_range("17") == range(17, 18)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_seed_range("5:5")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_seed_range("a:b")
+
+
+class TestCanonicalResult:
+    def test_row_order_is_ignored(self):
+        a = ResultSet(("id", "name"), [(1, "x"), (2, "y")])
+        b = ResultSet(("id", "name"), [(2, "y"), (1, "x")])
+        assert canonical_result(a) == canonical_result(b)
+
+    def test_type_drift_is_visible(self):
+        """1 vs True compare equal in Python — the canonical byte form
+        must still distinguish them (that IS the engine contract)."""
+        a = ResultSet(("id",), [(1,)])
+        b = ResultSet(("id",), [(True,)])
+        assert canonical_result(a) != canonical_result(b)
+
+    def test_column_labels_matter(self):
+        a = ResultSet(("id",), [(1,)])
+        b = ResultSet(("key",), [(1,)])
+        assert canonical_result(a) != canonical_result(b)
+
+
+class TestHarness:
+    def test_engine_list_is_validated(self):
+        scenario = generate_scenario(default_scenario_config(0))
+        with pytest.raises(ValueError):
+            DifferentialHarness(scenario, engines=("interpreted", "nope"))
+        with pytest.raises(ValueError):
+            DifferentialHarness(scenario, engines=("vectorized", "sqlite"))
+
+    def test_clean_scenario_report(self):
+        report = run_scenario_config(default_scenario_config(0))
+        assert report.ok
+        assert report.intents == 3
+        assert report.comparisons == report.intents * COMPARISONS_PER_INTENT
+        assert 0.0 < report.gt_precision <= 1.0
+        assert 0.0 < report.gt_recall <= 1.0
+
+    def test_strict_gt_surfaces_generalisation(self):
+        """Seed 0 intent 1 abduces a superset of its ground truth —
+        invisible by default, a hard failure under --strict-gt."""
+        assert run_scenario_config(default_scenario_config(0)).ok
+        strict = run_scenario_config(
+            default_scenario_config(0), strict_gt=True
+        )
+        assert not strict.ok
+        assert {f.kind for f in strict.failures} == {KIND_GROUND_TRUTH}
+
+
+class TestFuzzSeeds:
+    def test_small_sweep_is_clean_and_counted(self):
+        report = fuzz_seeds(range(0, 3))
+        assert report.ok
+        assert report.scenarios == 3
+        assert report.intents == 9
+        assert report.comparisons == report.intents * COMPARISONS_PER_INTENT
+        assert report.engines == ENGINE_ORDER
+        assert "no divergences" in report.summary()
+
+    def test_failures_are_shrunk_into_corpus(self, tmp_path):
+        report = fuzz_seeds(
+            range(0, 1), strict_gt=True, corpus_dir=str(tmp_path)
+        )
+        assert not report.ok
+        assert report.corpus_entries
+        written = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert written == sorted(
+            f"seed0-{f.kind}-i{f.intent_index}.json" for f in report.failures
+        )
+
+
+FUZZ_GATED = os.environ.get("REPRO_FUZZ_GATE") == "1"
+
+
+@pytest.mark.skipif(
+    not FUZZ_GATED, reason="extended sweep runs under REPRO_FUZZ_GATE=1"
+)
+class TestExtendedFuzz:
+    """The CI fuzz gate: a wide default sweep plus a stress-sampler
+    sweep (qualifier-saturated, NULL-heavy, duplicate displays) must
+    stay free of engine divergences."""
+
+    def test_wide_default_sweep(self):
+        report = fuzz_seeds(range(0, 400))
+        assert report.ok, report.summary()
+        assert report.scenarios == 400
+
+    def test_stress_sampler_sweep(self):
+        from dataclasses import replace
+
+        base = default_scenario_config(0)
+        stress = replace(
+            base,
+            schema=replace(
+                base.schema, p_qualifier=0.8, p_nullable=0.8
+            ),
+            data=replace(
+                base.data, null_rate=0.25, duplicate_display_rate=0.2
+            ),
+            intents=replace(
+                base.intents,
+                aggregates=replace(base.intents.aggregates, p_having=0.6),
+            ),
+        )
+        report = fuzz_seeds(range(0, 80), base_config=stress)
+        assert report.ok, report.summary()

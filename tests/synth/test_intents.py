@@ -1,0 +1,128 @@
+"""Intent specs: compilation to the query AST and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.ast import HavingCount, IntersectQuery, Op, Predicate, Query
+from repro.synth import (
+    AssocCondition,
+    AttrCondition,
+    IntentSpec,
+    default_scenario_config,
+    generate_scenario,
+)
+
+
+class TestConditions:
+    def test_attr_predicate_ops(self):
+        assert AttrCondition("age", ">=", 30).predicate().op is Op.GE
+        assert AttrCondition("age", "<=", 30).predicate().op is Op.LE
+        assert AttrCondition("kind", "=", "a").predicate().op is Op.EQ
+
+    def test_between_carries_bound_pair(self):
+        pred = AttrCondition("age", "BETWEEN", 10, high=20).predicate()
+        assert pred.op is Op.BETWEEN
+        assert pred.value == (10, 20)
+
+    def test_between_requires_high(self):
+        with pytest.raises(ValueError):
+            AttrCondition("age", "BETWEEN", 10)
+        with pytest.raises(ValueError):
+            AttrCondition("age", ">=", 10, high=20)
+
+    def test_assoc_qualifier_fields_go_together(self):
+        with pytest.raises(ValueError):
+            AssocCondition("f", "d", "x", qualifier="q")
+
+    def test_assoc_having_min_positive(self):
+        with pytest.raises(ValueError):
+            AssocCondition("f", "d", "x", having_min=0)
+
+
+class TestQueryCompilation:
+    def test_plain_conditions_share_one_block(self):
+        spec = IntentSpec(
+            "person",
+            (
+                AttrCondition("age", ">=", 30),
+                AssocCondition("person_to_genre", "genre", "jazz"),
+            ),
+        )
+        query = spec.query()
+        assert isinstance(query, Query)
+        assert [t.name for t in query.tables] == [
+            "person",
+            "person_to_genre",
+            "genre",
+        ]
+        assert len(query.joins) == 2
+        assert query.group_by == ()
+        assert query.having is None
+
+    def test_having_association_becomes_intersect_block(self):
+        spec = IntentSpec(
+            "person",
+            (
+                AttrCondition("age", ">=", 30),
+                AssocCondition(
+                    "person_to_genre", "genre", "jazz", having_min=2
+                ),
+            ),
+        )
+        query = spec.query()
+        assert isinstance(query, IntersectQuery)
+        main, agg = query.blocks
+        assert main.having is None
+        assert agg.having == HavingCount(Op.GE, 2)
+        assert agg.group_by != ()
+        joins, selections = spec.counts()
+        assert joins == 2
+        assert selections == 3  # attr + dim label + having
+
+    def test_qualifier_adds_filtered_join(self):
+        spec = IntentSpec(
+            "person",
+            (
+                AssocCondition(
+                    "person_to_genre",
+                    "genre",
+                    "jazz",
+                    qualifier="role",
+                    qualifier_label="lead",
+                ),
+            ),
+        )
+        query = spec.query()
+        tables = [t.name for t in query.tables]
+        assert "role" in tables
+        labels = {
+            p.value for p in query.predicates if isinstance(p, Predicate)
+        }
+        assert {"jazz", "lead"} <= labels
+
+
+class TestSerialization:
+    def test_spec_round_trips_through_dict(self):
+        spec = IntentSpec(
+            "person",
+            (
+                AttrCondition("age", "BETWEEN", 10, high=20),
+                AssocCondition(
+                    "person_to_genre",
+                    "genre",
+                    "jazz",
+                    qualifier="role",
+                    qualifier_label="lead",
+                    having_min=3,
+                ),
+            ),
+        )
+        assert IntentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_sampled_specs_round_trip(self):
+        scenario = generate_scenario(default_scenario_config(2))
+        for intent in scenario.intents:
+            again = IntentSpec.from_dict(intent.spec.to_dict())
+            assert again == intent.spec
+            assert again.query() == intent.query

@@ -1,0 +1,124 @@
+"""Schema plans, data materialisation, and mask projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import (
+    SchemaSamplerConfig,
+    default_scenario_config,
+    generate_scenario,
+    sample_schema,
+)
+from repro.synth.data_gen import build_database, project_rows, sample_rows
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return sample_schema(SchemaSamplerConfig(), seed=3)
+
+
+class TestSchemaSampling:
+    def test_same_seed_same_plan(self):
+        config = SchemaSamplerConfig()
+        assert sample_schema(config, seed=5) == sample_schema(config, seed=5)
+
+    def test_different_seeds_differ(self):
+        config = SchemaSamplerConfig()
+        plans = {sample_schema(config, seed=s) for s in range(8)}
+        assert len(plans) > 1
+
+    def test_schemas_parents_before_children(self, plan):
+        """Dimension/entity tables precede the facts referencing them —
+        the bulk-load order FK integrity checking needs."""
+        order = [schema.name for schema in plan.table_schemas()]
+        for entity in plan.entities:
+            for fact in entity.facts:
+                assert order.index(fact.name) > order.index(entity.name)
+                assert order.index(fact.name) > order.index(fact.dim)
+
+    def test_metadata_validates_against_database(self, plan):
+        rows = sample_rows(plan, default_scenario_config(3).data, seed=3)
+        db = build_database(plan, rows, name="t")
+        plan.metadata().validate(db)
+
+    def test_masked_drops_dependent_facts(self, plan):
+        dim = plan.dimensions[0].name
+        masked = plan.masked(drop_tables=(dim,), drop_columns=())
+        assert dim not in masked.table_names()
+        for entity in masked.entities:
+            assert all(fact.dim != dim for fact in entity.facts)
+
+    def test_masked_rejects_unknown_table(self, plan):
+        with pytest.raises(ValueError):
+            plan.masked(drop_tables=("no_such_table",), drop_columns=())
+
+    def test_masked_rejects_dropping_every_entity(self, plan):
+        names = tuple(entity.name for entity in plan.entities)
+        with pytest.raises(ValueError):
+            plan.masked(drop_tables=names, drop_columns=())
+
+
+class TestDataSampling:
+    def test_same_seed_same_rows(self, plan):
+        data = default_scenario_config(0).data
+        assert sample_rows(plan, data, seed=9) == sample_rows(
+            plan, data, seed=9
+        )
+
+    def test_entity_cardinality_in_range(self, plan):
+        data = default_scenario_config(0).data
+        rows = sample_rows(plan, data, seed=9)
+        low, high = data.entity_rows
+        for entity in plan.entities:
+            assert low <= len(rows[entity.name]) <= high
+
+    def test_projected_rows_load_under_masked_schema(self, plan):
+        """Dropping a column projects the already-sampled rows instead of
+        re-sampling — the shrinker guarantee that masking never shifts
+        the data of what survives."""
+        data = default_scenario_config(0).data
+        rows = sample_rows(plan, data, seed=9)
+        entity = plan.entities[0]
+        attr = entity.attributes[0].name
+        masked = plan.masked(
+            drop_tables=(), drop_columns=((f"{entity.name}.{attr}"),)
+        )
+        projected = project_rows(plan, masked, rows)
+        db = build_database(masked, projected, name="masked")
+        surviving = [a.name for a in masked.entity(entity.name).attributes]
+        assert attr not in surviving
+        kept = {row[0]: row for row in projected[entity.name]}
+        for row in rows[entity.name]:
+            assert kept[row[0]][:2] == row[:2]
+        assert len(db.relation(entity.name)) == len(rows[entity.name])
+
+
+class TestScenarioAssembly:
+    def test_fingerprint_is_seed_deterministic(self):
+        a = generate_scenario(default_scenario_config(4))
+        b = generate_scenario(default_scenario_config(4))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != generate_scenario(
+            default_scenario_config(5)
+        ).fingerprint()
+
+    def test_examples_drawn_from_ground_truth(self):
+        from repro.sql.executor import execute
+
+        scenario = generate_scenario(default_scenario_config(4))
+        for intent in scenario.intents:
+            result = execute(scenario.db, intent.query)
+            keys = {row[0] for row in result.rows}
+            displays = {row[1] for row in result.rows}
+            assert keys == set(intent.ground_truth)
+            assert intent.examples
+            assert set(intent.examples) <= displays
+
+    def test_registry_exposes_one_workload_per_intent(self):
+        scenario = generate_scenario(default_scenario_config(4))
+        registry = scenario.registry()
+        assert len(registry) == len(scenario.intents)
+        for intent in scenario.intents:
+            workload = registry.get(f"SY4-{intent.index}")
+            assert workload.query == intent.query

@@ -1,0 +1,142 @@
+"""Seed determinism: a scenario is a pure function of its config.
+
+The same seed must give byte-identical schema, data, intents, and
+examples in-process, across concurrent threads, in a fresh interpreter,
+and the derived discovery results must not depend on ``jobs`` or the
+executor flavour.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core.squid import SquidSystem
+from repro.synth import (
+    default_scenario_config,
+    generate_scenario,
+    request_stream,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+SEED = 6
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _fingerprint(seed: int) -> str:
+    return generate_scenario(default_scenario_config(seed)).fingerprint()
+
+
+class TestFingerprintStability:
+    def test_stable_in_process(self):
+        assert _fingerprint(SEED) == _fingerprint(SEED)
+
+    def test_stable_across_threads(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            prints = list(pool.map(_fingerprint, [SEED] * 4))
+        assert len(set(prints)) == 1
+        assert prints[0] == _fingerprint(SEED)
+
+    def test_stable_in_fresh_interpreter(self):
+        """A cold process (fresh hash seed, fresh imports) reproduces the
+        exact fingerprint — nothing leaks in from interpreter state."""
+        code = (
+            "from repro.synth import default_scenario_config, "
+            "generate_scenario; "
+            f"print(generate_scenario(default_scenario_config({SEED}))"
+            ".fingerprint())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert out.stdout.strip() == _fingerprint(SEED)
+
+    def test_masking_does_not_shift_surviving_data(self):
+        """Dropping one table re-uses the full scenario's draws for
+        everything that survives (the shrinker-stability contract)."""
+        from repro.synth import AssocCondition
+
+        full, droppable = None, None
+        for seed in range(30):
+            candidate = generate_scenario(default_scenario_config(seed))
+            used = {
+                cond.fact
+                for intent in candidate.intents
+                for cond in intent.spec.conditions
+                if isinstance(cond, AssocCondition)
+            }
+            spare = [
+                fact.name
+                for entity in candidate.plan.entities
+                for fact in entity.facts
+                if fact.name not in used
+            ]
+            if spare:
+                full, droppable = candidate, spare[0]
+                break
+        assert droppable, "no seed in range has an intent-free fact table"
+        masked_config = default_scenario_config(full.seed).with_masks(
+            keep_intents=None,
+            drop_tables=(droppable,),
+            drop_columns=(),
+            drop_conditions=(),
+        )
+        masked = generate_scenario(masked_config)
+        entity = full.plan.entities[0].name
+        assert list(masked.db.relation(entity).rows()) == list(
+            full.db.relation(entity).rows()
+        )
+
+
+class TestDiscoveryStability:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return generate_scenario(default_scenario_config(SEED))
+
+    def _batch_sql(self, scenario, jobs, executor="thread"):
+        system = SquidSystem.build(scenario.db, scenario.metadata)
+        session = system.session(jobs=jobs, executor=executor)
+        outcomes = session.discover_many(
+            [list(i.examples) for i in scenario.intents]
+        )
+        assert all(o.ok for o in outcomes)
+        return [o.result.sql for o in outcomes]
+
+    def test_jobs_setting_does_not_change_results(self, scenario):
+        assert self._batch_sql(scenario, jobs=1) == self._batch_sql(
+            scenario, jobs=2
+        )
+
+    @pytest.mark.skipif(not HAS_FORK, reason="process executor needs fork")
+    def test_process_executor_matches_thread(self, scenario):
+        assert self._batch_sql(
+            scenario, jobs=2, executor="thread"
+        ) == self._batch_sql(scenario, jobs=2, executor="process")
+
+
+class TestRequestStreamStability:
+    def test_stream_is_seed_deterministic(self):
+        a = generate_scenario(default_scenario_config(SEED))
+        b = generate_scenario(default_scenario_config(SEED))
+        assert request_stream(a, count=10) == request_stream(b, count=10)
+
+    def test_stream_cycles_every_intent(self):
+        scenario = generate_scenario(default_scenario_config(SEED))
+        requests = request_stream(scenario, count=2 * len(scenario.intents))
+        ids = [r["id"] for r in requests]
+        assert len(ids) == len(set(ids))
+        first_round = {
+            i["id"].rsplit("/", 2)[1]
+            for i in requests[: len(scenario.intents)]
+        }
+        assert len(first_round) == len(scenario.intents)
