@@ -1,0 +1,353 @@
+"""Dispatch v2 (estimator-driven) vs v1 (fixed heuristics): calibration,
+misroute rate, end-to-end discovery latency, and the skew workload.
+
+Four quantities, all gated against
+``benchmarks/baselines/estimator_calibration.json`` when
+``REPRO_BENCH_GATE=1``:
+
+* **calibration** — across the synth corpus, the fraction of blocks
+  whose true cardinality falls inside the estimator's ``[lo, hi]``
+  safety interval, plus the point-estimate q-error distribution;
+* **misroute rate** — guard trips per estimated routing decision while
+  executing the same corpus through the v2 router;
+* **discovery latency** — median end-to-end discovery (abduce +
+  materialise) over the recorded synth intent stream: v2 must stay
+  within the baseline's ratio ceiling of v1 (never meaningfully worse);
+* **skew workload** — a Zipf-hot EQ star where v1's fixed ``EQ → 1``
+  heuristic misroutes the hot value to the interpreted engine; v2's
+  sample sees the skew and must be measurably faster, while still
+  routing the genuinely-rare cold value to the interpreted engine.
+
+Re-record the baseline JSON from the emitted table after an intentional
+estimator change.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from conftest import GATED, PROFILE
+
+from repro.core import SquidConfig, SquidSystem
+from repro.eval import emit, format_table
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    Database,
+    ForeignKey,
+    TableSchema,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    IntersectQuery,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from repro.sql.engine.dispatch import DispatchBackend
+from repro.sql.estimator import q_error
+from repro.synth import default_scenario_config, generate_scenario
+
+INT, TEXT = ColumnType.INT, ColumnType.TEXT
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "estimator_calibration.json"
+
+_SEEDS = {"small": 40, "medium": 100, "large": 200}
+_SKEW_PERSONS = {"small": 1500, "medium": 3000, "large": 8000}
+_STREAM_SEEDS = {"small": 4, "medium": 6, "large": 8}
+_STREAM_REPEATS = 5
+_SKEW_REPEATS = 9
+
+
+# ----------------------------------------------------------------------
+# calibration + misroute sweep over the synth corpus
+# ----------------------------------------------------------------------
+def _corpus_blocks(seed: int):
+    scenario = generate_scenario(default_scenario_config(seed))
+    blocks = []
+    for intent in scenario.intents:
+        query = intent.query
+        blocks.extend(
+            query.blocks if isinstance(query, IntersectQuery) else [query]
+        )
+    return scenario, blocks
+
+
+def measure_calibration() -> Dict[str, object]:
+    seeds = _SEEDS[PROFILE]
+    total = in_bounds = decisions = guard_trips = 0
+    q_errors: List[float] = []
+    for seed in range(seeds):
+        scenario, blocks = _corpus_blocks(seed)
+        backend = DispatchBackend(scenario.db)
+        try:
+            for block in blocks:
+                estimate = backend.estimate_block(block)
+                assert estimate is not None
+                truth = len(backend.execute(block).rows)
+                total += 1
+                q_errors.append(q_error(estimate.rows.point, truth))
+                if estimate.rows.contains(truth):
+                    in_bounds += 1
+            stats = backend.stats()
+            decisions += stats["estimated_blocks"]
+            guard_trips += stats["guard_trips"]
+        finally:
+            backend.close()
+    q_errors.sort()
+    return {
+        "profile": PROFILE,
+        "seeds": seeds,
+        "blocks": total,
+        "coverage": round(in_bounds / total, 4),
+        "median_q_error": round(q_errors[len(q_errors) // 2], 3),
+        "p95_q_error": round(q_errors[int(len(q_errors) * 0.95)], 3),
+        "max_q_error": round(q_errors[-1], 3),
+        "misroute_rate": round(guard_trips / max(1, decisions), 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end discovery latency: v1 vs v2 over the synth intent stream
+# ----------------------------------------------------------------------
+def _stream_latencies(estimator: bool) -> List[float]:
+    latencies: List[float] = []
+    for seed in range(_STREAM_SEEDS[PROFILE]):
+        scenario = generate_scenario(default_scenario_config(seed))
+        config = SquidConfig(backend="dispatch", estimator=estimator)
+        squid = SquidSystem.build(scenario.db, scenario.metadata, config)
+        squid.warm_backend()
+        for intent in scenario.intents:
+            examples = list(intent.examples)
+            result = squid.discover(examples)  # warm-up (stats first touch)
+            squid.result_values(result)
+            for _ in range(_STREAM_REPEATS):
+                start = time.perf_counter()
+                result = squid.discover(examples)
+                squid.result_values(result)
+                latencies.append(time.perf_counter() - start)
+    return sorted(latencies)
+
+
+def measure_stream() -> Dict[str, object]:
+    v1 = _stream_latencies(estimator=False)
+    v2 = _stream_latencies(estimator=True)
+    v1_median = v1[len(v1) // 2]
+    v2_median = v2[len(v2) // 2]
+    return {
+        "profile": PROFILE,
+        "requests": len(v1),
+        "v1_median_ms": round(v1_median * 1000, 3),
+        "v2_median_ms": round(v2_median * 1000, 3),
+        "v1_p95_ms": round(v1[int(len(v1) * 0.95)] * 1000, 3),
+        "v2_p95_ms": round(v2[int(len(v2) * 0.95)] * 1000, 3),
+        "median_ratio": round(v2_median / v1_median, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# the skew workload: Zipf-hot EQ value behind a star join
+# ----------------------------------------------------------------------
+def _skew_db(persons: int) -> Database:
+    """Half the persons are 'core', half the facts are 'hot' — every EQ
+    predicate looks like a point lookup to v1's fixed heuristics."""
+    db = Database("skew")
+    db.create_table(
+        TableSchema(
+            "person",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("name", TEXT),
+                ColumnDef("segment", TEXT),
+            ],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "fact",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("pid", INT),
+                ColumnDef("kind", TEXT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("pid", "person", "id")],
+        )
+    )
+    person_rows, fact_rows, fact_id = [], [], 0
+    for pid in range(1, persons + 1):
+        segment = "core" if pid % 2 else f"niche{pid % 53}"
+        person_rows.append((pid, f"P{pid:05d}", segment))
+        for tag in range(8):
+            fact_id += 1
+            kind = "hot" if tag % 2 == 0 else f"cold{fact_id % 197}"
+            fact_rows.append((fact_id, pid, kind))
+    db.bulk_load("person", person_rows)
+    db.bulk_load("fact", fact_rows)
+    return db
+
+
+def _skew_query(segment: str, kind: str) -> Query:
+    return Query(
+        select=(ColumnRef("person", "name"),),
+        tables=(TableRef("person"), TableRef("fact")),
+        joins=(
+            JoinCondition(ColumnRef("fact", "pid"), ColumnRef("person", "id")),
+        ),
+        predicates=(
+            Predicate(ColumnRef("person", "segment"), Op.EQ, segment),
+            Predicate(ColumnRef("fact", "kind"), Op.EQ, kind),
+        ),
+    )
+
+
+def _median_seconds(backend, query, repeats: int = _SKEW_REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        backend.execute(query)
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def measure_skew() -> Dict[str, object]:
+    persons = _SKEW_PERSONS[PROFILE]
+    db = _skew_db(persons)
+    v1 = DispatchBackend(db, use_estimator=False)
+    v2 = DispatchBackend(db)
+    try:
+        hot = _skew_query("core", "hot")
+        cold = _skew_query("niche7", "cold7")
+        hot_routes = (v1.choose(hot).name, v2.choose(hot).name)
+        cold_routes = (v1.choose(cold).name, v2.choose(cold).name)
+        # Byte-identity first (and warm-up double-duty).
+        assert v1.execute(hot).rows == v2.execute(hot).rows
+        assert v1.execute(cold).rows == v2.execute(cold).rows
+        v1_hot = _median_seconds(v1, hot)
+        v2_hot = _median_seconds(v2, hot)
+        return {
+            "profile": PROFILE,
+            "persons": persons,
+            "v1_hot_route": hot_routes[0],
+            "v2_hot_route": hot_routes[1],
+            "v1_cold_route": cold_routes[0],
+            "v2_cold_route": cold_routes[1],
+            "v1_hot_ms": round(v1_hot * 1000, 3),
+            "v2_hot_ms": round(v2_hot * 1000, 3),
+            "hot_speedup": round(v1_hot / v2_hot, 3),
+        }
+    finally:
+        v1.close()
+        v2.close()
+
+
+_MEASURED: Optional[Dict[str, Dict[str, object]]] = None
+
+
+def measure() -> Dict[str, Dict[str, object]]:
+    global _MEASURED
+    if _MEASURED is None:
+        _MEASURED = {
+            "calibration": measure_calibration(),
+            "stream": measure_stream(),
+            "skew": measure_skew(),
+        }
+    return _MEASURED
+
+
+def _baseline() -> Dict[str, object]:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+# ----------------------------------------------------------------------
+# tests
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="estimator")
+def test_estimator_calibration_benchmark(benchmark):
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "estimator_calibration",
+        format_table(
+            [measured["calibration"]],
+            title="Estimator calibration over the synth corpus",
+        )
+        + "\n\n"
+        + format_table(
+            [measured["stream"]],
+            title="Dispatch v1 vs v2: end-to-end discovery latency",
+        )
+        + "\n\n"
+        + format_table(
+            [measured["skew"]],
+            title="Zipf-hot skew workload: v1 misroute vs v2 adaptive route",
+        ),
+    )
+    calibration = measured["calibration"]
+    assert calibration["coverage"] >= 0.99
+    if PROFILE == "medium" or GATED:
+        assert calibration["misroute_rate"] <= 0.01
+
+
+@pytest.mark.bench_gate
+def test_estimator_calibration_gate():
+    """Strict floors/ceilings from the checked-in baseline
+    (REPRO_BENCH_GATE=1)."""
+    baseline = _baseline()
+    measured = measure()
+    calibration, stream, skew = (
+        measured["calibration"],
+        measured["stream"],
+        measured["skew"],
+    )
+    failures = []
+    if calibration["coverage"] < baseline["coverage_floor"]:
+        failures.append(
+            f"coverage {calibration['coverage']} < {baseline['coverage_floor']}"
+        )
+    if calibration["median_q_error"] > baseline["median_q_error_ceiling"]:
+        failures.append(
+            f"median q-error {calibration['median_q_error']} > "
+            f"{baseline['median_q_error_ceiling']}"
+        )
+    if calibration["p95_q_error"] > baseline["p95_q_error_ceiling"]:
+        failures.append(
+            f"p95 q-error {calibration['p95_q_error']} > "
+            f"{baseline['p95_q_error_ceiling']}"
+        )
+    if calibration["misroute_rate"] > baseline["misroute_rate_ceiling"]:
+        failures.append(
+            f"misroute rate {calibration['misroute_rate']} > "
+            f"{baseline['misroute_rate_ceiling']}"
+        )
+    if stream["median_ratio"] > baseline["latency_ratio_ceiling"]:
+        failures.append(
+            f"v2/v1 median discovery latency {stream['median_ratio']} > "
+            f"{baseline['latency_ratio_ceiling']}"
+        )
+    if skew["hot_speedup"] < baseline["skew_speedup_floor"]:
+        failures.append(
+            f"skew hot speedup {skew['hot_speedup']}x < "
+            f"{baseline['skew_speedup_floor']}x"
+        )
+    recorded = baseline.get("recorded", {}).get(PROFILE)
+    assert not failures, (
+        "estimator/dispatch-v2 regression (recorded baseline: "
+        f"{json.dumps(recorded)}):\n" + "\n".join(failures)
+    )
+
+
+def test_skew_routes_are_adaptive():
+    """The pinned routing story of the skew workload: v1 sends both the
+    hot and the rare value down the same path; v2 splits them."""
+    skew = measure()["skew"]
+    assert skew["v1_hot_route"] == "interpreted"  # the misroute
+    assert skew["v2_hot_route"] == "vectorized"  # the save
+    assert skew["v2_cold_route"] == "interpreted"  # still aggressive

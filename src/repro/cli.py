@@ -35,7 +35,12 @@ from .core.config import SquidConfig
 from .core.recommend import recommend_examples
 from .core.squid import SquidSystem
 from .datasets import adult, dblp, imdb
-from .sql.engine import DEFAULT_BACKEND, available_backends
+from .sql.engine import (
+    DEFAULT_BACKEND,
+    DEFAULT_GUARD_FACTOR,
+    DEFAULT_SAMPLE_BUDGET,
+    available_backends,
+)
 from .eval.reporting import format_table
 from .workloads import adult_queries, dblp_queries, imdb_queries
 
@@ -85,6 +90,9 @@ def _squid_config(args: argparse.Namespace) -> SquidConfig:
         jobs=args.jobs,
         executor=args.executor,
         persistent_pool=args.persistent_pool,
+        estimator=args.estimator,
+        estimator_sample_budget=args.sample_budget,
+        estimator_guard_factor=args.guard_factor,
     )
 
 
@@ -373,6 +381,21 @@ def build_parser() -> argparse.ArgumentParser:
                          action="store_false",
                          help="use PR 2's throwaway per-batch executors "
                               "instead of the persistent worker pool")
+        cmd.add_argument("--no-estimator", dest="estimator",
+                         action="store_false",
+                         help="drive the dispatch router with the v1 fixed "
+                              "heuristics instead of the sampling-based "
+                              "cardinality estimator")
+        cmd.add_argument("--sample-budget", type=int,
+                         default=DEFAULT_SAMPLE_BUDGET,
+                         help="per-column sample budget of the dispatch "
+                              "estimator (columns at or under this many "
+                              "non-NULL values are scanned exactly)")
+        cmd.add_argument("--guard-factor", type=float,
+                         default=DEFAULT_GUARD_FACTOR,
+                         help="misroute guard threshold: abort an "
+                              "interpreted run once observed rows exceed "
+                              "the estimate's upper bound by this factor")
         cmd.add_argument("--stats", dest="show_stats", action="store_true",
                          help="print cache/engine/session counters after "
                               "discovery")

@@ -32,6 +32,8 @@ from typing import Optional
 from ..sql.engine import (
     DEFAULT_BACKEND,
     DEFAULT_CACHE_SIZE,
+    DEFAULT_GUARD_FACTOR,
+    DEFAULT_SAMPLE_BUDGET,
     DEFAULT_SHARD_MIN_ROWS,
     available_backends,
 )
@@ -135,6 +137,24 @@ class SquidConfig:
     many row-gathers; smaller blocks stay on the single-process
     vectorized path."""
 
+    estimator: bool = True
+    """Drive the ``dispatch`` router with the v2 sampling-based
+    cardinality estimator (point estimates with [lo, hi] safety bounds,
+    misroute guards, per-decision telemetry).  ``False`` restores the v1
+    fixed EQ→1 / range→n/4 heuristics."""
+
+    estimator_sample_budget: int = DEFAULT_SAMPLE_BUDGET
+    """Per-column sample budget of the v2 estimator: columns at or under
+    this many non-NULL values are scanned in full (exact statistics);
+    larger columns get a deterministic without-replacement sample of
+    this size.  Bigger budgets tighten the safety bounds at the price of
+    a longer first-touch scan per column (see docs/serving.md)."""
+
+    estimator_guard_factor: float = DEFAULT_GUARD_FACTOR
+    """Misroute guard threshold: a block routed to the interpreted
+    engine aborts and reroutes to the safe engine once its observed
+    mid-flight rows exceed the estimate's upper bound by this factor."""
+
     # --- batch discovery / worker fan-out --------------------------------
     jobs: int = 1
     """Default worker-pool width of :class:`~repro.core.session.
@@ -183,6 +203,16 @@ class SquidConfig:
         if self.shard_min_rows < 0:
             raise ValueError(
                 f"shard_min_rows must be >= 0, got {self.shard_min_rows}"
+            )
+        if self.estimator_sample_budget < 16:
+            raise ValueError(
+                "estimator_sample_budget must be >= 16, got "
+                f"{self.estimator_sample_budget}"
+            )
+        if self.estimator_guard_factor < 1.0:
+            raise ValueError(
+                "estimator_guard_factor must be >= 1, got "
+                f"{self.estimator_guard_factor}"
             )
         validate_fanout(self.jobs, self.executor)
 

@@ -67,6 +67,9 @@ class SquidSystem:
             cache_size=size,
             shards=adb.config.shards,
             shard_min_rows=adb.config.shard_min_rows,
+            use_estimator=adb.config.estimator,
+            sample_budget=adb.config.estimator_sample_budget,
+            guard_factor=adb.config.estimator_guard_factor,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,237 @@
+"""Per-column table statistics: counts, histograms, reservoir samples.
+
+The αDB's family-level selectivity store (:mod:`repro.core.statistics`)
+answers "how many *entities* satisfy φ"; the estimator behind dispatch v2
+needs the complementary *physical* view — per (table, column):
+
+* row / non-NULL / distinct counts and the maximum value multiplicity
+  (the hard upper bound on equality selectivity and join fanout);
+* min/max of orderable columns plus a small equi-width histogram;
+* a deterministic sample of the non-NULL values — the whole column when
+  it fits the sample budget (``exact=True``: every derived quantity is a
+  ground truth, not an estimate), a seeded without-replacement draw
+  otherwise.
+
+Everything here is a pure function of one :class:`~repro.relational.
+relation.Relation` snapshot; staleness handling (the ``(uid, version)``
+stamp memo) lives with the consumer in
+:mod:`repro.sql.estimator.sampler`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .relation import Relation
+
+#: Default cap on sampled values per column.  Columns at or under the
+#: budget are scanned in full (exact statistics).
+DEFAULT_SAMPLE_BUDGET = 1024
+
+#: Bins of the equi-width histogram attached to numeric columns.
+HISTOGRAM_BINS = 16
+
+
+def sample_seed(table: str, column: str) -> int:
+    """Deterministic per-(table, column) sampling seed.
+
+    Derived from the *names* only — never from memory addresses or
+    relation uids — so samples (and every estimate built on them) are
+    identical across processes, fork workers, and replayed sessions.
+    """
+    return zlib.crc32(f"{table}\x1f{column}".encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width histogram over a numeric column's sampled values."""
+
+    edges: Tuple[float, ...]
+    counts: Tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """One column's physical statistics (possibly sample-estimated)."""
+
+    table: str
+    column: str
+    rows: int
+    """Total rows of the relation (NULLs included)."""
+
+    non_null: int
+    """Rows with a non-NULL value in this column."""
+
+    distinct: int
+    """Distinct non-NULL values — exact when ``exact``, estimated
+    otherwise (first-occurrence scale-up of the sample's singletons)."""
+
+    max_multiplicity: int
+    """Largest number of rows sharing one value — exact when ``exact``;
+    otherwise a scaled sample estimate (*not* a guaranteed bound)."""
+
+    min_value: Optional[Any]
+    max_value: Optional[Any]
+    """Domain extremes; ``None`` for empty or unorderable columns."""
+
+    histogram: Optional[Histogram]
+    """Equi-width histogram (numeric columns only)."""
+
+    sample: Tuple[Any, ...]
+    """Sampled non-NULL values; the full column when ``exact``."""
+
+    value_counts: Optional[Dict[Any, int]]
+    """Per-value counts of the *sample* (kept when the domain is small
+    enough to be useful for equality probes)."""
+
+    exact: bool
+    """True when ``sample`` is the entire non-NULL column, making every
+    count above a ground truth."""
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of rows that are NULL in this column."""
+        if self.rows == 0:
+            return 0.0
+        return 1.0 - self.non_null / self.rows
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.sample)
+
+    def mean_multiplicity(self) -> float:
+        """Average rows per distinct value (>= 1 when non-empty)."""
+        if self.distinct == 0:
+            return 0.0
+        return self.non_null / self.distinct
+
+
+#: Keep per-value sample counts only while the dict stays cheap.
+_VALUE_COUNT_CAP = 4096
+
+
+def _orderable_extremes(values: np.ndarray) -> Tuple[Optional[Any], Optional[Any]]:
+    if values.size == 0:
+        return None, None
+    try:
+        return values.min().item() if hasattr(values.min(), "item") else min(values), (
+            values.max().item() if hasattr(values.max(), "item") else max(values)
+        )
+    except TypeError:  # mixed, unorderable object values
+        return None, None
+
+
+def _count_values(values: np.ndarray) -> Counter:
+    try:
+        uniques, counts = np.unique(values, return_counts=True)
+    except TypeError:  # unorderable object values: hash-based counting
+        return Counter(values.tolist())
+    return Counter(dict(zip(uniques.tolist(), (int(c) for c in counts))))
+
+
+def _numeric_histogram(values: np.ndarray) -> Optional[Histogram]:
+    if values.size == 0 or values.dtype == object:
+        return None
+    if not np.issubdtype(values.dtype, np.number):
+        return None
+    finite = values[np.isfinite(values.astype(np.float64, copy=False))]
+    if finite.size == 0:
+        return None
+    counts, edges = np.histogram(
+        finite.astype(np.float64, copy=False), bins=HISTOGRAM_BINS
+    )
+    return Histogram(
+        edges=tuple(float(e) for e in edges),
+        counts=tuple(int(c) for c in counts),
+    )
+
+
+def column_statistics(
+    relation: Relation,
+    column: str,
+    *,
+    sample_budget: int = DEFAULT_SAMPLE_BUDGET,
+    seed: Optional[int] = None,
+) -> ColumnStatistics:
+    """Compute one column's statistics from the relation's cached view.
+
+    Columns whose non-NULL count fits ``sample_budget`` are scanned in
+    full; larger columns get a seeded without-replacement sample and the
+    distinct / multiplicity figures become estimates.
+    """
+    if sample_budget < 1:
+        raise ValueError(f"sample_budget must be >= 1, got {sample_budget}")
+    table = relation.schema.name
+    arr = relation.column_array(column)
+    rows = len(relation)
+    non_null_idx = np.nonzero(arr.mask)[0]
+    non_null = int(non_null_idx.size)
+    values = arr.values[non_null_idx]
+
+    exact = non_null <= sample_budget
+    if exact:
+        sampled = values
+    else:
+        rng = np.random.default_rng(
+            seed if seed is not None else sample_seed(table, column)
+        )
+        pick = rng.choice(non_null, size=sample_budget, replace=False)
+        pick.sort()  # deterministic order independent of choice internals
+        sampled = values[pick]
+
+    counts = _count_values(sampled)
+    sample_size = len(sampled)
+    sample_distinct = len(counts)
+    sample_max_mult = max(counts.values(), default=0)
+
+    if exact:
+        distinct = sample_distinct
+        max_multiplicity = sample_max_mult
+    else:
+        # First-occurrence scale-up: values seen once in the sample hint
+        # at unseen domain mass (a lightweight GEE-style correction).
+        singletons = sum(1 for c in counts.values() if c == 1)
+        scale = non_null / sample_size if sample_size else 0.0
+        distinct = min(
+            non_null,
+            sample_distinct + int(round(singletons * (scale - 1.0))),
+        )
+        distinct = max(distinct, sample_distinct)
+        max_multiplicity = min(
+            non_null, max(sample_max_mult, int(round(sample_max_mult * scale)))
+        )
+
+    # The schema's primary key is exact by construction regardless of
+    # sampling: unique and non-NULL.
+    if relation.schema.primary_key == column:
+        distinct = non_null
+        max_multiplicity = 1 if non_null else 0
+
+    min_value, max_value = _orderable_extremes(values if exact else sampled)
+    histogram = _numeric_histogram(sampled)
+
+    value_counts = dict(counts) if len(counts) <= _VALUE_COUNT_CAP else None
+
+    return ColumnStatistics(
+        table=table,
+        column=column,
+        rows=rows,
+        non_null=non_null,
+        distinct=distinct,
+        max_multiplicity=max_multiplicity,
+        min_value=min_value,
+        max_value=max_value,
+        histogram=histogram,
+        sample=tuple(sampled.tolist()),
+        value_counts=value_counts,
+        exact=exact,
+    )

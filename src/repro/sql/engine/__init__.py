@@ -43,7 +43,12 @@ from .async_backend import (
     AsyncExecutionBackend,
     create_async_backend,
 )
-from .dispatch import DEFAULT_SMALL_WORK_ROWS, DispatchBackend
+from .dispatch import (
+    DEFAULT_SAMPLE_BUDGET,
+    DEFAULT_SMALL_WORK_ROWS,
+    DispatchBackend,
+)
+from ..estimator import DEFAULT_GUARD_FACTOR
 from .interpreted import InterpretedBackend
 from .sharded import DEFAULT_SHARD_MIN_ROWS, ShardedVectorizedBackend
 from .sqlite import SqliteBackend
@@ -75,14 +80,19 @@ def create_backend(
     cache_size: int = 0,
     shards: int = 0,
     shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+    use_estimator: bool = True,
+    sample_budget: int = DEFAULT_SAMPLE_BUDGET,
+    guard_factor: float = DEFAULT_GUARD_FACTOR,
 ) -> ExecutionBackend:
     """Instantiate a backend by name, optionally wrapped in a result cache.
 
     ``cache_size`` > 0 wraps the engine in a :class:`CachingBackend` with
     that many LRU entries.  ``shards`` (0 = auto) and ``shard_min_rows``
     configure the partition-parallel fan-out of the ``sharded`` engine
-    and of the ``dispatch`` router's sharded tier; other engines ignore
-    them.
+    and of the ``dispatch`` router's sharded tier.  ``use_estimator``,
+    ``sample_budget`` and ``guard_factor`` configure the ``dispatch``
+    router's v2 cost model (sampling-based cardinality estimation with
+    misroute guards); other engines ignore all five.
     """
     try:
         backend_cls = BACKENDS[name]
@@ -90,7 +100,16 @@ def create_backend(
         raise ValueError(
             f"unknown backend {name!r} (available: {', '.join(available_backends())})"
         ) from None
-    if name in _SHARD_AWARE:
+    if name == DispatchBackend.name:
+        backend = backend_cls(
+            database,
+            shards=shards,
+            shard_min_rows=shard_min_rows,
+            use_estimator=use_estimator,
+            sample_budget=sample_budget,
+            guard_factor=guard_factor,
+        )
+    elif name in _SHARD_AWARE:
         backend = backend_cls(
             database, shards=shards, shard_min_rows=shard_min_rows
         )
@@ -108,6 +127,8 @@ __all__ = [
     "DEFAULT_ASYNC_WORKERS",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_GUARD_FACTOR",
+    "DEFAULT_SAMPLE_BUDGET",
     "DEFAULT_SHARD_MIN_ROWS",
     "DEFAULT_SMALL_WORK_ROWS",
     "DispatchBackend",

@@ -7,39 +7,63 @@ The interpreted and vectorized engines have opposite sweet spots:
   tiny relations where numpy's fixed per-kernel overhead (array view
   construction, mask allocation) dominates the actual work;
 * **vectorized** amortises per-row Python overhead away — the clear
-  winner for *scans, joins and aggregations* over anything sizeable.
+  winner for *scans, joins and aggregations* over anything sizeable;
+* **sharded** partitions genuinely wide/large blocks over a fork-once
+  process pool.
 
-:class:`DispatchBackend` picks per query (and, for INTERSECT, per block)
-using the one statistic the αDB already maintains for every relation —
-its cardinality — plus the shape of the predicate set.  The estimated
-rows touched per alias:
+:class:`DispatchBackend` picks per query (and, for INTERSECT, per
+block).  Two cost models ship behind the one router:
 
-* ``1`` when the alias carries an EQ/IN predicate (hash-index probe);
-* ``n / 4`` when it carries only range predicates (sorted-index scan);
-* ``n`` otherwise (full scan or unfiltered join side).
+**v2 (default)** — a :class:`~repro.sql.estimator.CardinalityEstimator`
+combines per-column statistics (distinct counts, NULL fractions,
+min/max, value histograms) with deterministic reservoir samples over the
+relation column views, producing point estimates with explicit
+``[lo, hi]`` safety bounds for both the block's output rows and its
+interpreted-cost work proxy.  Routing compares the work point against
+``small_work_rows`` and the sharded activation threshold.  Blocks routed
+to the interpreted engine run under a **misroute guard**: the engine
+reports intermediate row counts mid-flight, and the moment they exceed
+the estimate's upper bound by ``guard_factor`` the execution aborts and
+reroutes to the safe engine (vectorized) — results stay byte-identical,
+only the route changes, and ``guard_trips`` counts the event.  Every
+decision lands in a telemetry ring — (features, estimate, bounds,
+actual, route, outcome) — and :meth:`DispatchBackend.refit` folds the
+log back into updated selectivity coefficients.
 
-Queries whose summed estimate stays at or below ``small_work_rows``
-route to the interpreted engine; blocks whose estimated carried work
-(estimate × alias count) clears the sharded engine's activation
-threshold route to the partition-parallel sharded tier; everything else
-runs single-process vectorized.  All engines share the caller's
-:class:`~repro.relational.database.Database`, so results are identical
-by the cross-backend equivalence suite; dispatch only ever changes
-*where* a query runs.
+**v1** (``use_estimator=False``) — the original fixed heuristics: per
+alias ``1`` row for EQ/IN (hash-index probe), ``n/4`` for ranges,
+``n`` otherwise.  Kept as the baseline the dispatch-v2 benchmark
+(`benchmarks/test_estimator_calibration.py`) compares against.
 
-Cardinalities are cached per table but stamped with the relation's
-``(uid, version)`` — every routing decision re-checks the stamp, so a
-mutation (bulk load, insert) is reflected in the very next ``choose``
-instead of replaying a decision frozen at warm() time.
+Cardinalities and column statistics are memoized per relation
+``(uid, version)`` stamp — repeated mutations in one batch trigger at
+most one rescan per column at the next routing decision, and reads
+under an unchanged stamp never rescan.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ...relational.database import Database
 from ..ast import AnyQuery, IntersectQuery, Op, Query
+from ..estimator import (
+    DEFAULT_GUARD_FACTOR,
+    DEFAULT_TELEMETRY_CAPACITY,
+    OUTCOME_GUARD_TRIP,
+    OUTCOME_OK,
+    BlockEstimate,
+    CardinalityEstimator,
+    DecisionRecord,
+    MisrouteAbort,
+    RowBudgetGuard,
+    SelectivityModel,
+    TelemetryLog,
+    guard_budget,
+    refit as _refit_model,
+)
+from ..estimator.sampler import StatisticsProvider
 from ..result import ResultSet, execute_intersect
 from .base import ExecutionBackend
 from .interpreted import InterpretedBackend
@@ -49,13 +73,16 @@ from .vectorized import VectorizedBackend
 #: Estimated-rows threshold at or below which the interpreted engine wins.
 DEFAULT_SMALL_WORK_ROWS = 1024
 
-#: Assumed fraction of a relation touched by a sorted-index range scan.
+#: v1's assumed fraction of a relation touched by a sorted-index range scan.
 _RANGE_SCAN_FRACTION = 4
+
+#: Default per-column sample budget of the v2 estimator.
+DEFAULT_SAMPLE_BUDGET = 1024
 
 
 class DispatchBackend(ExecutionBackend):
     """Routes queries between the interpreted, vectorized and sharded
-    engines."""
+    engines — estimator-driven (v2, default) or fixed-heuristic (v1)."""
 
     name = "dispatch"
 
@@ -66,14 +93,36 @@ class DispatchBackend(ExecutionBackend):
         small_work_rows: int = DEFAULT_SMALL_WORK_ROWS,
         shards: int = 0,
         shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+        use_estimator: bool = True,
+        sample_budget: int = DEFAULT_SAMPLE_BUDGET,
+        guard_factor: float = DEFAULT_GUARD_FACTOR,
+        telemetry_capacity: int = DEFAULT_TELEMETRY_CAPACITY,
+        model: Optional[SelectivityModel] = None,
     ) -> None:
         super().__init__(database)
+        if guard_factor < 1.0:
+            raise ValueError(f"guard_factor must be >= 1, got {guard_factor}")
         self.small_work_rows = small_work_rows
+        self.guard_factor = guard_factor
         self.interpreted = InterpretedBackend(database)
         self.vectorized = VectorizedBackend(database)
         self.sharded = ShardedVectorizedBackend(
             database, shards=shards, shard_min_rows=shard_min_rows
         )
+        self.estimator: Optional[CardinalityEstimator] = (
+            CardinalityEstimator(
+                database, sample_budget=sample_budget, model=model
+            )
+            if use_estimator
+            else None
+        )
+        # The v1 path shares the same stamped cardinality memo.
+        self._provider = (
+            self.estimator.provider
+            if self.estimator is not None
+            else StatisticsProvider(database, sample_budget=sample_budget)
+        )
+        self.telemetry = TelemetryLog(telemetry_capacity)
         self.decisions: Dict[str, int] = {
             self.interpreted.name: 0,
             self.vectorized.name: 0,
@@ -82,9 +131,8 @@ class DispatchBackend(ExecutionBackend):
         # Counter increments are read-modify-write; batch sessions share
         # one dispatch backend across worker threads.
         self._decision_lock = threading.Lock()
-        # table -> (uid, version, rows); stamp-checked on every lookup.
-        self._cardinalities: Dict[str, Tuple[int, int, int]] = {}
-        self._cardinality_refreshes = 0
+        self._guard_trips = 0
+        self._estimated_blocks = 0
 
     # ------------------------------------------------------------------
     # cost model
@@ -92,26 +140,15 @@ class DispatchBackend(ExecutionBackend):
     def warm(self) -> None:
         """Prime the cardinality cache for every current relation."""
         for name in self.db.table_names():
-            self._cardinality(name)
+            self._provider.cardinality(name)
 
     def _cardinality(self, table: str) -> int:
-        """Stamped row count: refreshed whenever the relation mutates."""
-        relation = self.db.relation(table)
-        entry = self._cardinalities.get(table)
-        if (
-            entry is not None
-            and entry[0] == relation.uid
-            and entry[1] == relation.version
-        ):
-            return entry[2]
-        rows = len(relation)
-        with self._decision_lock:
-            self._cardinalities[table] = (relation.uid, relation.version, rows)
-            self._cardinality_refreshes += 1
-        return rows
+        """Stamped row count: refreshed once per (uid, version) change."""
+        return self._provider.cardinality(table)
 
     def estimated_rows(self, query: Query) -> int:
-        """Rows the engine will plausibly touch, from table cardinalities."""
+        """The v1 heuristic: rows plausibly touched, from fixed per-op
+        assumptions over table cardinalities."""
         alias_map = query.alias_map()
         ops_by_alias: Dict[str, set] = {}
         for pred in query.predicates:
@@ -132,15 +169,46 @@ class DispatchBackend(ExecutionBackend):
                 total += n
         return total
 
+    def _route(
+        self, query: Query
+    ) -> Tuple[ExecutionBackend, Optional[BlockEstimate]]:
+        """The engine one SPJ(A) block routes to, plus its estimate."""
+        if self.estimator is None:
+            estimate = self.estimated_rows(query)
+            if estimate <= self.small_work_rows:
+                return self.interpreted, None
+            aliases = len(query.alias_map())
+            if (
+                aliases >= 2
+                and estimate * aliases >= self.sharded.shard_min_rows
+            ):
+                return self.sharded, None
+            return self.vectorized, None
+        block = self.estimator.estimate_block(query)
+        if block is None:
+            # Unknown table/column: let shared validation raise.
+            return self.interpreted, None
+        with self._decision_lock:
+            self._estimated_blocks += 1
+        work = block.work.point
+        if work <= self.small_work_rows:
+            return self.interpreted, block
+        if (
+            block.features["aliases"] >= 2
+            and work >= self.sharded.shard_min_rows
+        ):
+            return self.sharded, block
+        return self.vectorized, block
+
     def choose(self, query: Query) -> ExecutionBackend:
         """The engine one SPJ(A) block routes to."""
-        estimate = self.estimated_rows(query)
-        if estimate <= self.small_work_rows:
-            return self.interpreted
-        aliases = len(query.alias_map())
-        if aliases >= 2 and estimate * aliases >= self.sharded.shard_min_rows:
-            return self.sharded
-        return self.vectorized
+        return self._route(query)[0]
+
+    def estimate_block(self, query: Query) -> Optional[BlockEstimate]:
+        """The v2 estimate for one block (``None`` in v1 mode)."""
+        if self.estimator is None:
+            return None
+        return self.estimator.estimate_block(query)
 
     # ------------------------------------------------------------------
     # execution
@@ -152,16 +220,76 @@ class DispatchBackend(ExecutionBackend):
         return self._execute_block(query)
 
     def _execute_block(self, block: Query) -> ResultSet:
-        engine = self.choose(block)
+        engine, estimate = self._route(block)
+        outcome = OUTCOME_OK
+        if engine is self.interpreted and estimate is not None:
+            guard = RowBudgetGuard(
+                guard_budget(estimate, self.guard_factor, self.small_work_rows)
+            )
+            try:
+                result = self.interpreted.execute_block(
+                    block, observe=guard.observe
+                )
+            except MisrouteAbort:
+                # Catastrophic misestimate: abort the row-at-a-time run
+                # and reroute to the safe engine (byte-identical result).
+                outcome = OUTCOME_GUARD_TRIP
+                engine = self.vectorized
+                result = self.vectorized.execute(block)
+                with self._decision_lock:
+                    self._guard_trips += 1
+        else:
+            result = engine.execute(block)
         with self._decision_lock:
             self.decisions[engine.name] += 1
-        return engine.execute(block)
+        if estimate is not None:
+            self.telemetry.record(
+                DecisionRecord(
+                    route=engine.name,
+                    outcome=outcome,
+                    estimate=estimate.rows.point,
+                    lo=estimate.rows.lo,
+                    hi=estimate.rows.hi,
+                    work=estimate.work.point,
+                    actual=len(result.rows),
+                    features=estimate.features,
+                )
+            )
+        return result
 
+    # ------------------------------------------------------------------
+    # telemetry-driven re-fitting
+    # ------------------------------------------------------------------
+    def refit(self, records=None) -> SelectivityModel:
+        """Fold the decision log into updated selectivity coefficients.
+
+        Uses the in-memory telemetry ring unless an explicit record list
+        (e.g. one loaded from a persisted JSON-lines log) is given.  The
+        fitted model is installed on the estimator and returned.
+        """
+        if self.estimator is None:
+            raise RuntimeError("refit requires the estimator (v2) dispatch")
+        model = _refit_model(
+            self.telemetry.records() if records is None else records,
+            self.estimator.model,
+        )
+        self.estimator.set_model(model)
+        return model
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Per-engine routing decisions plus the sharded tier's counters."""
+        """Per-engine routing decisions, estimator/guard counters, and
+        the sharded tier's counters."""
         with self._decision_lock:
             out: Dict[str, int] = dict(self.decisions)
-            out["cardinality_refreshes"] = self._cardinality_refreshes
+            out["guard_trips"] = self._guard_trips
+            out["estimated_blocks"] = self._estimated_blocks
+        out.update(self._provider.counters())
+        out["estimator"] = 1 if self.estimator is not None else 0
+        out["telemetry_records"] = len(self.telemetry)
+        out["telemetry_recorded"] = self.telemetry.recorded
         for key, value in self.sharded.stats().items():
             out[f"sharded_{key}"] = value
         return out

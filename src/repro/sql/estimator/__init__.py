@@ -1,0 +1,71 @@
+"""Sampling-based cardinality estimation with explicit safety bounds.
+
+The substrate of dispatch v2 (see :mod:`repro.sql.engine.dispatch`):
+
+* :mod:`~repro.sql.estimator.bounds` — :class:`Estimate` interval
+  arithmetic, sampled-fraction confidence bands, q-error;
+* :mod:`~repro.sql.estimator.sampler` — :class:`StatisticsProvider`,
+  the per-(uid, version)-stamp memo over
+  :func:`repro.relational.statistics.column_statistics`;
+* :mod:`~repro.sql.estimator.core` — :class:`CardinalityEstimator`
+  (per-block output-rows + routing-work intervals) and the re-fittable
+  :class:`SelectivityModel`;
+* :mod:`~repro.sql.estimator.guards` — mid-flight misroute detection
+  (:class:`RowBudgetGuard` / :class:`MisrouteAbort`);
+* :mod:`~repro.sql.estimator.telemetry` — per-decision records, the
+  JSON-lines log, and the deterministic :func:`refit` loop.
+"""
+
+from .bounds import DEFAULT_DELTA, Estimate, conjoin, fraction_estimate, q_error
+from .core import (
+    BLOCK_CLASSES,
+    CLASS_EQ,
+    CLASS_RANGE,
+    CLASS_SCAN,
+    BlockEstimate,
+    CardinalityEstimator,
+    SelectivityModel,
+    predicate_class,
+)
+from .guards import (
+    DEFAULT_GUARD_FACTOR,
+    MisrouteAbort,
+    RowBudgetGuard,
+    guard_budget,
+)
+from .sampler import StatisticsProvider
+from .telemetry import (
+    DEFAULT_TELEMETRY_CAPACITY,
+    OUTCOME_GUARD_TRIP,
+    OUTCOME_OK,
+    DecisionRecord,
+    TelemetryLog,
+    refit,
+)
+
+__all__ = [
+    "BLOCK_CLASSES",
+    "BlockEstimate",
+    "CLASS_EQ",
+    "CLASS_RANGE",
+    "CLASS_SCAN",
+    "CardinalityEstimator",
+    "DEFAULT_DELTA",
+    "DEFAULT_GUARD_FACTOR",
+    "DEFAULT_TELEMETRY_CAPACITY",
+    "DecisionRecord",
+    "Estimate",
+    "MisrouteAbort",
+    "OUTCOME_GUARD_TRIP",
+    "OUTCOME_OK",
+    "RowBudgetGuard",
+    "SelectivityModel",
+    "StatisticsProvider",
+    "TelemetryLog",
+    "conjoin",
+    "fraction_estimate",
+    "guard_budget",
+    "predicate_class",
+    "q_error",
+    "refit",
+]

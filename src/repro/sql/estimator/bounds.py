@@ -1,0 +1,146 @@
+"""Interval arithmetic for cardinality estimates with safety bounds.
+
+Every quantity the estimator produces is an :class:`Estimate` — a point
+value bracketed by an explicit ``[lo, hi]`` safety interval.  The point
+drives routing; the bounds drive the misroute guards (a block whose
+observed rows blow past ``hi`` by the guard factor was misrouted) and
+the calibration battery (the true cardinality must fall inside the
+interval for ≥99% of synthetic blocks).
+
+Intervals compose with the usual conservative rules:
+
+* **product** (independent selectivities, join fanout): multiply all
+  three components — sound for non-negative quantities;
+* **conjunction** of selectivities: the point assumes independence, the
+  upper bound is the *minimum* of the operands' bounds (a conjunction
+  never selects more than its most selective conjunct), the lower bound
+  is the Fréchet floor ``max(0, Σ lo − (k−1))``;
+* **sampled fractions**: exact scans give degenerate intervals, true
+  samples get a two-sided Hoeffding band at confidence ``1 − delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Failure probability of one sampled-fraction confidence band.  Chosen
+#: so that even blocks combining several sampled predicates keep the
+#: calibration battery's ≥99% coverage with headroom.
+DEFAULT_DELTA = 0.005
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A non-negative point estimate with explicit safety bounds."""
+
+    point: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.point < 0 or self.hi < 0:
+            raise ValueError(f"estimate components must be >= 0: {self}")
+        if not self.lo <= self.point <= self.hi:
+            raise ValueError(f"estimate must satisfy lo <= point <= hi: {self}")
+
+    @classmethod
+    def exact(cls, value: float) -> "Estimate":
+        """A degenerate interval (the quantity is known precisely)."""
+        return cls(point=float(value), lo=float(value), hi=float(value))
+
+    @classmethod
+    def between(cls, lo: float, point: float, hi: float) -> "Estimate":
+        """An interval with the point clamped inside ``[lo, hi]``."""
+        lo, hi = float(lo), float(hi)
+        return cls(point=min(max(float(point), lo), hi), lo=lo, hi=hi)
+
+    def scaled(self, factor: float) -> "Estimate":
+        """All three components multiplied by a non-negative constant."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return Estimate(self.point * factor, self.lo * factor, self.hi * factor)
+
+    def times(self, other: "Estimate") -> "Estimate":
+        """Interval product (independent non-negative quantities)."""
+        return Estimate(
+            self.point * other.point, self.lo * other.lo, self.hi * other.hi
+        )
+
+    def plus(self, other: "Estimate") -> "Estimate":
+        """Interval sum."""
+        return Estimate(
+            self.point + other.point, self.lo + other.lo, self.hi + other.hi
+        )
+
+    def clamped(self, lo: float = 0.0, hi: float = math.inf) -> "Estimate":
+        """Components clamped into ``[lo, hi]`` (ordering preserved)."""
+        clamp = lambda v: min(max(v, lo), hi)  # noqa: E731
+        new_lo, new_hi = clamp(self.lo), clamp(self.hi)
+        return Estimate(min(max(clamp(self.point), new_lo), new_hi), new_lo, new_hi)
+
+    def with_point(self, point: float) -> "Estimate":
+        """Same bounds, new point (clamped inside them)."""
+        return Estimate.between(self.lo, point, self.hi)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the safety interval.
+
+        Bounds built from chains of float products accumulate rounding
+        noise (an exact estimate of 7 rows may carry ``lo = hi =
+        7.000000000000001``); the check therefore allows a tiny relative
+        slack so genuine integers at the boundary always count as in.
+        """
+        slack = 1e-9 * max(1.0, abs(value), self.hi)
+        return self.lo - slack <= value <= self.hi + slack
+
+    def rounded(self) -> int:
+        """The point estimate as a row count."""
+        return int(round(self.point))
+
+
+def conjoin(selectivities: Sequence[Estimate]) -> Estimate:
+    """Combine per-predicate selectivities of one conjunction.
+
+    Operands and result live on [0, 1].
+    """
+    if not selectivities:
+        return Estimate.exact(1.0)
+    point = 1.0
+    hi = 1.0
+    lo_sum = 0.0
+    for sel in selectivities:
+        point *= sel.point
+        hi = min(hi, sel.hi)
+        lo_sum += sel.lo
+    lo = max(0.0, lo_sum - (len(selectivities) - 1))
+    return Estimate.between(lo, point, max(hi, lo))
+
+
+def fraction_estimate(
+    hits: int, trials: int, *, exact: bool, delta: float = DEFAULT_DELTA
+) -> Estimate:
+    """The fraction a sample observed, as an Estimate on [0, 1].
+
+    ``exact=True`` means the "sample" was the full population — the
+    fraction is the truth.  Otherwise the band is a two-sided Hoeffding
+    interval: P(|p̂ − p| ≥ ε) ≤ 2·exp(−2·trials·ε²) = delta.
+    """
+    if trials <= 0:
+        return Estimate.between(0.0, 0.0, 1.0)
+    p_hat = hits / trials
+    if exact:
+        return Estimate.exact(p_hat)
+    eps = math.sqrt(math.log(2.0 / delta) / (2.0 * trials))
+    return Estimate.between(max(0.0, p_hat - eps), p_hat, min(1.0, p_hat + eps))
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """Smoothed q-error: max over-/under-estimation factor.
+
+    Both operands are shifted by one so empty results (actual = 0) stay
+    finite and comparable across workloads.
+    """
+    e, a = estimate + 1.0, actual + 1.0
+    return max(e / a, a / e)

@@ -1,0 +1,369 @@
+"""Per-block cardinality estimation: statistics + samples + a fitted model.
+
+:class:`CardinalityEstimator` turns one SPJ(A) block into a
+:class:`BlockEstimate` carrying two intervals:
+
+* ``rows`` — the block's *output* cardinality (what the calibration
+  battery checks against ground truth);
+* ``work`` — an interpreted-cost proxy: the filtered start candidates
+  plus every intermediate binding count of a greedy join walk (what
+  routing compares against ``small_work_rows`` and the sharded
+  activation threshold).
+
+The walk mirrors the interpreted engine's planner: start from the alias
+with the fewest estimated filtered rows, repeatedly extend across a
+connecting equi-join, multiplying by the joined column's fanout interval
+(``mean multiplicity`` as the point, the observed maximum as the bound
+when statistics are exact) and the new alias's predicate selectivity.
+
+A :class:`SelectivityModel` closes the telemetry loop: per block class
+(``eq`` / ``range`` / ``scan``) a multiplicative correction, re-fitted
+from recorded (estimate, actual) decision outcomes by
+:func:`repro.sql.estimator.telemetry.refit`, nudges the point estimate —
+always inside the safety bounds, so re-fitting can never invalidate the
+calibration contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...relational.database import Database
+from ...relational.errors import RelationalError
+from ...relational.statistics import DEFAULT_SAMPLE_BUDGET, ColumnStatistics
+from ..ast import Op, Predicate, Query
+from .bounds import Estimate, conjoin, fraction_estimate
+from .sampler import StatisticsProvider
+
+#: Block classes the selectivity model distinguishes.
+CLASS_EQ = "eq"
+CLASS_RANGE = "range"
+CLASS_SCAN = "scan"
+BLOCK_CLASSES = (CLASS_EQ, CLASS_RANGE, CLASS_SCAN)
+
+#: Bounds on one fitted coefficient (and on one refit step's correction).
+MODEL_COEFFICIENT_FLOOR = 1.0 / 64.0
+MODEL_COEFFICIENT_CEIL = 64.0
+
+_SELECTIVITY_CACHE_CAP = 65536
+
+
+@dataclass(frozen=True)
+class SelectivityModel:
+    """Per-block-class multiplicative corrections to the point estimate."""
+
+    eq: float = 1.0
+    range: float = 1.0
+    scan: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in BLOCK_CLASSES:
+            value = getattr(self, name)
+            if not MODEL_COEFFICIENT_FLOOR <= value <= MODEL_COEFFICIENT_CEIL:
+                raise ValueError(
+                    f"coefficient {name} must be in "
+                    f"[{MODEL_COEFFICIENT_FLOOR}, {MODEL_COEFFICIENT_CEIL}], "
+                    f"got {value}"
+                )
+
+    def coefficient(self, block_class: str) -> float:
+        """The multiplier for one block class (1.0 for unknown classes)."""
+        return getattr(self, block_class, 1.0)
+
+    def replaced(self, **kwargs: float) -> "SelectivityModel":
+        """A copy with selected coefficients replaced."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in BLOCK_CLASSES}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, float]) -> "SelectivityModel":
+        return cls(**{name: float(raw[name]) for name in BLOCK_CLASSES if name in raw})
+
+
+@dataclass(frozen=True)
+class BlockEstimate:
+    """One block's estimated output rows, routing work, and features."""
+
+    rows: Estimate
+    """Output cardinality of the block (after DISTINCT / GROUP BY)."""
+
+    work: Estimate
+    """Interpreted-cost proxy: candidates plus intermediate bindings."""
+
+    features: Dict[str, Any]
+    """Routing/telemetry features; always includes ``class`` and
+    ``aliases``."""
+
+    @property
+    def block_class(self) -> str:
+        return self.features["class"]
+
+
+def predicate_class(preds: List[Predicate]) -> str:
+    """The class of one alias's predicate set."""
+    if any(p.op in (Op.EQ, Op.IN) for p in preds):
+        return CLASS_EQ
+    if preds:
+        return CLASS_RANGE
+    return CLASS_SCAN
+
+
+class CardinalityEstimator:
+    """Sampling-based per-block cardinality estimation with bounds."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        sample_budget: int = DEFAULT_SAMPLE_BUDGET,
+        model: Optional[SelectivityModel] = None,
+    ) -> None:
+        self.db = database
+        self.provider = StatisticsProvider(database, sample_budget=sample_budget)
+        self.model = model if model is not None else SelectivityModel()
+        # (table, column, op, value) -> (uid, version, selectivity)
+        self._sel_cache: Dict[Tuple, Tuple[int, int, Estimate]] = {}
+        self._sel_lock = threading.Lock()
+        # query -> (model, per-table stamps, estimate); repeat executions
+        # of one block (pruning probes, evaluation reruns) dominate the
+        # workload, so re-deriving the estimate per call would tax every
+        # dispatch decision with conjunction/walk arithmetic.
+        self._block_cache: Dict[Query, Tuple[Any, Tuple, BlockEstimate]] = {}
+
+    def set_model(self, model: SelectivityModel) -> None:
+        """Install a (re-)fitted model; effective for the next estimate."""
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # predicate selectivity
+    # ------------------------------------------------------------------
+    def predicate_selectivity(self, table: str, pred: Predicate) -> Estimate:
+        """Fraction of ``table`` rows matching ``pred`` (NULLs never do)."""
+        relation = self.db.relation(table)
+        key = (table, pred.column.column, pred.op, pred.value)
+        cached = self._sel_cache.get(key)
+        if (
+            cached is not None
+            and cached[0] == relation.uid
+            and cached[1] == relation.version
+        ):
+            return cached[2]
+        stats = self.provider.column(table, pred.column.column)
+        sel = self._selectivity_from_stats(stats, pred)
+        with self._sel_lock:
+            if len(self._sel_cache) >= _SELECTIVITY_CACHE_CAP:
+                self._sel_cache.clear()
+            self._sel_cache[key] = (relation.uid, relation.version, sel)
+        return sel
+
+    def _selectivity_from_stats(
+        self, stats: ColumnStatistics, pred: Predicate
+    ) -> Estimate:
+        if stats.rows == 0 or stats.non_null == 0:
+            return Estimate.exact(0.0)
+        non_null_fraction = stats.non_null / stats.rows
+        if stats.value_counts is not None and pred.op is Op.EQ:
+            hits = stats.value_counts.get(pred.value, 0)
+        elif stats.value_counts is not None and pred.op is Op.IN:
+            hits = sum(stats.value_counts.get(v, 0) for v in pred.value)  # type: ignore[union-attr]
+        else:
+            hits = sum(1 for v in stats.sample if pred.matches(v))
+        frac = fraction_estimate(hits, stats.sample_size, exact=stats.exact)
+        sel = frac.scaled(non_null_fraction)
+        if pred.op in (Op.EQ, Op.IN) and not stats.exact:
+            # Unseen-value floor: a sampled miss still plausibly matches
+            # about one mean-multiplicity group.
+            per_value = stats.mean_multiplicity() / stats.rows
+            members = len(pred.value) if pred.op is Op.IN else 1  # type: ignore[arg-type]
+            sel = sel.with_point(max(sel.point, members * per_value))
+        return sel.clamped(0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # join fanout
+    # ------------------------------------------------------------------
+    def _fanout(self, table: str, column: str) -> Estimate:
+        """Rows of ``table`` matched per probe key through ``column``."""
+        stats = self.provider.column(table, column)
+        if stats.non_null == 0:
+            return Estimate.exact(0.0)
+        mean = stats.mean_multiplicity()
+        if stats.exact:
+            hi = float(stats.max_multiplicity)
+        else:
+            # Sampled multiplicity maxima are not sound bounds; fall back
+            # to the trivial one.
+            hi = float(stats.non_null)
+        return Estimate.between(0.0, mean, max(hi, mean))
+
+    # ------------------------------------------------------------------
+    # block estimation
+    # ------------------------------------------------------------------
+    def estimate_block(self, query: Query) -> Optional[BlockEstimate]:
+        """Estimate one block; ``None`` when it references unknown tables
+        (route it to an engine and let shared validation raise)."""
+        alias_map = query.alias_map()
+        for table in alias_map.values():
+            if table not in self.db:
+                return None
+        stamps = tuple(
+            (r.uid, r.version)
+            for r in (self.db.relation(t) for t in alias_map.values())
+        )
+        try:
+            cached = self._block_cache.get(query)
+        except TypeError:  # unhashable predicate constant: skip the memo
+            cached = None
+            stamps = None
+        if cached is not None and cached[0] is self.model and cached[1] == stamps:
+            return cached[2]
+        try:
+            estimate = self._estimate_known_block(query, alias_map)
+        except RelationalError:
+            # Unknown column etc.: let the routed engine's shared
+            # validation raise the canonical QueryError.
+            return None
+        if stamps is not None:
+            with self._sel_lock:
+                if len(self._block_cache) >= _SELECTIVITY_CACHE_CAP:
+                    self._block_cache.clear()
+                self._block_cache[query] = (self.model, stamps, estimate)
+        return estimate
+
+    def _estimate_known_block(
+        self, query: Query, alias_map: Dict[str, str]
+    ) -> BlockEstimate:
+        preds_by_alias: Dict[str, List[Predicate]] = {}
+        for pred in query.predicates:
+            preds_by_alias.setdefault(pred.column.table, []).append(pred)
+
+        filtered: Dict[str, Estimate] = {}
+        selectivity: Dict[str, Estimate] = {}
+        classes: List[str] = []
+        input_rows = 0
+        for alias, table in alias_map.items():
+            n = self.provider.cardinality(table)
+            input_rows += n
+            preds = preds_by_alias.get(alias, [])
+            sel = conjoin(
+                [self.predicate_selectivity(table, p) for p in preds]
+            )
+            selectivity[alias] = sel
+            filtered[alias] = sel.scaled(n)
+            classes.append(predicate_class(preds))
+
+        block_class = (
+            CLASS_EQ
+            if CLASS_EQ in classes
+            else CLASS_RANGE
+            if CLASS_RANGE in classes
+            else CLASS_SCAN
+        )
+        features: Dict[str, Any] = {
+            "class": block_class,
+            "aliases": len(alias_map),
+            "input_rows": input_rows,
+            "predicates": len(query.predicates),
+            "group_by": bool(query.group_by),
+            "having": query.having is not None,
+            "distinct": query.distinct,
+        }
+
+        if not alias_map:
+            zero = Estimate.exact(0.0)
+            return BlockEstimate(rows=zero, work=zero, features=features)
+
+        acc, work = self._walk_joins(query, alias_map, filtered, selectivity)
+        rows = self._output_rows(query, alias_map, acc)
+        rows = rows.with_point(rows.point * self.model.coefficient(block_class))
+        return BlockEstimate(rows=rows, work=work, features=features)
+
+    def _walk_joins(
+        self,
+        query: Query,
+        alias_map: Dict[str, str],
+        filtered: Dict[str, Estimate],
+        selectivity: Dict[str, Estimate],
+    ) -> Tuple[Estimate, Estimate]:
+        """Greedy join walk returning (joined rows, accumulated work)."""
+        order_key = lambda a: (filtered[a].point, a)  # noqa: E731
+        start = min(alias_map, key=order_key)
+        acc = filtered[start]
+        work = acc
+        bound = {start}
+        remaining = list(query.joins)
+        while len(bound) < len(alias_map):
+            step = None
+            for alias in sorted(
+                (a for a in alias_map if a not in bound), key=order_key
+            ):
+                connecting = [
+                    j
+                    for j in remaining
+                    if j.touches(alias) and j.other_side(alias).table in bound
+                ]
+                if connecting:
+                    step = (alias, connecting)
+                    break
+            if step is None:
+                # Disconnected graph: cross product with the smallest rest.
+                alias = min(
+                    (a for a in alias_map if a not in bound), key=order_key
+                )
+                acc = acc.times(filtered[alias])
+            else:
+                alias, connecting = step
+                join_col = connecting[0].side_of(alias).column
+                fan = self._fanout(alias_map[alias], join_col)
+                acc = acc.times(fan).times(selectivity[alias])
+                remaining = [j for j in remaining if j not in connecting]
+            bound.add(alias)
+            work = work.plus(acc)
+        return acc, work
+
+    def _distinct_cap(
+        self, query: Query, alias_map: Dict[str, str], refs
+    ) -> Tuple[float, Optional[float]]:
+        """(point, sound-hi-or-None) product of the columns' distinct
+        counts; the hi is only sound when every column's stats are exact."""
+        point = 1.0
+        hi: Optional[float] = 1.0
+        for ref in refs:
+            stats = self.provider.column(alias_map[ref.table], ref.column)
+            point *= max(1, stats.distinct)
+            if hi is not None and stats.exact:
+                hi *= max(1, stats.distinct)
+            else:
+                hi = None
+        return point, hi
+
+    def _output_rows(
+        self, query: Query, alias_map: Dict[str, str], joined: Estimate
+    ) -> Estimate:
+        """Joined bindings -> output rows (GROUP BY / DISTINCT caps)."""
+        rows = joined
+        if query.group_by:
+            cap_point, cap_hi = self._distinct_cap(
+                query, alias_map, query.group_by
+            )
+            hi = rows.hi if cap_hi is None else min(rows.hi, cap_hi)
+            rows = Estimate.between(0.0, min(rows.point, cap_point), hi)
+            if query.having is not None:
+                # HAVING prunes groups by an unknown fraction; halving is
+                # the telemetry-refittable neutral guess.
+                rows = Estimate.between(0.0, rows.point * 0.5, rows.hi)
+        elif query.distinct:
+            cap_point, cap_hi = self._distinct_cap(
+                query, alias_map, query.select
+            )
+            hi = rows.hi if cap_hi is None else min(rows.hi, cap_hi)
+            rows = Estimate.between(rows.lo if rows.lo <= hi else 0.0,
+                                    min(rows.point, cap_point), hi)
+        return rows
+
+    def counters(self) -> Dict[str, int]:
+        """Provider rebuild/refresh counters (stats reporting)."""
+        return self.provider.counters()

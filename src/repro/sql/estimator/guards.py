@@ -1,0 +1,65 @@
+"""Misroute guard rails: abort-and-reroute when an estimate was wrong.
+
+Routing a genuinely large block to the interpreted engine is the one
+*catastrophic* dispatch mistake — its per-row Python loops degrade by
+orders of magnitude, not percents.  The guard watches the engine's
+observed row counts mid-flight (candidate sets, intermediate binding
+lists) and raises :class:`MisrouteAbort` the moment they exceed the
+estimate's safety bound by the configured factor; the dispatcher
+catches it, bumps ``guard_trips``, and reroutes the block to the safe
+engine (vectorized), whose result is byte-identical by the equivalence
+battery.
+
+Aborting is cheap by construction: the interpreted engine's cost is
+roughly proportional to the rows it has materialised so far, so a trip
+at ``budget`` rows wastes at most the work the *correct* route would
+have spent anyway (up to the guard factor).
+"""
+
+from __future__ import annotations
+
+from .core import BlockEstimate
+
+#: Observed rows may exceed the estimate's upper bound by this factor
+#: before the route is declared a misroute.
+DEFAULT_GUARD_FACTOR = 8.0
+
+
+class MisrouteAbort(RuntimeError):
+    """Raised mid-flight when observed rows blow past the guard budget."""
+
+    def __init__(self, observed: int, budget: float) -> None:
+        super().__init__(
+            f"observed {observed} rows mid-flight, guard budget {budget:.0f}"
+        )
+        self.observed = observed
+        self.budget = budget
+
+
+class RowBudgetGuard:
+    """Observer raising :class:`MisrouteAbort` past a row budget."""
+
+    def __init__(self, budget: float) -> None:
+        self.budget = budget
+        self.peak = 0
+
+    def observe(self, count: int) -> None:
+        """Feed one observed row count (monotone peaks are kept)."""
+        if count > self.peak:
+            self.peak = count
+        if count > self.budget:
+            raise MisrouteAbort(count, self.budget)
+
+
+def guard_budget(
+    estimate: BlockEstimate, factor: float, floor: float
+) -> float:
+    """The row budget guarding one routed block.
+
+    Anchored on the *upper bounds* — a trip therefore means the safety
+    interval itself was wrong (stale stats, adversarial skew), not just
+    an unlucky point estimate — and floored so tiny estimates don't turn
+    ordinary small blocks into spurious reroutes.
+    """
+    anchor = max(estimate.work.hi, estimate.rows.hi, floor)
+    return anchor * factor

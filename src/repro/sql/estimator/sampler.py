@@ -1,0 +1,116 @@
+"""Stamped access to per-column statistics and table cardinalities.
+
+:class:`StatisticsProvider` is the estimator's only window onto the
+database: it memoizes :func:`repro.relational.statistics.
+column_statistics` results **per (uid, version) stamp** of the owning
+relation.  Repeated mutations inside one batch bump the version many
+times but trigger at most *one* rebuild per column — at the next read,
+lazily — and reads while the stamp is unchanged never rescan (the fix
+for the dispatch cardinality-refresh rescan; pinned by the counter
+tests in ``tests/sql/test_estimator.py``).
+
+Counters:
+
+* ``stats_rebuilds`` — full per-column statistic computations (the
+  expensive O(rows) scans);
+* ``cardinality_refreshes`` — per-table row-count refreshes, kept
+  name-compatible with dispatch v1's counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from ...relational.database import Database
+from ...relational.statistics import (
+    DEFAULT_SAMPLE_BUDGET,
+    ColumnStatistics,
+    column_statistics,
+)
+
+
+class StatisticsProvider:
+    """Per-stamp memoized column statistics over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        sample_budget: int = DEFAULT_SAMPLE_BUDGET,
+    ) -> None:
+        if sample_budget < 1:
+            raise ValueError(f"sample_budget must be >= 1, got {sample_budget}")
+        self.db = database
+        self.sample_budget = sample_budget
+        # (table, column) -> (uid, version, stats)
+        self._columns: Dict[Tuple[str, str], Tuple[int, int, ColumnStatistics]] = {}
+        # table -> (uid, version, rows)
+        self._cardinalities: Dict[str, Tuple[int, int, int]] = {}
+        self._lock = threading.Lock()
+        self.stats_rebuilds = 0
+        self.cardinality_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # cardinalities
+    # ------------------------------------------------------------------
+    def cardinality(self, table: str) -> int:
+        """Stamped row count; refreshed once per (uid, version) change."""
+        relation = self.db.relation(table)
+        entry = self._cardinalities.get(table)
+        if (
+            entry is not None
+            and entry[0] == relation.uid
+            and entry[1] == relation.version
+        ):
+            return entry[2]
+        rows = len(relation)
+        with self._lock:
+            self._cardinalities[table] = (relation.uid, relation.version, rows)
+            self.cardinality_refreshes += 1
+        return rows
+
+    # ------------------------------------------------------------------
+    # column statistics
+    # ------------------------------------------------------------------
+    def column(self, table: str, column: str) -> ColumnStatistics:
+        """Statistics for one column, rebuilt at most once per stamp."""
+        relation = self.db.relation(table)
+        key = (table, column)
+        entry = self._columns.get(key)
+        if (
+            entry is not None
+            and entry[0] == relation.uid
+            and entry[1] == relation.version
+        ):
+            return entry[2]
+        # Compute outside the lock (O(rows)); last writer wins — both
+        # computed the same snapshot if the stamp did not move.
+        uid, version = relation.uid, relation.version
+        stats = column_statistics(
+            relation, column, sample_budget=self.sample_budget
+        )
+        with self._lock:
+            self._columns[key] = (uid, version, stats)
+            self.stats_rebuilds += 1
+        return stats
+
+    def cached_column(self, table: str, column: str) -> Optional[ColumnStatistics]:
+        """The memoized statistics if current, without rebuilding."""
+        relation = self.db.relation(table)
+        entry = self._columns.get((table, column))
+        if (
+            entry is not None
+            and entry[0] == relation.uid
+            and entry[1] == relation.version
+        ):
+            return entry[2]
+        return None
+
+    def counters(self) -> Dict[str, int]:
+        """Rebuild/refresh counters for stats reporting."""
+        with self._lock:
+            return {
+                "stats_rebuilds": self.stats_rebuilds,
+                "cardinality_refreshes": self.cardinality_refreshes,
+            }

@@ -1,0 +1,190 @@
+"""Per-decision telemetry and the coefficient re-fitting loop.
+
+Every routing decision the dispatcher takes is recorded as a
+:class:`DecisionRecord` — the block's features, the estimate with its
+bounds, the chosen route, the *observed* cardinality, and the outcome
+(``ok`` or ``guard_trip``).  The log round-trips through JSON lines, so
+a serving deployment can persist its decision stream and re-fit offline.
+
+:func:`refit` turns a recorded stream back into an updated
+:class:`~repro.sql.estimator.core.SelectivityModel`: per block class,
+the geometric mean of observed/estimated ratios becomes a multiplicative
+correction (clamped, so one pathological workload cannot capsize the
+model).  The function is a pure fold over the record list — replaying
+the same log yields bit-identical coefficients, which the telemetry
+determinism test pins.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, IO, Iterable, List, Optional, Union
+
+from .bounds import Estimate
+from .core import (
+    BLOCK_CLASSES,
+    MODEL_COEFFICIENT_CEIL,
+    MODEL_COEFFICIENT_FLOOR,
+    SelectivityModel,
+)
+
+#: Decisions retained in memory per dispatcher (ring buffer).
+DEFAULT_TELEMETRY_CAPACITY = 4096
+
+OUTCOME_OK = "ok"
+OUTCOME_GUARD_TRIP = "guard_trip"
+
+#: Clamp on one refit step's per-class correction factor.
+_CORRECTION_FLOOR = 1.0 / 16.0
+_CORRECTION_CEIL = 16.0
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One routing decision with its estimate and observed outcome."""
+
+    route: str
+    outcome: str
+    estimate: float
+    lo: float
+    hi: float
+    work: float
+    actual: int
+    features: Dict[str, Any]
+
+    @property
+    def block_class(self) -> str:
+        return self.features.get("class", "scan")
+
+    @property
+    def within_bounds(self) -> bool:
+        """Whether the observed cardinality fell inside [lo, hi] (with
+        the same float-noise slack as :meth:`Estimate.contains`)."""
+        return Estimate.between(self.lo, self.estimate, self.hi).contains(
+            self.actual
+        )
+
+    def to_json(self) -> str:
+        """One JSON line (stable key order)."""
+        return json.dumps(
+            {
+                "route": self.route,
+                "outcome": self.outcome,
+                "estimate": self.estimate,
+                "lo": self.lo,
+                "hi": self.hi,
+                "work": self.work,
+                "actual": self.actual,
+                "features": self.features,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "DecisionRecord":
+        raw = json.loads(line)
+        return cls(
+            route=raw["route"],
+            outcome=raw["outcome"],
+            estimate=float(raw["estimate"]),
+            lo=float(raw["lo"]),
+            hi=float(raw["hi"]),
+            work=float(raw["work"]),
+            actual=int(raw["actual"]),
+            features=dict(raw["features"]),
+        )
+
+
+class TelemetryLog:
+    """Bounded, thread-safe ring of :class:`DecisionRecord` entries."""
+
+    def __init__(self, capacity: int = DEFAULT_TELEMETRY_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[DecisionRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, record: DecisionRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            self.recorded += 1
+
+    def records(self) -> List[DecisionRecord]:
+        """A snapshot of the retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    # ------------------------------------------------------------------
+    # JSON-lines round trip
+    # ------------------------------------------------------------------
+    def dump(self, fp: Union[str, IO[str]]) -> int:
+        """Write the retained records as JSON lines; returns the count."""
+        records = self.records()
+        if isinstance(fp, str):
+            with open(fp, "w", encoding="utf-8") as handle:
+                return self.dump(handle)
+        for record in records:
+            fp.write(record.to_json())
+            fp.write("\n")
+        return len(records)
+
+    @staticmethod
+    def load(fp: Union[str, IO[str]]) -> List[DecisionRecord]:
+        """Parse a JSON-lines decision log (blank lines ignored)."""
+        if isinstance(fp, str):
+            with open(fp, "r", encoding="utf-8") as handle:
+                return TelemetryLog.load(handle)
+        return [
+            DecisionRecord.from_json(line)
+            for line in fp
+            if line.strip()
+        ]
+
+
+def refit(
+    records: Iterable[DecisionRecord],
+    base: Optional[SelectivityModel] = None,
+) -> SelectivityModel:
+    """Fit per-class corrections from a decision log.
+
+    Deterministic: a pure fold over ``records`` in the given order, so
+    replaying the same log always produces identical coefficients.
+    Classes with no observations keep their base coefficient.
+    """
+    base = base if base is not None else SelectivityModel()
+    log_ratio_sum: Dict[str, float] = {name: 0.0 for name in BLOCK_CLASSES}
+    counts: Dict[str, int] = {name: 0 for name in BLOCK_CLASSES}
+    for record in records:
+        cls = record.block_class
+        if cls not in log_ratio_sum:
+            continue
+        # +1 smoothing keeps empty results finite (mirrors q_error).
+        log_ratio_sum[cls] += math.log(
+            (record.actual + 1.0) / (record.estimate + 1.0)
+        )
+        counts[cls] += 1
+    updates: Dict[str, float] = {}
+    for name in BLOCK_CLASSES:
+        if not counts[name]:
+            continue
+        correction = math.exp(log_ratio_sum[name] / counts[name])
+        correction = min(max(correction, _CORRECTION_FLOOR), _CORRECTION_CEIL)
+        updated = base.coefficient(name) * correction
+        updates[name] = min(
+            max(updated, MODEL_COEFFICIENT_FLOOR), MODEL_COEFFICIENT_CEIL
+        )
+    return base.replaced(**updates)

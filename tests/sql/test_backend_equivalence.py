@@ -35,6 +35,17 @@ TEXT = ColumnType.TEXT
 
 BACKEND_NAMES = available_backends()
 
+#: The equivalence sweep covers every registered engine plus both of the
+#: dispatch router's cost models (v2 estimator-driven is the default;
+#: ``dispatch-v1`` pins the fixed-heuristic baseline).
+EQUIVALENCE_BACKENDS = BACKEND_NAMES + ["dispatch-v1"]
+
+
+def make_backend(name, database):
+    if name == "dispatch-v1":
+        return create_backend("dispatch", database, use_estimator=False)
+    return create_backend(name, database)
+
 
 def _ref(alias, column):
     return ColumnRef(alias, column)
@@ -150,10 +161,10 @@ def suite_queries():
 
 
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    @pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
     def test_suite_matches_interpreted(self, backend_name, mini_movies_db):
         reference = InterpretedBackend(mini_movies_db)
-        backend = create_backend(backend_name, mini_movies_db)
+        backend = make_backend(backend_name, mini_movies_db)
         for query in suite_queries():
             expected = reference.execute(query)
             actual = backend.execute(query)
@@ -163,9 +174,9 @@ class TestBackendEquivalence:
                 # multiset semantics: row counts must also agree
                 assert len(actual) == len(expected)
 
-    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    @pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
     def test_results_reflect_mutations(self, backend_name, people_db):
-        backend = create_backend(backend_name, people_db)
+        backend = make_backend(backend_name, people_db)
         query = Query(
             select=(_ref("person", "name"),),
             tables=(TableRef("person"),),
@@ -176,11 +187,11 @@ class TestBackendEquivalence:
         after = len(backend.execute(query))
         assert after == before + 1
 
-    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    @pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
     def test_type_mismatched_constants(self, backend_name, people_db):
         """SQLite affinity must not coerce '50' to match an INT column,
         and mixed-type IN lists keep Python equality semantics."""
-        backend = create_backend(backend_name, people_db)
+        backend = make_backend(backend_name, people_db)
         string_on_int = Query(
             select=(_ref("person", "name"),),
             tables=(TableRef("person"),),

@@ -1,0 +1,231 @@
+"""Misroute guard regression battery.
+
+A forced misestimate — the sampler monkeypatched to swear a hot value
+never occurs — sends a big block down the interpreted path with a tiny
+guard budget.  The guard must abort mid-flight, reroute to the safe
+engine, return a byte-identical result, and count the event in
+``guard_trips`` — visible all the way up through ``session.stats()``,
+the serving tier's GET /stats snapshot, and the CLI ``--stats`` report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import SquidConfig, SquidSystem
+from repro.datasets import adult
+from repro.relational import ColumnDef, ColumnType, Database, TableSchema
+from repro.relational.statistics import ColumnStatistics
+from repro.sql.ast import ColumnRef, Op, Predicate, Query, TableRef
+from repro.sql.engine.dispatch import DispatchBackend
+from repro.sql.estimator import (
+    OUTCOME_GUARD_TRIP,
+    Estimate,
+    MisrouteAbort,
+    RowBudgetGuard,
+    StatisticsProvider,
+    guard_budget,
+)
+
+INT, TEXT = ColumnType.INT, ColumnType.TEXT
+
+ROWS = 200
+HOT = "hot"
+
+
+def build_hot_db() -> Database:
+    """200 rows, every one tagged ``hot`` — the worst case for an
+    estimator that believes the tag never occurs."""
+    db = Database("hot")
+    db.create_table(
+        TableSchema(
+            "item",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("tag", TEXT),
+                ColumnDef("val", INT),
+            ],
+            primary_key="id",
+        )
+    )
+    for i in range(ROWS):
+        db.insert("item", (i, HOT, i))
+    return db
+
+
+def hot_query() -> Query:
+    return Query(
+        select=(ColumnRef("item", "val"),),
+        tables=(TableRef("item"),),
+        predicates=(Predicate(ColumnRef("item", "tag"), Op.EQ, HOT),),
+    )
+
+
+def lying_column_stats(self, table: str, column: str) -> ColumnStatistics:
+    """Exact-looking statistics claiming ``hot`` does not exist."""
+    relation = self.db.relation(table)
+    return ColumnStatistics(
+        table=table,
+        column=column,
+        rows=len(relation),
+        non_null=len(relation),
+        distinct=1,
+        max_multiplicity=len(relation),
+        min_value=None,
+        max_value=None,
+        histogram=None,
+        sample=("cold",) * len(relation),
+        value_counts={"cold": len(relation)},
+        exact=True,
+    )
+
+
+@pytest.fixture
+def misled_backend(monkeypatch):
+    """Dispatch with the sampler forced into a catastrophic misestimate
+    and a tight guard (budget = small_work_rows × factor = 4)."""
+    monkeypatch.setattr(StatisticsProvider, "column", lying_column_stats)
+    db = build_hot_db()
+    backend = DispatchBackend(db, small_work_rows=4, guard_factor=1.0)
+    yield backend
+    backend.close()
+
+
+class TestRowBudgetGuard:
+    def test_trips_past_budget(self):
+        guard = RowBudgetGuard(10)
+        guard.observe(10)
+        with pytest.raises(MisrouteAbort) as err:
+            guard.observe(11)
+        assert err.value.observed == 11
+        assert err.value.budget == 10
+
+    def test_budget_anchors_on_upper_bounds(self):
+        from repro.sql.estimator import BlockEstimate
+
+        estimate = BlockEstimate(
+            rows=Estimate.between(0, 5, 50),
+            work=Estimate.between(0, 8, 30),
+            features={"class": "eq", "aliases": 1},
+        )
+        assert guard_budget(estimate, 2.0, 10) == 100.0  # rows.hi wins
+        assert guard_budget(estimate, 2.0, 1000) == 2000.0  # floor wins
+
+    def test_guard_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DispatchBackend(build_hot_db(), guard_factor=0.5)
+
+
+class TestForcedMisroute:
+    def test_guard_aborts_and_reroutes(self, misled_backend):
+        query = hot_query()
+        # The lie routes the block to the interpreted engine...
+        engine, estimate = misled_backend._route(query)
+        assert engine is misled_backend.interpreted
+        assert estimate.rows.hi < 1.0
+        # ...but execution must survive it, on the safe engine.
+        result = misled_backend.execute(query)
+        assert len(result.rows) == ROWS
+        stats = misled_backend.stats()
+        assert stats["guard_trips"] == 1
+        assert stats["vectorized"] == 1
+        assert stats["interpreted"] == 0
+
+    def test_rerouted_result_is_byte_identical(self, misled_backend):
+        query = hot_query()
+        guarded = misled_backend.execute(query)
+        reference = misled_backend.vectorized.execute(query)
+        assert guarded.columns == reference.columns
+        assert guarded.rows == reference.rows
+
+    def test_trip_is_recorded_in_telemetry(self, misled_backend):
+        misled_backend.execute(hot_query())
+        [record] = misled_backend.telemetry.records()
+        assert record.outcome == OUTCOME_GUARD_TRIP
+        assert record.route == "vectorized"
+        assert record.actual == ROWS
+        assert not record.within_bounds
+
+    def test_accurate_estimates_never_trip(self):
+        """Same workload, honest sampler: interpreted runs to completion
+        under the guard without tripping."""
+        db = build_hot_db()
+        backend = DispatchBackend(db, small_work_rows=1024)
+        try:
+            result = backend.execute(hot_query())
+            assert len(result.rows) == ROWS
+            stats = backend.stats()
+            assert stats["guard_trips"] == 0
+            assert stats["interpreted"] == 1
+        finally:
+            backend.close()
+
+
+class TestCounterVisibility:
+    @pytest.fixture(scope="class")
+    def dispatch_squid(self):
+        db = adult.generate(adult.AdultSize.small())
+        return SquidSystem.build(
+            db, adult.metadata(), SquidConfig(backend="dispatch")
+        )
+
+    def test_session_stats_expose_guard_trips(self, dispatch_squid):
+        with dispatch_squid.session(jobs=1) as session:
+            result = session.discover(
+                ["Resident 000001", "Resident 000002"]
+            )
+            # Materialise the abduced query so the router takes at least
+            # one recorded decision (discovery alone may not execute).
+            dispatch_squid.result_values(result)
+            stats = session.stats()
+        assert "engine_guard_trips" in stats
+        assert "engine_estimated_blocks" in stats
+        assert stats["engine_estimated_blocks"] > 0
+
+    def test_serve_stats_expose_guard_trips(self, dispatch_squid):
+        from repro.serve import DiscoveryServer
+
+        server = DiscoveryServer(dispatch_squid, jobs=1)
+        try:
+            asyncio.run(
+                server.handle(
+                    {"examples": ["Resident 000001", "Resident 000002"]}
+                )
+            )
+            stats = server.stats_snapshot()
+            assert "engine_guard_trips" in stats
+            assert "engine_telemetry_records" in stats
+        finally:
+            server.close()
+
+    def test_cli_stats_expose_guard_trips(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "discover", "--dataset", "adult",
+                "--examples", "Resident 000001;Resident 000002",
+                "--backend", "dispatch", "--stats", "--limit", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine_guard_trips" in out
+        assert "engine_estimated_blocks" in out
+
+    def test_cli_no_estimator_flag_disables_v2(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "discover", "--dataset", "adult",
+                "--examples", "Resident 000001;Resident 000002",
+                "--backend", "dispatch", "--no-estimator", "--stats",
+                "--limit", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine_estimator" in out

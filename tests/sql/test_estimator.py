@@ -1,0 +1,509 @@
+"""Estimator unit battery: interval arithmetic, column statistics,
+stamped memoization, selectivity, and telemetry round-trips.
+
+The per-stamp memoization tests pin the dispatch cardinality-refresh
+fix: repeated mutations inside one batch bump the relation version many
+times but trigger at most one statistics rebuild per column — at the
+next read — and reads under an unchanged stamp never rescan.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.relational import (
+    ColumnDef,
+    ColumnType,
+    Database,
+    ForeignKey,
+    TableSchema,
+    column_statistics,
+    sample_seed,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    JoinCondition,
+    Op,
+    Predicate,
+    Query,
+    TableRef,
+)
+from repro.sql.estimator import (
+    CLASS_EQ,
+    CLASS_RANGE,
+    CLASS_SCAN,
+    CardinalityEstimator,
+    DecisionRecord,
+    Estimate,
+    SelectivityModel,
+    StatisticsProvider,
+    TelemetryLog,
+    conjoin,
+    fraction_estimate,
+    predicate_class,
+    q_error,
+    refit,
+)
+
+INT, TEXT = ColumnType.INT, ColumnType.TEXT
+
+
+def build_db(rows: int = 50, *, nulls: int = 0) -> Database:
+    """One ``item`` table: id (PK), grp cycling 0..4, val = id, tag text."""
+    db = Database("est")
+    db.create_table(
+        TableSchema(
+            "item",
+            [
+                ColumnDef("id", INT, nullable=False),
+                ColumnDef("grp", INT),
+                ColumnDef("val", INT),
+                ColumnDef("tag", TEXT),
+            ],
+            primary_key="id",
+        )
+    )
+    for i in range(rows):
+        grp = None if i < nulls else i % 5
+        db.insert("item", (i, grp, i, f"t{i % 3}"))
+    return db
+
+
+# ----------------------------------------------------------------------
+# interval arithmetic
+# ----------------------------------------------------------------------
+class TestEstimate:
+    def test_exact_is_degenerate(self):
+        e = Estimate.exact(7)
+        assert (e.lo, e.point, e.hi) == (7.0, 7.0, 7.0)
+
+    def test_between_clamps_point(self):
+        e = Estimate.between(2.0, 99.0, 5.0)
+        assert (e.lo, e.point, e.hi) == (2.0, 5.0, 5.0)
+
+    def test_invalid_ordering_raises(self):
+        with pytest.raises(ValueError):
+            Estimate(point=1.0, lo=2.0, hi=3.0)
+        with pytest.raises(ValueError):
+            Estimate(point=-1.0, lo=-1.0, hi=0.0)
+
+    def test_product_and_sum(self):
+        a = Estimate.between(1.0, 2.0, 3.0)
+        b = Estimate.between(2.0, 4.0, 5.0)
+        prod = a.times(b)
+        assert (prod.lo, prod.point, prod.hi) == (2.0, 8.0, 15.0)
+        total = a.plus(b)
+        assert (total.lo, total.point, total.hi) == (3.0, 6.0, 8.0)
+
+    def test_contains_tolerates_float_noise(self):
+        # 0.07 * 100 = 7.000000000000001 — the exact estimate must still
+        # contain the true integer cardinality.
+        noisy = 0.07 * 100
+        assert noisy != 7.0
+        assert Estimate.exact(noisy).contains(7)
+
+    def test_with_point_stays_in_bounds(self):
+        e = Estimate.between(2.0, 3.0, 4.0)
+        assert e.with_point(100.0).point == 4.0
+        assert e.with_point(0.0).point == 2.0
+
+    def test_conjoin_frechet_floor(self):
+        sels = [Estimate.between(0.9, 0.9, 0.9), Estimate.between(0.8, 0.8, 0.8)]
+        c = conjoin(sels)
+        assert c.point == pytest.approx(0.72)
+        assert c.hi == pytest.approx(0.8)  # min of the operands
+        assert c.lo == pytest.approx(0.7)  # 0.9 + 0.8 - 1
+
+    def test_conjoin_empty_is_one(self):
+        assert conjoin([]).point == 1.0
+
+    def test_fraction_estimate_exact(self):
+        f = fraction_estimate(3, 10, exact=True)
+        assert (f.lo, f.point, f.hi) == (0.3, 0.3, 0.3)
+
+    def test_fraction_estimate_hoeffding_band(self):
+        f = fraction_estimate(30, 100, exact=False)
+        eps = math.sqrt(math.log(2.0 / 0.005) / 200.0)
+        assert f.point == pytest.approx(0.3)
+        assert f.lo == pytest.approx(max(0.0, 0.3 - eps))
+        assert f.hi == pytest.approx(min(1.0, 0.3 + eps))
+        # More trials tighten the band.
+        g = fraction_estimate(300, 1000, exact=False)
+        assert g.hi - g.lo < f.hi - f.lo
+
+    def test_q_error_symmetric_and_smoothed(self):
+        assert q_error(0.0, 0.0) == 1.0
+        assert q_error(9.0, 4.0) == pytest.approx(2.0)
+        assert q_error(4.0, 9.0) == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# column statistics
+# ----------------------------------------------------------------------
+class TestColumnStatistics:
+    def test_exact_small_column(self):
+        db = build_db(rows=40)
+        stats = column_statistics(db.relation("item"), "grp")
+        assert stats.exact
+        assert stats.rows == 40
+        assert stats.non_null == 40
+        assert stats.distinct == 5
+        assert stats.max_multiplicity == 8
+        assert stats.null_fraction == 0.0
+        assert stats.value_counts is not None
+        assert stats.value_counts[0] == 8
+
+    def test_null_fraction(self):
+        db = build_db(rows=40, nulls=10)
+        stats = column_statistics(db.relation("item"), "grp")
+        assert stats.non_null == 30
+        assert stats.null_fraction == pytest.approx(0.25)
+
+    def test_primary_key_is_unique(self):
+        db = build_db(rows=40)
+        stats = column_statistics(db.relation("item"), "id")
+        assert stats.distinct == 40
+        assert stats.max_multiplicity == 1
+        assert stats.mean_multiplicity() == 1.0
+
+    def test_sampled_large_column(self):
+        db = build_db(rows=500)
+        stats = column_statistics(
+            db.relation("item"), "grp", sample_budget=100
+        )
+        assert not stats.exact
+        assert stats.sample_size == 100
+        assert stats.rows == 500
+        # GEE-style scale-up lands in a plausible range for 5 values.
+        assert 1 <= stats.distinct <= 500
+
+    def test_sampling_is_deterministic(self):
+        db = build_db(rows=500)
+        a = column_statistics(db.relation("item"), "val", sample_budget=64)
+        b = column_statistics(db.relation("item"), "val", sample_budget=64)
+        assert a.sample == b.sample
+        assert a.distinct == b.distinct
+
+    def test_sample_seed_is_name_stable(self):
+        assert sample_seed("item", "val") == sample_seed("item", "val")
+        assert sample_seed("item", "val") != sample_seed("item", "grp")
+
+
+# ----------------------------------------------------------------------
+# stamped memoization (the dispatch cardinality-refresh fix)
+# ----------------------------------------------------------------------
+class TestStatisticsProvider:
+    def test_repeated_reads_hit_the_memo(self):
+        db = build_db()
+        provider = StatisticsProvider(db)
+        for _ in range(5):
+            provider.column("item", "grp")
+            provider.cardinality("item")
+        counters = provider.counters()
+        assert counters["stats_rebuilds"] == 1
+        assert counters["cardinality_refreshes"] == 1
+
+    def test_many_mutations_one_rebuild(self):
+        """A burst of mutations bumps the version per insert but costs at
+        most one rescan per column — at the next read."""
+        db = build_db(rows=20)
+        provider = StatisticsProvider(db)
+        provider.column("item", "grp")
+        assert provider.counters()["stats_rebuilds"] == 1
+        for i in range(20, 40):
+            db.insert("item", (i, i % 5, i, f"t{i % 3}"))
+        # The burst itself triggered nothing.
+        assert provider.counters()["stats_rebuilds"] == 1
+        provider.column("item", "grp")
+        provider.column("item", "grp")
+        assert provider.counters()["stats_rebuilds"] == 2
+
+    def test_mutating_one_table_keeps_the_other_memo(self):
+        db = build_db(rows=20)
+        db.create_table(
+            TableSchema(
+                "other",
+                [ColumnDef("id", INT, nullable=False), ColumnDef("x", INT)],
+                primary_key="id",
+            )
+        )
+        db.insert("other", (1, 10))
+        provider = StatisticsProvider(db)
+        provider.column("item", "grp")
+        provider.column("other", "x")
+        db.insert("other", (2, 20))
+        provider.column("item", "grp")  # untouched table: memo hit
+        assert provider.counters()["stats_rebuilds"] == 2
+        provider.column("other", "x")  # mutated table: one rebuild
+        assert provider.counters()["stats_rebuilds"] == 3
+
+    def test_cached_column_never_rebuilds(self):
+        db = build_db(rows=20)
+        provider = StatisticsProvider(db)
+        assert provider.cached_column("item", "grp") is None
+        provider.column("item", "grp")
+        assert provider.cached_column("item", "grp") is not None
+        db.insert("item", (99, 4, 99, "t0"))
+        assert provider.cached_column("item", "grp") is None
+        assert provider.counters()["stats_rebuilds"] == 1
+
+
+# ----------------------------------------------------------------------
+# selectivity and block estimation
+# ----------------------------------------------------------------------
+def item_query(*preds: Predicate, distinct: bool = False) -> Query:
+    return Query(
+        select=(ColumnRef("item", "tag"),),
+        tables=(TableRef("item"),),
+        predicates=tuple(preds),
+        distinct=distinct,
+    )
+
+
+class TestCardinalityEstimator:
+    def test_exact_eq_selectivity(self):
+        db = build_db(rows=40)
+        est = CardinalityEstimator(db)
+        pred = Predicate(ColumnRef("item", "grp"), Op.EQ, 0)
+        sel = est.predicate_selectivity("item", pred)
+        assert sel.point == pytest.approx(8 / 40)
+        assert sel.lo == sel.hi == sel.point  # exact stats: degenerate
+
+    def test_range_selectivity_brackets_truth(self):
+        db = build_db(rows=600)
+        est = CardinalityEstimator(db, sample_budget=128)
+        pred = Predicate(ColumnRef("item", "val"), Op.GE, 300)
+        sel = est.predicate_selectivity("item", pred)
+        assert sel.lo <= 0.5 <= sel.hi
+
+    def test_nulls_never_match(self):
+        db = build_db(rows=40, nulls=20)
+        est = CardinalityEstimator(db)
+        pred = Predicate(ColumnRef("item", "grp"), Op.GE, 0)
+        sel = est.predicate_selectivity("item", pred)
+        assert sel.hi <= 0.5 + 1e-9
+
+    def test_block_estimate_contains_truth(self):
+        db = build_db(rows=40)
+        est = CardinalityEstimator(db)
+        block = item_query(Predicate(ColumnRef("item", "grp"), Op.EQ, 0))
+        out = est.estimate_block(block)
+        assert out is not None
+        assert out.block_class == CLASS_EQ
+        assert out.rows.contains(8)
+        assert out.work.point >= out.rows.point
+
+    def test_unknown_table_returns_none(self):
+        db = build_db()
+        est = CardinalityEstimator(db)
+        q = Query(
+            select=(ColumnRef("ghost", "x"),),
+            tables=(TableRef("ghost"),),
+        )
+        assert est.estimate_block(q) is None
+
+    def test_unknown_column_returns_none(self):
+        db = build_db()
+        est = CardinalityEstimator(db)
+        q = item_query(Predicate(ColumnRef("item", "ghost"), Op.EQ, 1))
+        assert est.estimate_block(q) is None
+
+    def test_join_fanout_bounds_star(self):
+        db = Database("star")
+        db.create_table(
+            TableSchema(
+                "person",
+                [ColumnDef("id", INT, nullable=False)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "fact",
+                [
+                    ColumnDef("id", INT, nullable=False),
+                    ColumnDef("pid", INT),
+                ],
+                primary_key="id",
+                foreign_keys=[ForeignKey("pid", "person", "id")],
+            )
+        )
+        fid = 0
+        for pid in range(1, 11):
+            db.insert("person", (pid,))
+            for _ in range(3):
+                fid += 1
+                db.insert("fact", (fid, pid))
+        est = CardinalityEstimator(db)
+        q = Query(
+            select=(ColumnRef("person", "id"),),
+            tables=(TableRef("person"), TableRef("fact")),
+            joins=(
+                JoinCondition(
+                    ColumnRef("fact", "pid"), ColumnRef("person", "id")
+                ),
+            ),
+        )
+        out = est.estimate_block(q)
+        assert out is not None
+        # The block is DISTINCT over person.id: 10 output rows from 30
+        # join bindings — the distinct cap bounds the output, the work
+        # proxy still accounts for the full binding stream.
+        assert out.rows.contains(10)
+        assert out.work.hi >= 30
+
+    def test_model_coefficient_moves_point_inside_bounds(self):
+        db = build_db(rows=600)
+        est = CardinalityEstimator(db, sample_budget=64)
+        block = item_query(Predicate(ColumnRef("item", "val"), Op.GE, 300))
+        base = est.estimate_block(block)
+        est.set_model(SelectivityModel(range=4.0))
+        scaled = est.estimate_block(block)
+        assert scaled.rows.lo == base.rows.lo
+        assert scaled.rows.hi == base.rows.hi
+        assert scaled.rows.point >= base.rows.point
+        assert scaled.rows.lo <= scaled.rows.point <= scaled.rows.hi
+
+    def test_predicate_class(self):
+        eq = Predicate(ColumnRef("item", "grp"), Op.EQ, 0)
+        ge = Predicate(ColumnRef("item", "val"), Op.GE, 5)
+        assert predicate_class([eq, ge]) == CLASS_EQ
+        assert predicate_class([ge]) == CLASS_RANGE
+        assert predicate_class([]) == CLASS_SCAN
+
+
+# ----------------------------------------------------------------------
+# telemetry: JSON-lines round trip + deterministic refit
+# ----------------------------------------------------------------------
+def make_record(cls: str, estimate: float, actual: int) -> DecisionRecord:
+    return DecisionRecord(
+        route="interpreted",
+        outcome="ok",
+        estimate=estimate,
+        lo=0.0,
+        hi=max(estimate, float(actual)) * 2 + 1,
+        work=estimate,
+        actual=actual,
+        features={"class": cls, "aliases": 1},
+    )
+
+
+class TestTelemetry:
+    def test_json_lines_round_trip(self):
+        log = TelemetryLog(capacity=8)
+        log.record(make_record(CLASS_EQ, 3.0, 5))
+        log.record(make_record(CLASS_RANGE, 10.0, 2))
+        buf = io.StringIO()
+        assert log.dump(buf) == 2
+        loaded = TelemetryLog.load(io.StringIO(buf.getvalue()))
+        assert loaded == log.records()
+        # Each line is standalone JSON with stable key order.
+        lines = buf.getvalue().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert lines[0] == log.records()[0].to_json()
+
+    def test_ring_buffer_caps_retention(self):
+        log = TelemetryLog(capacity=3)
+        for i in range(10):
+            log.record(make_record(CLASS_EQ, float(i), i))
+        assert len(log) == 3
+        assert log.recorded == 10
+        assert [r.estimate for r in log.records()] == [7.0, 8.0, 9.0]
+
+    def test_refit_is_deterministic(self):
+        records = [
+            make_record(CLASS_EQ, 1.0, 9),
+            make_record(CLASS_EQ, 2.0, 17),
+            make_record(CLASS_RANGE, 100.0, 10),
+        ]
+        first = refit(records)
+        second = refit(records)
+        assert first == second
+        assert first.to_dict() == second.to_dict()
+
+    def test_refit_replayed_from_disk_matches(self, tmp_path):
+        log = TelemetryLog()
+        for i in range(20):
+            log.record(make_record(CLASS_EQ, float(i + 1), (i + 1) * 3))
+            log.record(make_record(CLASS_SCAN, 50.0, 40 + i))
+        path = str(tmp_path / "decisions.jsonl")
+        log.dump(path)
+        replayed = TelemetryLog.load(path)
+        assert refit(replayed) == refit(log.records())
+
+    def test_refit_direction_and_untouched_classes(self):
+        # Systematic 4x underestimation of eq blocks.
+        records = [make_record(CLASS_EQ, 4.0, 19) for _ in range(10)]
+        model = refit(records)
+        assert model.eq == pytest.approx(4.0)
+        assert model.range == 1.0 and model.scan == 1.0
+
+    def test_refit_corrections_are_clamped(self):
+        records = [make_record(CLASS_EQ, 0.0, 10**9) for _ in range(5)]
+        model = refit(records)
+        assert model.eq <= 16.0
+        # And composing refits can never leave the model bounds.
+        for _ in range(10):
+            model = refit(records, model)
+        assert model.eq <= 64.0
+
+    def test_within_bounds_tolerates_float_noise(self):
+        record = DecisionRecord(
+            route="interpreted",
+            outcome="ok",
+            estimate=(7 / 40) * 40,
+            lo=(7 / 40) * 40,
+            hi=(7 / 40) * 40,
+            work=7.0,
+            actual=7,
+            features={"class": CLASS_EQ, "aliases": 1},
+        )
+        assert record.within_bounds
+
+    def test_model_dict_round_trip(self):
+        model = SelectivityModel(eq=2.0, range=0.5, scan=1.5)
+        assert SelectivityModel.from_dict(model.to_dict()) == model
+
+
+class TestDispatchTelemetryLoop:
+    """End to end: dispatch decisions -> persisted log -> refit."""
+
+    def test_recorded_log_replays_to_identical_model(self, tmp_path):
+        from repro.sql.engine.dispatch import DispatchBackend
+
+        db = build_db(rows=200)
+        backend = DispatchBackend(db)
+        try:
+            for grp in range(5):
+                backend.execute(
+                    item_query(Predicate(ColumnRef("item", "grp"), Op.EQ, grp))
+                )
+            backend.execute(
+                item_query(Predicate(ColumnRef("item", "val"), Op.GE, 100))
+            )
+            assert len(backend.telemetry) == 6
+            path = str(tmp_path / "decisions.jsonl")
+            backend.telemetry.dump(path)
+
+            live = backend.refit()
+            replayed_once = refit(TelemetryLog.load(path))
+            replayed_twice = refit(TelemetryLog.load(path))
+            assert replayed_once == replayed_twice == live
+            # The fitted model is installed on the estimator.
+            assert backend.estimator.model is live
+        finally:
+            backend.close()
+
+    def test_refit_requires_v2(self):
+        from repro.sql.engine.dispatch import DispatchBackend
+
+        backend = DispatchBackend(build_db(), use_estimator=False)
+        try:
+            with pytest.raises(RuntimeError):
+                backend.refit()
+        finally:
+            backend.close()

@@ -1,0 +1,140 @@
+"""Estimator calibration battery over the synthetic corpus.
+
+For every SPJ(A) block of every ground-truth intent across 100 synth
+scenario seeds, the v2 estimator's safety interval must contain the true
+block cardinality (coverage ≥ 99%), and the point estimates must stay
+under pinned q-error ceilings.  Failures name the offending
+(seed, intent, block) triples so a regression is reproducible with
+``generate_scenario(default_scenario_config(seed))``.
+
+The battery is the contract the misroute guard relies on: the guard
+budget is anchored on ``hi``, so interval coverage here is what makes a
+guard trip mean "the model was catastrophically wrong" rather than
+"the model was a little noisy".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.sql.ast import IntersectQuery
+from repro.sql.engine import create_backend
+from repro.sql.engine.dispatch import DispatchBackend
+from repro.sql.estimator import BlockEstimate, q_error
+from repro.synth import default_scenario_config, generate_scenario
+
+SEEDS = range(100)
+
+#: Fraction of blocks whose true cardinality must fall inside [lo, hi].
+MIN_COVERAGE = 0.99
+
+#: Ceilings on the point-estimate q-error distribution (smoothed, so
+#: empty blocks stay finite).  Observed at pin time: median ≈ 1.95,
+#: p95 ≈ 3.8, max ≈ 10.6 over 322 blocks.
+MAX_MEDIAN_Q_ERROR = 2.5
+MAX_P95_Q_ERROR = 6.0
+
+
+def scenario_blocks(seed: int):
+    """(intent index, block) pairs of one scenario's ground-truth intents."""
+    scenario = generate_scenario(default_scenario_config(seed))
+    out = []
+    for intent in scenario.intents:
+        query = intent.query
+        blocks = query.blocks if isinstance(query, IntersectQuery) else [query]
+        for block_index, block in enumerate(blocks):
+            out.append((intent.index, block_index, block))
+    return scenario, out
+
+
+def run_battery() -> Tuple[int, List[tuple], List[float]]:
+    """(total blocks, bound misses, q-errors) over all seeds."""
+    total = 0
+    misses: List[tuple] = []
+    q_errors: List[float] = []
+    for seed in SEEDS:
+        scenario, blocks = scenario_blocks(seed)
+        backend = create_backend("dispatch", scenario.db)
+        assert isinstance(backend, DispatchBackend)
+        try:
+            for intent_index, block_index, block in blocks:
+                estimate = backend.estimate_block(block)
+                assert isinstance(estimate, BlockEstimate), (
+                    f"seed {seed} intent {intent_index} block {block_index}: "
+                    "estimator returned no estimate for a known-good block"
+                )
+                truth = len(backend.vectorized.execute(block).rows)
+                total += 1
+                q_errors.append(q_error(estimate.rows.point, truth))
+                if not estimate.rows.contains(truth):
+                    misses.append(
+                        (
+                            seed,
+                            intent_index,
+                            block_index,
+                            estimate.rows.lo,
+                            estimate.rows.hi,
+                            truth,
+                        )
+                    )
+        finally:
+            backend.close()
+    return total, misses, q_errors
+
+
+@pytest.fixture(scope="module")
+def battery():
+    return run_battery()
+
+
+def format_misses(misses) -> str:
+    lines = [
+        f"  seed={seed} intent={intent} block={block} "
+        f"[{lo:.3f}, {hi:.3f}] true={truth}"
+        for seed, intent, block, lo, hi, truth in misses
+    ]
+    return "\n".join(lines)
+
+
+def test_corpus_is_substantial(battery):
+    total, _, _ = battery
+    assert total >= 200, f"only {total} blocks — corpus shrank?"
+
+
+def test_interval_coverage(battery):
+    total, misses, _ = battery
+    coverage = 1.0 - len(misses) / total
+    assert coverage >= MIN_COVERAGE, (
+        f"coverage {coverage:.4f} < {MIN_COVERAGE} "
+        f"({len(misses)}/{total} blocks outside their safety interval):\n"
+        + format_misses(misses)
+    )
+
+
+def test_point_estimate_q_error(battery):
+    _, _, q_errors = battery
+    ordered = sorted(q_errors)
+    median = ordered[len(ordered) // 2]
+    p95 = ordered[int(len(ordered) * 0.95)]
+    assert median <= MAX_MEDIAN_Q_ERROR, (
+        f"median q-error {median:.3f} > {MAX_MEDIAN_Q_ERROR}"
+    )
+    assert p95 <= MAX_P95_Q_ERROR, f"p95 q-error {p95:.3f} > {MAX_P95_Q_ERROR}"
+
+
+def test_estimates_are_deterministic():
+    """Same seed, fresh backend: bit-identical intervals (the sampler
+    seeds from column names, never process state)."""
+    scenario, blocks = scenario_blocks(7)
+    first = create_backend("dispatch", scenario.db)
+    second = create_backend("dispatch", scenario.db)
+    try:
+        for _, _, block in blocks:
+            a = first.estimate_block(block)
+            b = second.estimate_block(block)
+            assert (a.rows, a.work, a.features) == (b.rows, b.work, b.features)
+    finally:
+        first.close()
+        second.close()
