@@ -77,7 +77,11 @@ GATED = os.environ.get("REPRO_BENCH_GATE") == "1"
 
 def _fresh_system() -> SquidSystem:
     size, _, _ = profile_sizes()
-    return SquidSystem.build(imdb.generate(size), imdb.metadata(), SquidConfig())
+    # analyze=True: every served query passes the plan-verifier gate, so
+    # the smoke also exercises the gate's memo under concurrency.
+    return SquidSystem.build(
+        imdb.generate(size), imdb.metadata(), SquidConfig(analyze=True)
+    )
 
 
 def _request_stream(squid: SquidSystem) -> List[List[List[str]]]:
@@ -276,7 +280,7 @@ def test_synthetic_request_stream_replay(benchmark, scenario_seed):
     def run():
         scenario = generate_scenario(default_scenario_config(scenario_seed))
         squid = SquidSystem.build(
-            scenario.db, scenario.metadata, SquidConfig()
+            scenario.db, scenario.metadata, SquidConfig(analyze=True)
         )
         requests = list(
             request_stream(scenario, count=3 * len(scenario.intents))

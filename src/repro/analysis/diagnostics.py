@@ -1,0 +1,87 @@
+"""Structured diagnostics shared by the plan verifier and the linter.
+
+A :class:`Diagnostic` is one finding: a stable code (``PLAN001``,
+``LINT003``, ...), a severity, a human-readable message, and a *span* —
+where in the analysed artifact the finding anchors.  For query ASTs the
+span is a dot-path into the query (``blocks[1].predicates[2]``); for
+lint findings it is a ``file:line`` location.  Codes are part of the
+public contract: tests pin one positive and one negative case per code,
+and the docs catalog (``docs/analysis.md``) documents every one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..relational.errors import QueryError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe queries/code that are wrong or unsafe —
+    the execution gate refuses to run them and the lint driver exits
+    non-zero.  ``WARNING`` findings describe hazards (a cartesian block,
+    a >64-alias star headed for the SQLite chained-CTE path) that are
+    legal but worth surfacing; they never block execution.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    code: str
+    """Stable identifier (``PLAN0xx`` for plan checks, ``LINT0xx`` for
+    codebase invariants); never renumbered once shipped."""
+
+    severity: Severity
+    message: str
+
+    span: str = ""
+    """Where the finding anchors: a dot-path into the query AST
+    (``blocks[0].joins[1]``) or a ``file:line`` source location."""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def __str__(self) -> str:
+        where = f" at {self.span}" if self.span else ""
+        return f"{self.code} [{self.severity.value}]{where}: {self.message}"
+
+
+def errors_of(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """The error-severity subset, order preserved."""
+    return [d for d in diagnostics if d.is_error]
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """One finding per line (stable order — as emitted)."""
+    return "\n".join(str(d) for d in diagnostics)
+
+
+class PlanVerificationError(QueryError):
+    """Raised by the pre-execution gate when a plan has error findings.
+
+    Carries the full diagnostic list (warnings included) so callers can
+    report everything the verifier saw, not just the blocking finding.
+    Subclasses :class:`~repro.relational.errors.QueryError` so every
+    existing invalid-query handler (the serving tier's 400 path, the
+    harness's error-parity comparison) treats a gate rejection exactly
+    like an engine-raised validation failure.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(diagnostics)
+        errors = errors_of(self.diagnostics)
+        summary = "; ".join(str(d) for d in errors) or "no errors"
+        super().__init__(
+            f"query rejected by plan verifier ({len(errors)} error(s)): "
+            f"{summary}"
+        )

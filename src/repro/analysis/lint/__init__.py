@@ -1,0 +1,35 @@
+"""Repo-specific invariant linter built on CPython's :mod:`ast`.
+
+Generic linters check style; this one checks the *contracts* this
+codebase runs on — the invariants whose violations have historically
+surfaced only as flaky concurrency bugs or stale-cache wrong answers:
+
+====== =================================================================
+code   contract
+====== =================================================================
+LINT001 shared counters of lock-owning classes are only mutated under
+        the owning lock (and never reached around from other modules)
+LINT002 every mutation path of a version-stamped container bumps the
+        version stamp in the same method
+LINT003 a ``.version`` stamp is never read without the paired ``.uid``
+        (a version alone aliases across re-created tables)
+LINT004 every concrete ``ExecutionBackend`` implements the full engine
+        surface — ``execute``, ``stats`` and a ``name``
+LINT005 ``repro.synth`` sampling paths use only seeded randomness (no
+        ``random.*`` module calls, wall clocks, or entropy sources)
+LINT006 worker-unit code never mutates the fork-shipped copy-on-write
+        warm state (αDB, backend, database snapshots)
+====== =================================================================
+
+All rules are error-severity: ``tools/lint_repro.py`` exits non-zero on
+any finding and the CI ``lint`` job runs it on every PR.  See
+``docs/analysis.md`` for the rule-by-rule rationale and the recipe for
+adding a new rule.
+"""
+
+from __future__ import annotations
+
+from .driver import lint_paths, lint_sources
+from .rules import LINT_CODES
+
+__all__ = ["LINT_CODES", "lint_paths", "lint_sources"]

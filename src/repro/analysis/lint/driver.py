@@ -1,0 +1,72 @@
+"""Lint driver: file discovery, parsing, rule execution, ordering.
+
+Two entry points share all logic: :func:`lint_paths` walks real files
+(the ``tools/lint_repro.py`` CLI and CI), :func:`lint_sources` lints an
+in-memory ``{path: source}`` mapping (the rule unit tests feed crafted
+positive/negative snippets through the identical pipeline).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from ..diagnostics import Diagnostic, Severity
+from .model import build_model
+from .rules import ALL_RULES
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def _span_key(diag: Diagnostic) -> Tuple[str, int, str]:
+    path, _, line = diag.span.rpartition(":")
+    try:
+        return (path, int(line), diag.code)
+    except ValueError:
+        return (diag.span, 0, diag.code)
+
+
+def lint_sources(sources: Dict[str, str]) -> List[Diagnostic]:
+    """Lint an in-memory ``{path: source}`` mapping."""
+    pairs = sorted(sources.items())
+    out: List[Diagnostic] = []
+    for path, source in pairs:
+        try:
+            ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            out.append(
+                Diagnostic(
+                    code="LINT000",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                    span=f"{path}:{exc.lineno or 0}",
+                )
+            )
+    model = build_model(pairs)
+    for rule in ALL_RULES:
+        out.extend(rule(model))
+    out.sort(key=_span_key)
+    return out
+
+
+def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    sources: Dict[str, str] = {}
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[path] = handle.read()
+    return lint_sources(sources)

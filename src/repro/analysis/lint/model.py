@@ -1,0 +1,185 @@
+"""First pass of the linter: a cheap semantic model of the scanned files.
+
+The rules need more than single-node pattern matching — which classes
+own locks, which attributes are shared counters, how the backend class
+hierarchy resolves across modules.  :func:`build_model` parses every
+file once and answers those questions; the rules in
+:mod:`repro.analysis.lint.rules` then walk the ASTs with the model in
+hand.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Constructor call names that create a mutual-exclusion lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore"}
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``self._lock`` → ``["self", "_lock"]``; None for non-name chains.
+
+    Resolves pure ``Name``/``Attribute`` chains only — anything with a
+    call or subscript in the middle is not a static chain.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def call_name(node: ast.expr) -> Optional[str]:
+    """The trailing name of a call target (``threading.Lock`` → ``Lock``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """What one class declares, as far as the rules care."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    lock_attrs: Set[str] = field(default_factory=set)
+    int_counters: Set[str] = field(default_factory=set)
+    has_version_stamp: bool = False
+    sets_instance_name: bool = False
+    method_names: Set[str] = field(default_factory=set)
+    abstract_methods: Set[str] = field(default_factory=set)
+
+    @property
+    def is_abstract(self) -> bool:
+        return bool(self.abstract_methods) or "ABC" in self.base_names
+
+    def methods(self) -> List[ast.AST]:
+        return [
+            item
+            for item in self.node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+
+@dataclass
+class FileModel:
+    """One parsed file plus its class declarations."""
+
+    path: str
+    tree: ast.Module
+    classes: List[ClassInfo] = field(default_factory=list)
+
+
+@dataclass
+class Model:
+    """Everything the rules know about the scanned file set."""
+
+    files: List[FileModel] = field(default_factory=list)
+    #: class name -> info (simple-name resolution; last writer wins,
+    #: which is fine for this repo's unique class names).
+    classes_by_name: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: counter attribute name -> owning lock-holding class names.
+    guarded_counters: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def ancestry(self, info: ClassInfo) -> List[ClassInfo]:
+        """``info`` plus every resolvable base, nearest first."""
+        out: List[ClassInfo] = []
+        queue = [info]
+        seen: Set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            out.append(current)
+            for base in current.base_names:
+                resolved = self.classes_by_name.get(base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return out
+
+    def inherits_from(self, info: ClassInfo, root: str) -> bool:
+        return any(a.name == root for a in self.ancestry(info)) or any(
+            root in a.base_names for a in self.ancestry(info)
+        )
+
+
+def _scan_init(info: ClassInfo, init: ast.AST) -> None:
+    """Harvest lock/counter/stamp attribute declarations from __init__."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        chain = attr_chain(node.targets[0])
+        if chain is None or len(chain) != 2 or chain[0] != "self":
+            continue
+        attr = chain[1]
+        value = node.value
+        if isinstance(value, ast.Call) and call_name(value.func) in _LOCK_FACTORIES:
+            info.lock_attrs.add(attr)
+        elif (
+            isinstance(value, ast.Constant)
+            and type(value.value) is int  # bools are ints; exclude them
+        ):
+            info.int_counters.add(attr)
+        if attr == "_version":
+            info.has_version_stamp = True
+        if attr == "name":
+            info.sets_instance_name = True
+
+
+def _scan_class(path: str, node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(name=node.name, path=path, node=node)
+    for base in node.bases:
+        name = call_name(base)
+        if name is not None:
+            info.base_names.append(name)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.method_names.add(item.name)
+            for deco in item.decorator_list:
+                if call_name(deco) == "abstractmethod":
+                    info.abstract_methods.add(item.name)
+            if item.name == "__init__":
+                _scan_init(info, item)
+        elif isinstance(item, ast.Assign) and len(item.targets) == 1:
+            target = item.targets[0]
+            if isinstance(target, ast.Name) and target.id == "name":
+                info.sets_instance_name = True
+    return info
+
+
+def build_model(sources: Sequence[Tuple[str, str]]) -> Model:
+    """Parse ``(path, source)`` pairs into a :class:`Model`.
+
+    Files that fail to parse are skipped silently here — the driver
+    reports them as their own diagnostic before the rules run.
+    """
+    model = Model()
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        fm = FileModel(path=path, tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                info = _scan_class(path, node)
+                fm.classes.append(info)
+                model.classes_by_name[info.name] = info
+        model.files.append(fm)
+    for info in model.classes_by_name.values():
+        if not info.lock_attrs:
+            continue
+        for counter in info.int_counters:
+            model.guarded_counters.setdefault(counter, set()).add(info.name)
+    return model

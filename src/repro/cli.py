@@ -93,6 +93,7 @@ def _squid_config(args: argparse.Namespace) -> SquidConfig:
         estimator=args.estimator,
         estimator_sample_budget=args.sample_budget,
         estimator_guard_factor=args.guard_factor,
+        analyze=args.analyze,
     )
 
 
@@ -396,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="misroute guard threshold: abort an "
                               "interpreted run once observed rows exceed "
                               "the estimate's upper bound by this factor")
+        cmd.add_argument("--analyze", action="store_true",
+                         help="statically verify every query before "
+                              "execution (repro.analysis plan-verifier "
+                              "gate; rejections and warnings show up as "
+                              "engine_analyze_* counters under --stats)")
         cmd.add_argument("--stats", dest="show_stats", action="store_true",
                          help="print cache/engine/session counters after "
                               "discovery")

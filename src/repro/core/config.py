@@ -155,6 +155,17 @@ class SquidConfig:
     engine aborts and reroutes to the safe engine once its observed
     mid-flight rows exceed the estimate's upper bound by this factor."""
 
+    analyze: bool = False
+    """Statically verify every query before execution (the
+    :mod:`repro.analysis` plan verifier as a pre-execution gate):
+    error-severity findings — unknown references, type-incompatible
+    joins/predicates, statically unsatisfiable conjunctions,
+    engine-defined GROUP BY projections — reject the query with a
+    :class:`~repro.analysis.PlanVerificationError` before any engine
+    runs it; warnings only count in the ``analyze_*`` stats.  Verdicts
+    are memoized per (formatted SQL, relation stamps), so the warm-plan
+    overhead is one dict probe."""
+
     # --- batch discovery / worker fan-out --------------------------------
     jobs: int = 1
     """Default worker-pool width of :class:`~repro.core.session.

@@ -606,7 +606,7 @@ class DiscoverySession:
                 results[(i, j)] = result
         finally:
             pool.forget(list(tokens.values()))
-        pool.batches_served += 1
+        pool.note_batch_served()
         return results
 
     def _fan_out_threads(

@@ -70,6 +70,7 @@ class SquidSystem:
             use_estimator=adb.config.estimator,
             sample_budget=adb.config.estimator_sample_budget,
             guard_factor=adb.config.estimator_guard_factor,
+            analyze=adb.config.analyze,
         )
 
     # ------------------------------------------------------------------

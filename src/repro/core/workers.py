@@ -316,6 +316,14 @@ class WorkerPool:
         else:
             future.set_exception(payload)
 
+    def note_batch_served(self) -> None:
+        """Record one completed batch.  ``batches_served`` is shared with
+        the owning session's concurrent batch threads, so the bump runs
+        under the pool's lock — callers must never mutate the counter
+        directly (the invariant linter enforces this)."""
+        with self._lock:
+            self.batches_served += 1
+
     def forget(self, tokens: Sequence[int]) -> None:
         """Drop affinity bookkeeping for finished sets (workers bound
         their own caches; the parent-side maps are trimmed here)."""

@@ -7,7 +7,7 @@ materialises, and lazily-built secondary indexes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import IntegrityError, UnknownTableError
 from .indexes import CompositeHashIndex, HashIndex, SortedIndex
@@ -126,6 +126,7 @@ class Database:
             relation = self.relation(schema.name)
             for fk in schema.foreign_keys:
                 parent = self.relation(fk.ref_table)
+                exists: Callable[[Any], Optional[object]]
                 if parent.schema.primary_key == fk.ref_column:
                     exists = parent.lookup_pk
                 else:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 
 class Op(enum.Enum):
@@ -194,7 +194,7 @@ class Query:
         if self.having is not None and not self.group_by:
             raise ValueError("HAVING requires GROUP BY")
 
-    def alias_map(self) -> dict:
+    def alias_map(self) -> Dict[str, str]:
         """Mapping alias -> base table name."""
         return {t.alias: t.name for t in self.tables}
 

@@ -83,6 +83,7 @@ def create_backend(
     use_estimator: bool = True,
     sample_budget: int = DEFAULT_SAMPLE_BUDGET,
     guard_factor: float = DEFAULT_GUARD_FACTOR,
+    analyze: bool = False,
 ) -> ExecutionBackend:
     """Instantiate a backend by name, optionally wrapped in a result cache.
 
@@ -92,7 +93,10 @@ def create_backend(
     and of the ``dispatch`` router's sharded tier.  ``use_estimator``,
     ``sample_budget`` and ``guard_factor`` configure the ``dispatch``
     router's v2 cost model (sampling-based cardinality estimation with
-    misroute guards); other engines ignore all five.
+    misroute guards); other engines ignore all five.  ``analyze`` layers
+    the :mod:`repro.analysis` plan-verifier gate under the cache (wrap
+    order ``CachingBackend(AnalyzingBackend(engine))`` — cache hits skip
+    re-verification, and stats unwrapping still reaches the gate).
     """
     try:
         backend_cls = BACKENDS[name]
@@ -115,6 +119,13 @@ def create_backend(
         )
     else:
         backend = backend_cls(database)
+    if analyze:
+        # Function-local import: repro.analysis imports this package.
+        from ...analysis.gate import AnalyzingBackend
+
+        backend = AnalyzingBackend(
+            backend, statistics=getattr(backend, "_provider", None)
+        )
     if cache_size > 0:
         return CachingBackend(backend, max_entries=cache_size)
     return backend

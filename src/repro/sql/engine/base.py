@@ -190,6 +190,16 @@ class CachingBackend(ExecutionBackend):
         """Bypass the cache (timing measurements need cold executions)."""
         return self.inner.execute(query)
 
+    def stats(self) -> Dict[str, int]:
+        """Inner-engine counters merged with ``cache_``-prefixed LRU
+        counters (``SquidSystem.cache_stats`` still reports the raw
+        cache view; this is the single-call rollup for ``--stats``)."""
+        inner_stats = getattr(self.inner, "stats", None)
+        merged: Dict[str, int] = dict(inner_stats()) if callable(inner_stats) else {}
+        for key, value in self.cache.stats().items():
+            merged[f"cache_{key}"] = value
+        return merged
+
     def close(self) -> None:
         self.cache.clear()
         self.inner.close()

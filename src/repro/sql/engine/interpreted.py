@@ -18,8 +18,10 @@ keep its semantics authoritative.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ...relational.database import Database
 from ...relational.errors import QueryError
 from ..ast import AnyQuery, IntersectQuery, JoinCondition, Op, Predicate, Query
 from ..result import ResultSet, execute_intersect
@@ -31,6 +33,11 @@ class InterpretedBackend(ExecutionBackend):
 
     name = "interpreted"
 
+    def __init__(self, database: Database) -> None:
+        super().__init__(database)
+        self._stats_lock = threading.Lock()
+        self.blocks_executed = 0
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -39,6 +46,11 @@ class InterpretedBackend(ExecutionBackend):
         if isinstance(query, IntersectQuery):
             return execute_intersect(query.blocks, self._execute_block)
         return self._execute_block(query)
+
+    def stats(self) -> Dict[str, int]:
+        """Execution counters (blocks run, intersect blocks included)."""
+        with self._stats_lock:
+            return {"interpreted_blocks": self.blocks_executed}
 
     # ------------------------------------------------------------------
     # single block
@@ -55,6 +67,8 @@ class InterpretedBackend(ExecutionBackend):
         """
         alias_map = query.alias_map()
         validate_query(self.db, query)
+        with self._stats_lock:
+            self.blocks_executed += 1
         candidates = self._pushdown(query, alias_map)
         if observe is not None:
             for cand in candidates.values():

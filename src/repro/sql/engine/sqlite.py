@@ -142,11 +142,15 @@ class SqliteBackend(ExecutionBackend):
         self._conn = sqlite3.connect(":memory:", check_same_thread=False)
         self._lock = threading.Lock()
         self._loaded: Dict[str, Tuple[int, int]] = {}
+        self.statements = 0
+        self.mirror_loads = 0
 
     # ------------------------------------------------------------------
     # mirror maintenance
     # ------------------------------------------------------------------
-    def _ensure_loaded(self, tables: Sequence[str]) -> None:
+    def _ensure_loaded(self, tables: Sequence[str]) -> int:
+        """Refresh stale mirror tables; returns how many were (re)loaded."""
+        loaded = 0
         for name in tables:
             relation = self.db.relation(name)
             stamp = (relation.uid, relation.version)
@@ -154,6 +158,8 @@ class SqliteBackend(ExecutionBackend):
                 continue
             self._load(name, relation)
             self._loaded[name] = stamp
+            loaded += 1
+        return loaded
 
     def _load(self, name: str, relation: Relation) -> None:
         schema = relation.schema
@@ -212,7 +218,8 @@ class SqliteBackend(ExecutionBackend):
         params = [p for _, _, cte_params in ctes for p in cte_params]
         params += [p for block in compiled for p in block.params]
         with self._lock:
-            self._ensure_loaded(tables_of(query))
+            self.mirror_loads += self._ensure_loaded(tables_of(query))
+            self.statements += 1
             rows = self._conn.execute(sql, params).fetchall()
         return ResultSet(
             tuple(str(ref) for ref in first.select),
@@ -442,6 +449,14 @@ class SqliteBackend(ExecutionBackend):
             )
             for row in rows
         ]
+
+    def stats(self) -> Dict[str, int]:
+        """Execution counters: statements run, mirror (re)load scans."""
+        with self._lock:
+            return {
+                "sqlite_statements": self.statements,
+                "sqlite_mirror_loads": self.mirror_loads,
+            }
 
     def close(self) -> None:
         self._conn.close()

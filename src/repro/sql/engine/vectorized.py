@@ -21,11 +21,13 @@ reference engine; the equivalence suite keeps them locked together.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ...relational.database import Database
 from ...relational.errors import QueryError
 from ...relational.relation import ColumnArray, Relation
 from ..ast import AnyQuery, IntersectQuery, JoinCondition, Op, Predicate, Query
@@ -166,6 +168,11 @@ class VectorizedBackend(ExecutionBackend):
 
     name = "vectorized"
 
+    def __init__(self, database: Database) -> None:
+        super().__init__(database)
+        self._stats_lock = threading.Lock()
+        self.blocks_executed = 0
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -175,12 +182,19 @@ class VectorizedBackend(ExecutionBackend):
             return execute_intersect(query.blocks, self._execute_block)
         return self._execute_block(query)
 
+    def stats(self) -> Dict[str, int]:
+        """Execution counters (blocks run, intersect blocks included)."""
+        with self._stats_lock:
+            return {"vectorized_blocks": self.blocks_executed}
+
     # ------------------------------------------------------------------
     # single block
     # ------------------------------------------------------------------
     def _execute_block(self, query: Query) -> ResultSet:
         alias_map = query.alias_map()
         validate_query(self.db, query)
+        with self._stats_lock:
+            self.blocks_executed += 1
         candidates = self._pushdown(query, alias_map)
         bindings, count = self._join_all(query, alias_map, candidates)
         if query.group_by:

@@ -17,6 +17,13 @@ Per scenario, the harness:
    ``strict_gt``, because abduction legitimately generalises beyond an
    example draw.
 
+Every engine additionally runs behind the :mod:`repro.analysis` plan
+verifier (an :class:`~repro.analysis.AnalyzingBackend` gate), and every
+query the harness touches — sampled intents and abduced forms alike —
+must verify *fully clean*: any diagnostic at all, warning included, is
+an ``analysis`` failure.  That is the verifier's no-false-positive
+guarantee, fuzzed on every CI run.
+
 Failures carry the scenario seed + intent index, which is all the
 shrinker needs: :func:`fuzz_seeds` minimizes each failing scenario
 (dropping intents, tables, columns, conditions while the same failure
@@ -29,11 +36,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..analysis import format_diagnostics, verify_query
+from ..analysis.gate import AnalyzingBackend
 from ..core.config import SquidConfig
 from ..core.squid import SquidSystem
 from ..relational import Database
 from ..sql.ast import AnyQuery
 from ..sql.engine import BACKENDS, ExecutionBackend, create_backend
+from ..sql.estimator import StatisticsProvider
 from ..sql.formatter import format_query
 from ..sql.result import ResultSet
 from .config import ScenarioConfig
@@ -62,6 +72,7 @@ KIND_ERROR = "error"
 KIND_DIVERGENCE = "engine_divergence"
 KIND_COVERAGE = "coverage"
 KIND_GROUND_TRUTH = "ground_truth"
+KIND_ANALYSIS = "analysis"
 
 
 def canonical_result(result: ResultSet) -> bytes:
@@ -178,8 +189,45 @@ class DifferentialHarness:
         self.engines = engines
 
     # ------------------------------------------------------------------
-    def _backends(self, db: Database) -> Dict[str, ExecutionBackend]:
-        return {name: create_backend(name, db) for name in self.engines}
+    def _backends(
+        self, db: Database, statistics: StatisticsProvider
+    ) -> Dict[str, ExecutionBackend]:
+        """One backend per engine route, each behind the plan-verifier
+        gate (all gates share the database's stamped statistics memo)."""
+        return {
+            name: AnalyzingBackend(
+                create_backend(name, db), statistics=statistics
+            )
+            for name in self.engines
+        }
+
+    def _verify_plan(
+        self,
+        statistics: StatisticsProvider,
+        query: AnyQuery,
+        label: str,
+        report: ScenarioReport,
+        intent_index: Optional[int],
+    ) -> None:
+        """Assert the plan verifier is fully clean on ``query``.
+
+        Every query the harness sees is legitimately sampled or abduced,
+        so *any* diagnostic — warning included — is a verifier false
+        positive and recorded as an ``analysis`` failure."""
+        diagnostics = verify_query(statistics.db, query, statistics=statistics)
+        if diagnostics:
+            report.failures.append(
+                ScenarioFailure(
+                    seed=self.scenario.seed,
+                    kind=KIND_ANALYSIS,
+                    intent_index=intent_index,
+                    detail=(
+                        f"plan verifier flagged {label}: "
+                        f"{format_diagnostics(diagnostics)} "
+                        f"for {format_query(query)}"
+                    ),
+                )
+            )
 
     def _differential(
         self,
@@ -242,17 +290,26 @@ class DifferentialHarness:
         if not scenario.intents:
             return report
 
-        original_backends = self._backends(scenario.db)
+        original_stats = StatisticsProvider(scenario.db)
+        original_backends = self._backends(scenario.db, original_stats)
         squid = SquidSystem.build(
             scenario.db, scenario.metadata, self.squid_config
         )
-        adb_backends = self._backends(squid.adb.db)
+        adb_stats = StatisticsProvider(squid.adb.db)
+        adb_backends = self._backends(squid.adb.db, adb_stats)
 
         precisions: List[float] = []
         recalls: List[float] = []
         for intent in scenario.intents:
             k = intent.index
             # (1) the known ground-truth query, on the original schema
+            self._verify_plan(
+                original_stats,
+                intent.query,
+                f"ground-truth query of intent {k}",
+                report,
+                k,
+            )
             self._differential(
                 original_backends,
                 intent.query,
@@ -275,6 +332,20 @@ class DifferentialHarness:
                 )
                 continue
             # (3) the abduced query, display and keyed form, on the αDB
+            self._verify_plan(
+                adb_stats,
+                result.query,
+                f"abduced query of intent {k}",
+                report,
+                k,
+            )
+            self._verify_plan(
+                adb_stats,
+                result.keyed_query,
+                f"abduced keyed query of intent {k}",
+                report,
+                k,
+            )
             display_result = self._differential(
                 adb_backends,
                 result.query,

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Run mypy over the strictly-typed core (see ``[tool.mypy]`` in
+pyproject.toml).
+
+The container image does not ship mypy and the repo never installs
+dependencies at check time, so this wrapper skips — successfully — when
+mypy is absent; CI's lint job installs mypy and runs the real check.
+The strict scope is the ``files`` list in pyproject.toml; modules still
+outside it are tracked in docs/typing-burndown.md.
+
+Exit status: mypy's own status when it runs; 0 (with a notice on
+stderr) when mypy is not installed.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    try:
+        import mypy  # noqa: F401
+    except ModuleNotFoundError:
+        print(
+            "check_types: mypy is not installed; skipping "
+            "(CI's lint job runs the real check).",
+            file=sys.stderr,
+        )
+        return 0
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""CLI driver for the repo-specific invariant linter (repro.analysis.lint).
+
+Usage::
+
+    python tools/lint_repro.py [PATH ...]       # default: src/
+
+Exits 0 when every scanned file satisfies the LINT0xx contracts,
+1 when any finding is reported (all rules are error-severity; there is
+no suppression mechanism by design), 2 on usage errors.  CI runs this
+in the ``lint`` job on every PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.lint import LINT_CODES, lint_paths  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[os.path.join(REPO_ROOT, "src")],
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.codes:
+        for code, contract in sorted(LINT_CODES.items()):
+            print(f"{code}  {contract}")
+        return 0
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths)
+    for diag in findings:
+        print(diag)
+    scanned = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_repro: {scanned}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
